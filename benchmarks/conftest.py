@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` / ``test_*`` module regenerates one of the paper's
+tables or figures (see DESIGN.md's per-experiment index), attaches the
+rows via ``benchmark.extra_info`` and asserts the paper's qualitative
+shape.  Absolute msec values are substrate-dependent (pure Python vs
+1998 C on an SGI Origin 200); shapes are what must reproduce.
+"""
+
+import pytest
+
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.crypto.suite import PAPER_SUITE, PAPER_SUITE_NO_SIG
+from repro.experiments.common import Scale
+
+BENCH_SCALE = Scale(name="bench", initial_size=256, n_requests=50,
+                    group_sizes=(32, 256, 1024), degrees=(2, 4, 8, 16),
+                    n_sequences=1)
+
+
+def populated_server(n=256, degree=4, strategy="group",
+                     suite=PAPER_SUITE_NO_SIG, signing="none",
+                     seed=b"bench") -> GroupKeyServer:
+    server = GroupKeyServer(ServerConfig(
+        degree=degree, strategy=strategy, suite=suite, signing=signing,
+        seed=seed))
+    server.bootstrap([(f"m{i}", server.new_individual_key())
+                      for i in range(n)])
+    return server
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def churn_round(server, counter=[0]):
+    """One state-neutral join+leave pair (the benchmarkable unit)."""
+    counter[0] += 1
+    user = f"bench-user-{counter[0]}"
+    server.join(user, server.new_individual_key())
+    server.leave(user)

@@ -1,0 +1,91 @@
+"""Benchmarks for the extension subsystems.
+
+Not tied to a specific paper table; they quantify the extensions'
+claims: FEC coding throughput, channel seal/open cost, snapshot size
+and restore time, covering-driven graph rekeys, and refresh cost.
+"""
+
+from conftest import populated_server
+
+from repro.core.channel import SecureGroupChannel
+from repro.core.persistence import restore, snapshot
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.suite import PAPER_SUITE_NO_SIG
+from repro.keygraph.materialized import MaterializedKeyGraph
+from repro.transport.fec import ReedSolomonCode, decode_packets, encode_packets
+
+
+def test_fec_encode(benchmark):
+    payload = bytes(range(256)) * 4  # ~1 KB, a large rekey message
+    packets = benchmark(encode_packets, payload, 4, 3)
+    assert len(packets) == 7
+
+
+def test_fec_decode_with_erasures(benchmark):
+    payload = bytes(range(256)) * 4
+    packets = encode_packets(payload, 4, 3)
+    survivors = [packets[1], packets[3], packets[4], packets[6]]
+    result = benchmark(decode_packets, survivors, 4)
+    assert result == payload
+
+
+def test_rs_parity_generation(benchmark):
+    code = ReedSolomonCode(8, 4)
+    blocks = [bytes([i]) * 128 for i in range(8)]
+    parity = benchmark(code.encode, blocks)
+    assert len(parity) == 4
+
+
+def test_channel_seal(benchmark):
+    server = populated_server(n=64)
+    channel = SecureGroupChannel.for_server(server)
+    frame = benchmark(channel.seal, b"a chat line of ordinary length")
+    assert frame
+
+
+def test_channel_open(benchmark):
+    server = populated_server(n=64)
+    sender = SecureGroupChannel.for_server(server)
+    receiver = SecureGroupChannel(
+        server.suite, "probe",
+        key_source=lambda: (*server.group_key_ref(), server.group_key()))
+    frames = [sender.seal(b"a chat line of ordinary length")
+              for _ in range(20000)]
+    frames_iter = iter(frames)
+    payload, _sender, _seq = benchmark(
+        lambda: receiver.open(next(frames_iter)))
+    assert payload == b"a chat line of ordinary length"
+
+
+def test_snapshot(benchmark):
+    server = populated_server(n=1024)
+    blob = benchmark(snapshot, server)
+    assert len(blob) > 10_000
+    benchmark.extra_info["snapshot_bytes"] = len(blob)
+
+
+def test_restore(benchmark):
+    server = populated_server(n=1024)
+    blob = snapshot(server)
+    standby = benchmark(restore, blob)
+    assert standby.n_users == 1024
+
+
+def test_graph_covering_leave(benchmark):
+    """Covering-driven rekey on the Figure 1 graph (rebuilt per round)."""
+    source = HmacDrbg(b"bench-graph")
+    keygen = lambda: source.generate(8)
+
+    def build_and_leave():
+        group, _individual = MaterializedKeyGraph.figure1(
+            PAPER_SUITE_NO_SIG, keygen)
+        return group.leave("u1")
+
+    outcome = benchmark(build_and_leave)
+    assert outcome.encryptions == 2
+
+
+def test_refresh(benchmark):
+    server = populated_server(n=1024)
+    outcome = benchmark(server.refresh)
+    assert outcome.record.encryptions == 1

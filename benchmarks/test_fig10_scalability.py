@@ -1,0 +1,45 @@
+"""Figure 10 bench: server processing time per request vs group size.
+
+Benchmarks a join+leave round at each group size (the figure's
+x-axis) and asserts the headline claim: time grows with log(n), far
+sublinearly in n.
+"""
+
+import pytest
+from conftest import BENCH_SCALE, churn_round, populated_server
+
+from repro.crypto.suite import PAPER_SUITE, PAPER_SUITE_ENC_ONLY
+from repro.experiments import fig10
+
+SIZES = (32, 256, 2048)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_round_encryption_only(benchmark, n):
+    server = populated_server(n=n, suite=PAPER_SUITE_ENC_ONLY,
+                              signing="none")
+    benchmark(churn_round, server, counter=[0])
+    benchmark.extra_info["group_size"] = n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_round_with_signature(benchmark, n):
+    server = populated_server(n=n, suite=PAPER_SUITE, signing="merkle")
+    benchmark(churn_round, server, counter=[0])
+    benchmark.extra_info["group_size"] = n
+
+
+def test_fig10_regeneration(benchmark):
+    table = benchmark.pedantic(fig10.run, args=(BENCH_SCALE,),
+                               rounds=1, iterations=1)
+    series = fig10.series(table)
+    for (protection, strategy), points in series.items():
+        points = sorted(points)
+        (n0, t0), (n1, t1) = points[0], points[-1]
+        # 32x more users must cost nowhere near 32x the time.
+        assert t1 / t0 < (n1 / n0) / 4, (protection, strategy)
+    benchmark.extra_info["series"] = {
+        f"{p}/{s}": [(n, round(ms, 2)) for n, ms in sorted(v)]
+        for (p, s), v in series.items()}
+    print()
+    print(table.format())

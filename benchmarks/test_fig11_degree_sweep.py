@@ -1,0 +1,37 @@
+"""Figure 11 bench: server processing time vs key tree degree."""
+
+import pytest
+from conftest import BENCH_SCALE, churn_round, populated_server
+
+from repro.crypto.suite import PAPER_SUITE_NO_SIG
+from repro.experiments import fig11
+
+DEGREES = (2, 4, 16)
+
+
+@pytest.mark.parametrize("degree", DEGREES)
+def test_round_by_degree(benchmark, degree):
+    server = populated_server(n=256, degree=degree, strategy="group")
+    benchmark(churn_round, server, counter=[0])
+    benchmark.extra_info["degree"] = degree
+    leaves = [r for r in server.history if r.op == "leave"]
+    benchmark.extra_info["leave_encryptions"] = leaves[-1].encryptions
+
+
+def test_fig11_regeneration(benchmark):
+    table = benchmark.pedantic(fig11.run, args=(BENCH_SCALE,),
+                               rounds=1, iterations=1)
+    # §3.5 / Figure 11: encryption work is minimised near degree 4.
+    for strategy, points in fig11.encryption_series(table).items():
+        by_degree = dict(points)
+        assert by_degree[4] < by_degree[2], strategy
+        assert by_degree[4] < by_degree[16], strategy
+    # Server-side ranking at every degree: group <= key <= user.
+    enc_rows = [row for row in table.rows if row[0] == "encryption-only"]
+    for degree in {row[2] for row in enc_rows}:
+        cost = {row[1]: row[4] + row[5] for row in enc_rows
+                if row[2] == degree}
+        assert cost["group"] <= cost["key"] <= cost["user"]
+    benchmark.extra_info["optimal_degree_region"] = 4
+    print()
+    print(table.format())

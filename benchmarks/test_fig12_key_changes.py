@@ -1,0 +1,27 @@
+"""Figure 12 bench: average key changes by a client per request."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark):
+    table = benchmark.pedantic(fig12.run, args=(BENCH_SCALE,),
+                               rounds=1, iterations=1)
+    degree_points = fig12.degree_series(table)
+    for degree, measured, bound in degree_points:
+        # "very close to the analytical result d/(d-1)".
+        assert abs(measured - bound) < 0.45, degree
+    # Monotonically decreasing toward 1 as d grows (top panel's shape).
+    values = [measured for _d, measured, _b in degree_points]
+    assert values == sorted(values, reverse=True)
+    # Bottom panel: flat in group size.
+    size_points = fig12.size_series(table)
+    sizes = [measured for _n, measured, _b in size_points]
+    assert max(sizes) - min(sizes) < 0.6
+    benchmark.extra_info["vs_degree"] = [
+        (d, round(m, 3)) for d, m, _ in degree_points]
+    benchmark.extra_info["vs_size"] = [
+        (n, round(m, 3)) for n, m, _ in size_points]
+    print()
+    print(table.format())

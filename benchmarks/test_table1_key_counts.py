@@ -1,0 +1,19 @@
+"""Table 1 bench: key-count accounting for star / tree / complete."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    table = benchmark.pedantic(table1.run, args=(BENCH_SCALE,),
+                               rounds=3, iterations=1)
+    benchmark.extra_info["rows"] = [[str(c) for c in row]
+                                    for row in table.rows]
+    star, tree, complete = table.rows
+    # Analytic == built, for all three classes (Table 1).
+    assert star[2] == 82 and star[4] == 2
+    assert tree[2] == 121 and tree[4] == 5
+    assert complete[2] == 255 and complete[4] == 128
+    print()
+    print(table.format())

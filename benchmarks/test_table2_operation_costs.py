@@ -1,0 +1,76 @@
+"""Table 2 bench: per-operation cost of star vs tree joins/leaves.
+
+Benchmarks the actual protocol operation and asserts the measured
+encryption counts against the paper's closed forms.
+"""
+
+import math
+
+from conftest import populated_server
+
+from repro.core import costs
+
+
+def test_star_leave_costs_n_minus_1(benchmark):
+    server = populated_server(n=128, strategy="group")
+    star = populated_server(n=128, strategy="group", seed=b"star-bench")
+    # Rebuild as a star graph.
+    from repro.core.server import GroupKeyServer, ServerConfig
+    from repro.crypto.suite import PAPER_SUITE_NO_SIG
+    star = GroupKeyServer(ServerConfig(graph="star",
+                                       suite=PAPER_SUITE_NO_SIG,
+                                       signing="none", seed=b"star-bench"))
+    star.bootstrap([(f"m{i}", star.new_individual_key())
+                    for i in range(128)])
+    counter = [0]
+
+    def round_trip():
+        counter[0] += 1
+        user = f"x{counter[0]}"
+        star.join(user, star.new_individual_key())
+        return star.leave(user)
+
+    outcome = benchmark(round_trip)
+    # Table 2c star leave: n - 1 encryptions.
+    assert outcome.record.encryptions == 128
+    benchmark.extra_info["star_leave_encryptions"] = outcome.record.encryptions
+
+
+def test_tree_join_costs_2h_minus_2(benchmark):
+    server = populated_server(n=256, degree=4, strategy="key")
+    height = costs.tree_height(256, 4)  # 5
+    counter = [0]
+
+    def join_then_cleanup():
+        counter[0] += 1
+        user = f"x{counter[0]}"
+        outcome = server.join(user, server.new_individual_key())
+        server.leave(user)
+        return outcome
+
+    outcome = benchmark(join_then_cleanup)
+    # Table 2c tree join: 2(h-1), within one level of heuristic wobble.
+    measured = outcome.record.encryptions
+    assert 2 * (height - 2) <= measured <= 2 * height
+    benchmark.extra_info["tree_join_encryptions"] = measured
+    benchmark.extra_info["analytic"] = 2 * (height - 1)
+
+
+def test_tree_leave_costs_d_h_minus_1(benchmark):
+    server = populated_server(n=256, degree=4, strategy="key")
+    height = costs.tree_height(256, 4)
+    counter = [0]
+
+    def leave_after_join():
+        counter[0] += 1
+        user = f"x{counter[0]}"
+        server.join(user, server.new_individual_key())
+        return server.leave(user)
+
+    outcome = benchmark(leave_after_join)
+    measured = outcome.record.encryptions
+    # Table 2c tree leave: ~d(h-1); exact count is
+    # (d-1)(h-1) + (h-2) on a full tree, so allow the band between.
+    assert (4 - 1) * (height - 2) <= measured <= 4 * height
+    benchmark.extra_info["tree_leave_encryptions"] = measured
+    benchmark.extra_info["analytic"] = 4 * (height - 1)

@@ -1,0 +1,23 @@
+"""Table 3 bench: average per-operation cost, star vs tree."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark):
+    table = benchmark.pedantic(table3.run, args=(BENCH_SCALE,),
+                               rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [[str(c) for c in row]
+                                    for row in table.rows]
+    server_row, user_row = table.rows
+    star_measured, tree_measured = server_row[2], server_row[4]
+    # Table 3: star averages ~n/2, the tree a few multiples of log n.
+    assert star_measured > 5 * tree_measured
+    # User cost ~1 (star) vs ~d/(d-1) (tree) — both tiny.
+    assert user_row[2] < 1.4
+    assert 1.0 < user_row[4] < 2.0
+    # §3.5: the optimal degree is four.
+    assert "d = 4" in table.notes
+    print()
+    print(table.format())

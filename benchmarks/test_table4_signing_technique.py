@@ -1,0 +1,51 @@
+"""Table 4 bench: per-message signatures vs one Merkle signature.
+
+Benchmarks the server's per-request processing under both signing
+policies for the strategy where the difference is largest
+(user-oriented), and regenerates the full table.
+"""
+
+from conftest import BENCH_SCALE, populated_server
+
+from repro.crypto.suite import PAPER_SUITE
+from repro.experiments import table4
+
+
+def _request_round(server):
+    counter = getattr(server, "_bench_counter", 0) + 1
+    server._bench_counter = counter
+    user = f"x{counter}"
+    server.join(user, server.new_individual_key())
+    server.leave(user)
+
+
+def test_per_message_signing_round(benchmark):
+    server = populated_server(n=256, degree=4, strategy="user",
+                              suite=PAPER_SUITE, signing="per-message")
+    benchmark(_request_round, server)
+    leaves = [r for r in server.history if r.op == "leave"]
+    benchmark.extra_info["signatures_per_leave"] = leaves[-1].signatures
+    assert leaves[-1].signatures == leaves[-1].n_rekey_messages
+
+
+def test_merkle_signing_round(benchmark):
+    server = populated_server(n=256, degree=4, strategy="user",
+                              suite=PAPER_SUITE, signing="merkle")
+    benchmark(_request_round, server)
+    leaves = [r for r in server.history if r.op == "leave"]
+    benchmark.extra_info["signatures_per_leave"] = leaves[-1].signatures
+    assert leaves[-1].signatures == 1
+
+
+def test_table4_regeneration(benchmark):
+    table = benchmark.pedantic(table4.run, args=(BENCH_SCALE,),
+                               rounds=1, iterations=1)
+    ratios = table4.speedup(table)
+    benchmark.extra_info["speedup"] = {k: round(v, 2)
+                                       for k, v in ratios.items()}
+    assert ratios["user"] > 1.3
+    assert ratios["key"] > 1.3
+    print()
+    print(table.format())
+    print(f"merkle speedup (ave ms, per-message/merkle): "
+          f"{ {k: round(v, 2) for k, v in ratios.items()} }")

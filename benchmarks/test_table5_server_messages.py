@@ -1,0 +1,24 @@
+"""Table 5 bench: number and size of rekey messages sent by the server."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark):
+    table = benchmark.pedantic(table5.run, args=(BENCH_SCALE,),
+                               rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [[str(c) for c in row]
+                                    for row in table.rows]
+    rows = {(row[0], row[1]): row for row in table.rows}
+    degrees = sorted({row[0] for row in table.rows})
+    for degree in degrees:
+        # Group-oriented: exactly 1 leave message, 2 join messages.
+        assert rows[(degree, "group")][11] == 1.0
+        # User/key-oriented leave message count grows with degree.
+        assert rows[(degree, "user")][11] > degree
+    # Group leave message size grows with d (paper: 1005 -> 1293 -> 1869).
+    sizes = [rows[(degree, "group")][5] for degree in degrees]
+    assert sizes == sorted(sizes)
+    print()
+    print(table.format())

@@ -1,0 +1,23 @@
+"""Table 6 bench: rekey messages as received by clients."""
+
+from conftest import BENCH_SCALE
+
+from repro.experiments import table6
+
+
+def test_table6(benchmark):
+    table = benchmark.pedantic(table6.run, args=(BENCH_SCALE,),
+                               rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [[str(c) for c in row]
+                                    for row in table.rows]
+    for degree in sorted({row[0] for row in table.rows}):
+        sizes = {row[1]: (row[2], row[3]) for row in table.rows
+                 if row[0] == degree}
+        # The paper's client-side ranking: user < key < group.
+        assert sizes["user"][0] < sizes["key"][0] < sizes["group"][0]
+        assert sizes["user"][1] < sizes["key"][1] < sizes["group"][1]
+    # Exactly one rekey message per client per request (all strategies).
+    for row in table.rows:
+        assert abs(row[4] - 1.0) < 0.15
+    print()
+    print(table.format())

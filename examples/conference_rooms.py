@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Teleconference service: multiple secure groups over one population.
+
+The paper's closing section (§7) motivates key *graphs* (not just trees):
+"applications that require the formation of multiple secure groups over
+a population of users and a user can join several secure groups.  For
+these applications, the key trees of different group keys are merged to
+form a key graph."
+
+This example runs a conference service with three rooms, users attending
+several rooms at once, and inspects the merged key graph.
+
+Run:  python examples/conference_rooms.py
+"""
+
+from repro.multigroup import MultiGroupService
+
+
+def main():
+    service = MultiGroupService(seed=b"conference-demo")
+
+    people = ["ana", "boris", "chen", "divya", "emeka", "fatima", "grace",
+              "hugo"]
+    for person in people:
+        service.register_user(person)
+    print(f"{len(people)} users registered "
+          "(one authentication exchange each — the individual key is "
+          "shared across all their rooms)")
+
+    rooms = {
+        "plenary": people,                       # everyone
+        "steering": ["ana", "boris", "chen"],    # the committee
+        "hallway": ["chen", "divya", "emeka", "fatima"],
+    }
+    for room, attendees in rooms.items():
+        service.create_group(room, degree=3)
+        for person in attendees:
+            service.join(room, person)
+        server = service.group(room)
+        print(f"room {room!r}: {server.n_users} attendees, "
+              f"{server.tree.n_keys} keys, height {server.tree.height()}")
+
+    print("\nmembership view:")
+    for person in people:
+        print(f"  {person:7s} -> {sorted(service.groups_of(person))}")
+
+    # The merged key graph is a real (validated) key graph: u-nodes reach
+    # exactly the keys of the groups they belong to.
+    graph = service.merged_key_graph()
+    graph.validate()
+    secure_group = graph.secure_group()
+    chen_keys = secure_group.keyset("chen")
+    print(f"\nchen holds {len(chen_keys)} keys across "
+          f"{len(service.groups_of('chen'))} rooms:")
+    for key in sorted(chen_keys):
+        print(f"  {key}")
+
+    # Rooms rekey independently: churn in the hallway leaves the
+    # steering committee's key untouched.
+    steering_key = service.group("steering").group_key()
+    service.leave("hallway", "divya")
+    service.join("hallway", "grace")
+    assert service.group("steering").group_key() == steering_key
+    print("\nhallway churned twice; steering's group key is untouched "
+          "(groups rekey independently)")
+
+    # But the hallway's key did change — divya is rekeyed out.
+    assert "hallway" not in service.groups_of("divya")
+    print("divya left the hallway and was rekeyed out of it; "
+          "she still attends:", sorted(service.groups_of("divya")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Iolus vs LKH (paper §6): where does the "1 affects n" work land?
+
+Runs the same community — 64 clients, churn, and confidential data
+messages — through both architectures and prints the ledger:
+
+* Iolus rekeys only the local subgroup on membership changes but every
+  agent decrypts/re-encrypts the message key on every data message;
+* LKH (this paper) pays ~d log n on membership changes but exactly one
+  encryption per data message, and trusts one server instead of every
+  agent.
+
+Run:  python examples/iolus_vs_lkh.py
+"""
+
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.crypto import PAPER_SUITE_NO_SIG as SUITE
+from repro.iolus import IolusSystem
+
+N_CLIENTS = 64
+N_CHURN = 20          # leave+join pairs
+DATA_PER_CHURN = 5    # confidential messages between membership changes
+
+
+def run_iolus():
+    system = IolusSystem(suite=SUITE, agent_fanout=4, agent_levels=2,
+                         seed=b"iolus-vs-lkh")
+    for i in range(N_CLIENTS):
+        system.join(f"c{i}")
+    system.history.clear()
+
+    membership_ops = data_ops = 0
+    for i in range(N_CHURN):
+        membership_ops += system.leave(f"c{i}").crypto_ops
+        membership_ops += system.join(f"c{i}").crypto_ops
+        for j in range(DATA_PER_CHURN):
+            record, received = system.multicast(f"c{(i + 1) % N_CLIENTS}",
+                                                b"market data tick")
+            assert len(received) == N_CLIENTS
+            data_ops += record.crypto_ops
+    return membership_ops, data_ops, system.trusted_entities()
+
+
+def run_lkh():
+    server = GroupKeyServer(ServerConfig(strategy="group", degree=4,
+                                         suite=SUITE, signing="none",
+                                         seed=b"iolus-vs-lkh"))
+    server.bootstrap([(f"c{i}", server.new_individual_key())
+                      for i in range(N_CLIENTS)])
+    membership_ops = data_ops = 0
+    for i in range(N_CHURN):
+        membership_ops += server.leave(f"c{i}").record.encryptions
+        membership_ops += server.join(
+            f"c{i}", server.new_individual_key()).record.encryptions
+        for j in range(DATA_PER_CHURN):
+            server.seal_group_message(b"market data tick")
+            data_ops += 1  # one group-key encryption; no relay hops
+    return membership_ops, data_ops, 1
+
+
+def main():
+    iolus_membership, iolus_data, iolus_trusted = run_iolus()
+    lkh_membership, lkh_data, lkh_trusted = run_lkh()
+
+    print(f"community: {N_CLIENTS} clients, {N_CHURN} leave+join pairs, "
+          f"{N_CHURN * DATA_PER_CHURN} confidential data messages\n")
+    header = f"{'':24s}{'Iolus':>12s}{'LKH (paper)':>14s}"
+    print(header)
+    print("-" * len(header))
+    print(f"{'membership crypto ops':24s}{iolus_membership:>12d}"
+          f"{lkh_membership:>14d}")
+    print(f"{'data-path crypto ops':24s}{iolus_data:>12d}{lkh_data:>14d}")
+    print(f"{'total crypto ops':24s}{iolus_membership + iolus_data:>12d}"
+          f"{lkh_membership + lkh_data:>14d}")
+    print(f"{'trusted entities':24s}{iolus_trusted:>12d}{lkh_trusted:>14d}")
+
+    print("\nreading (paper §6): Iolus wins when churn dominates and "
+          "data is rare;")
+    print("LKH wins when data dominates — its data path costs one "
+          "encryption, ever —")
+    print("and needs a single trusted entity instead of an agent "
+          "hierarchy.")
+
+
+if __name__ == "__main__":
+    main()

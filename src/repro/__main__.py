@@ -1,0 +1,166 @@
+"""Command line interface: run a UDP key server or drive a client.
+
+Mirrors the paper's deployment: the key server process initialized from
+a specification file, with clients exchanging request/rekey datagrams
+over UDP.
+
+Usage::
+
+    # Terminal 1: serve (prints the bound port and a demo member key)
+    python -m repro serve keyserver.spec --port 9500
+
+    # Terminal 2: join, receive rekeys, leave
+    python -m repro client --port 9500 --user alice --key <hex from serve>
+
+    # One-shot local demo (server + N clients in-process over UDP)
+    python -m repro demo --members 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.server import GroupKeyServer, ServerConfig
+from .crypto.suite import PAPER_SUITE_NO_SIG
+from .specfile import SpecError, config_from_spec, load_spec
+from .transport.udp import UdpGroupMember, UdpKeyServer
+
+
+def cmd_serve(args) -> int:
+    """Run a UDP key server from a specification file."""
+    try:
+        if args.spec:
+            config, initial_size = load_spec(args.spec)
+        else:
+            config, initial_size = config_from_spec("")
+    except (OSError, SpecError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = GroupKeyServer(config)
+    if initial_size:
+        server.bootstrap([(f"m{i:05d}", server.new_individual_key())
+                          for i in range(initial_size)])
+    endpoint = UdpKeyServer(server, port=args.port)
+    endpoint.start()
+    host, port = endpoint.address
+    print(f"group key server on {host}:{port} "
+          f"(graph={config.graph}, strategy={config.strategy}, "
+          f"d={config.degree}, n={server.n_users})")
+    # Pre-register some individual keys so clients can join (stands in
+    # for the out-of-band authentication exchange).
+    for index in range(args.preregister):
+        user = f"user{index}"
+        key = server.new_individual_key()
+        server.register_individual_key(user, key)
+        print(f"  registered {user} individual-key={key.hex()}")
+    print("serving; Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        endpoint.stop()
+    processed = len(server.history)
+    print(f"\nstopped after {processed} requests")
+    return 0
+
+
+def cmd_client(args) -> int:
+    """Join a running server, pump rekeys, optionally leave."""
+    member = UdpGroupMember(args.user, PAPER_SUITE_NO_SIG,
+                            ("127.0.0.1", args.port), timeout=args.timeout)
+    try:
+        member.join(bytes.fromhex(args.key))
+        print(f"{args.user} joined; leaf node {member.client.leaf_node_id}")
+        deadline = time.time() + args.listen
+        while time.time() < deadline:
+            got = member.pump(timeout=0.5)
+            if got:
+                print(f"  processed {got} rekey message(s); "
+                      f"holding {member.client.key_count()} keys")
+        if args.leave:
+            member.leave()
+            print(f"{args.user} left the group")
+    finally:
+        member.close()
+    return 0
+
+
+def cmd_demo(args) -> int:
+    """Self-contained UDP demo: one server, several members."""
+    server = GroupKeyServer(ServerConfig(
+        strategy="group", degree=4, suite=PAPER_SUITE_NO_SIG,
+        signing="none", seed=b"cli-demo"))
+    endpoint = UdpKeyServer(server)
+    endpoint.start()
+    members = []
+    try:
+        print(f"demo server on {endpoint.address}")
+        for index in range(args.members):
+            user = f"demo{index}"
+            key = server.new_individual_key()
+            server.register_individual_key(user, key)
+            member = UdpGroupMember(user, PAPER_SUITE_NO_SIG,
+                                    endpoint.address, timeout=10.0)
+            member.join(key)
+            members.append(member)
+            print(f"  {user} joined over UDP")
+        for member in members:
+            member.pump()
+        group_key = server.group_key()
+        in_sync = sum(1 for member in members
+                      if member.client.group_key() == group_key)
+        print(f"{in_sync}/{len(members)} clients hold the group key")
+        members[0].leave()
+        for member in members[1:]:
+            member.pump()
+        new_key = server.group_key()
+        in_sync = sum(1 for member in members[1:]
+                      if member.client.group_key() == new_key)
+        print(f"after one leave: {in_sync}/{len(members) - 1} rekeyed")
+        return 0
+    finally:
+        for member in members:
+            member.close()
+        endpoint.stop()
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SIGCOMM '98 key-graphs group key management")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    serve = subparsers.add_parser("serve", help="run a UDP key server")
+    serve.add_argument("spec", nargs="?", help="specification file path")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--preregister", type=int, default=4,
+                       help="individual keys to mint for demo clients")
+    serve.set_defaults(func=cmd_serve)
+
+    client = subparsers.add_parser("client", help="join a running server")
+    client.add_argument("--port", type=int, required=True)
+    client.add_argument("--user", required=True)
+    client.add_argument("--key", required=True,
+                        help="individual key (hex) from the server")
+    client.add_argument("--listen", type=float, default=5.0,
+                        help="seconds to keep processing rekey messages")
+    client.add_argument("--timeout", type=float, default=5.0)
+    client.add_argument("--leave", action="store_true",
+                        help="leave the group before exiting")
+    client.set_defaults(func=cmd_client)
+
+    demo = subparsers.add_parser("demo", help="self-contained UDP demo")
+    demo.add_argument("--members", type=int, default=6)
+    demo.set_defaults(func=cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Interval batch rekeying extension (future-work direction of the paper)."""
+
+from .rekeying import BatchError, BatchRekeyServer, BatchResult
+
+__all__ = ["BatchRekeyServer", "BatchResult", "BatchError"]

@@ -1,0 +1,206 @@
+"""Client layer: processes rekey messages and tracks held keys (paper §5).
+
+A client knows its individual key and the keys on its path to the root
+(at most ``h`` of them).  On each rekey message it verifies the digest /
+signature, then decrypts every item whose encrypting-key reference
+matches a key it holds, installing the key records found inside.  Items
+may arrive in any order (group-oriented messages interleave levels), so
+decryption iterates to a fixed point.
+
+The per-message statistics the client layer gathers (bytes received,
+decryptions performed, keys changed) are what Table 6 and Figure 12
+report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..crypto.modes import PaddingError
+from .messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_JOIN_ACK,
+                       MSG_LEAVE_ACK, MSG_REKEY, Message, WireError,
+                       decrypt_records)
+from .signing import SigningError, verify_message
+
+
+class ClientError(ValueError):
+    """Raised on protocol violations observed by the client."""
+
+
+@dataclass
+class ClientStats:
+    """Counters a client accumulates while processing messages."""
+
+    rekey_messages: int = 0
+    rekey_bytes: int = 0
+    decryptions: int = 0
+    keys_changed: int = 0
+    verify_failures: int = 0
+    processing_seconds: float = 0.0
+
+    def snapshot(self) -> "ClientStats":
+        """An independent copy of the counters."""
+        return ClientStats(self.rekey_messages, self.rekey_bytes,
+                           self.decryptions, self.keys_changed,
+                           self.verify_failures, self.processing_seconds)
+
+
+class GroupClient:
+    """A group member's key state machine."""
+
+    def __init__(self, user_id: str, suite, server_public_key=None,
+                 verify: bool = True):
+        self.user_id = user_id
+        self.suite = suite
+        self.server_public_key = server_public_key
+        self.verify = verify
+        self.individual_key: Optional[bytes] = None
+        # The id of this user's individual-key leaf node, learned from
+        # the join ack.  Rekey items addressed to us after a leaf split
+        # reference the individual key by this id.
+        self.leaf_node_id: Optional[int] = None
+        # node_id -> (version, key bytes)
+        self.keys: Dict[int, Tuple[int, bytes]] = {}
+        self.root_ref: Optional[Tuple[int, int]] = None
+        self.stats = ClientStats()
+
+    # -- key state ------------------------------------------------------------
+
+    def set_individual_key(self, key: bytes) -> None:
+        """Install the individual key (the paper's authentication result)."""
+        if len(key) != self.suite.key_size:
+            raise ClientError(
+                f"individual key must be {self.suite.key_size} bytes")
+        self.individual_key = key
+
+    def holds(self, node_id: int, version: int) -> bool:
+        """True iff this exact (node id, version) key is held."""
+        held = self.keys.get(node_id)
+        return held is not None and held[0] == version
+
+    def group_key(self) -> Optional[bytes]:
+        """The current group key, or None if not yet learned."""
+        if self.root_ref is None:
+            return None
+        node_id, version = self.root_ref
+        held = self.keys.get(node_id)
+        if held is None or held[0] != version:
+            return None
+        return held[1]
+
+    def key_count(self) -> int:
+        """Number of distinct keys held (individual key included)."""
+        return len(self.keys) + (1 if self.individual_key else 0)
+
+    def forget_all(self) -> None:
+        """Drop all group state (used after leaving)."""
+        self.keys.clear()
+        self.root_ref = None
+
+    # -- message processing ---------------------------------------------------
+
+    def set_leaf(self, node_id: int) -> None:
+        """Record the tree node id of our individual-key leaf."""
+        self.leaf_node_id = node_id
+
+    def process_control(self, data: Union[bytes, Message]) -> Message:
+        """Handle a join/leave ack; returns the parsed message."""
+        message = data if isinstance(data, Message) else Message.decode(data)
+        if self.verify:
+            verify_message(self.suite, message, self.server_public_key)
+        if message.msg_type == MSG_JOIN_ACK and len(message.body) >= 4:
+            self.set_leaf(int.from_bytes(message.body[:4], "big"))
+        elif message.msg_type == MSG_LEAVE_ACK:
+            self.forget_all()
+        return message
+
+    def _lookup_encrypting_key(self, item) -> Optional[bytes]:
+        if item.enc_node_id == INDIVIDUAL_KEY or (
+                self.leaf_node_id is not None
+                and item.enc_node_id == self.leaf_node_id):
+            return self.individual_key
+        held = self.keys.get(item.enc_node_id)
+        if held is not None and held[0] == item.enc_version:
+            return held[1]
+        return None
+
+    def process_message(self, data: Union[bytes, Message]) -> int:
+        """Handle one rekey message; returns the number of keys changed.
+
+        Raises :class:`SigningError` when verification is enabled and the
+        message fails its digest or signature check.
+        """
+        start = time.perf_counter()
+        if isinstance(data, Message):
+            message = data
+            size = len(data.encode())
+        else:
+            message = Message.decode(data)
+            size = len(data)
+        if message.msg_type != MSG_REKEY:
+            raise ClientError(f"not a rekey message (type {message.msg_type})")
+        if self.verify:
+            try:
+                verify_message(self.suite, message, self.server_public_key)
+            except SigningError:
+                self.stats.verify_failures += 1
+                raise
+        self.stats.rekey_messages += 1
+        self.stats.rekey_bytes += size
+
+        changed = self._install_items(message.items)
+        self.root_ref = (message.root_node_id, message.root_version)
+        self.stats.keys_changed += changed
+        self.stats.processing_seconds += time.perf_counter() - start
+        return changed
+
+    def _install_items(self, items) -> int:
+        """Decrypt what we can, iterating to a fixed point."""
+        pending = list(items)
+        changed = 0
+        progress = True
+        while pending and progress:
+            progress = False
+            remaining = []
+            for item in pending:
+                key = self._lookup_encrypting_key(item)
+                if key is None:
+                    remaining.append(item)
+                    continue
+                try:
+                    records = decrypt_records(self.suite, key, item)
+                except (PaddingError, WireError, ValueError) as exc:
+                    raise ClientError(f"undecryptable item: {exc}") from None
+                self.stats.decryptions += 1
+                for record in records:
+                    current = self.keys.get(record.node_id)
+                    if current is None or current != (record.version, record.key):
+                        self.keys[record.node_id] = (record.version, record.key)
+                        changed += 1
+                progress = True
+            pending = remaining
+        return changed
+
+    # -- application data -------------------------------------------------------
+
+    def open_data(self, data: Union[bytes, Message]) -> bytes:
+        """Decrypt an application data message sent under the group key."""
+        message = data if isinstance(data, Message) else Message.decode(data)
+        if message.msg_type != MSG_DATA:
+            raise ClientError("not a data message")
+        if self.verify:
+            verify_message(self.suite, message, self.server_public_key)
+        if not self.holds(message.root_node_id, message.root_version):
+            raise ClientError("data message under a group key we do not hold")
+        if len(message.items) != 1:
+            raise ClientError("data message must carry exactly one item")
+        item = message.items[0]
+        group_key = self.keys[message.root_node_id][1]
+        from ..crypto import modes
+        cipher = self.suite.new_cipher(group_key)
+        padded = modes.cbc_decrypt_nopad(cipher, item.ciphertext, item.iv)
+        if item.plaintext_len > len(padded):
+            raise ClientError("corrupt data message length")
+        return padded[:item.plaintext_len]

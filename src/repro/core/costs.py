@@ -1,0 +1,199 @@
+"""Analytic cost model (paper Tables 1, 2 and 3, §2.2 and §3.5).
+
+All formulas are stated for a full and balanced d-ary key tree with
+``n = d**(h-1)`` users (paper height h counts edges on the u-node to
+root path), a star graph with n users, or a complete key graph with n
+users.  The experiments cross-check the measured encryption counts
+against these closed forms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+
+def tree_height(n_users: int, degree: int) -> int:
+    """Paper height h for a full balanced d-ary tree over n users.
+
+    ``h = ceil(log_d n) + 1`` (one edge from u-node to its leaf k-node,
+    plus the k-node levels).
+    """
+    if n_users < 1:
+        raise ValueError("need at least one user")
+    if degree < 2:
+        raise ValueError("degree must be >= 2")
+    if n_users == 1:
+        return 2  # individual key + group key
+    return math.ceil(math.log(n_users, degree)) + 1
+
+
+# -- Table 1: number of keys --------------------------------------------------
+
+def star_total_keys(n_users: int) -> int:
+    """Star: n individual keys + 1 group key."""
+    return n_users + 1
+
+
+def star_keys_per_user() -> int:
+    """Star: every user holds exactly 2 keys (Table 1)."""
+    return 2
+
+
+def tree_total_keys(n_users: int, degree: int) -> Fraction:
+    """Tree: ~ d/(d-1) * n for a full balanced tree (Table 1)."""
+    return Fraction(degree, degree - 1) * n_users
+
+
+def tree_total_keys_exact(n_users: int, degree: int) -> int:
+    """Exact node count of the full balanced tree: (d^h' - 1)/(d - 1)
+    with ``h' = h - 1`` key levels... computed by summing levels."""
+    height = tree_height(n_users, degree)
+    levels = height  # k-node levels: leaf level .. root (h of them)? no:
+    # A user's path has h k-nodes; level sizes shrink by d from n leaves.
+    total = 0
+    size = n_users
+    for _ in range(levels):
+        total += size
+        if size == 1:
+            break
+        size = math.ceil(size / degree)
+    return total
+
+
+def tree_keys_per_user(n_users: int, degree: int) -> int:
+    """Tree: each user holds h keys."""
+    return tree_height(n_users, degree)
+
+
+def complete_total_keys(n_users: int) -> int:
+    """Complete: one key per nonempty subset."""
+    return 2 ** n_users - 1
+
+
+def complete_keys_per_user(n_users: int) -> int:
+    """Complete: one key per subset containing the user."""
+    return 2 ** (n_users - 1)
+
+
+# -- Table 2: per-operation encryption/decryption counts ---------------------------
+
+@dataclass(frozen=True)
+class OperationCosts:
+    """Costs of one operation for the three parties of Table 2."""
+
+    requesting_user: Fraction
+    nonrequesting_user: Fraction
+    server: Fraction
+
+
+def star_costs(op: str, n_users: int) -> OperationCosts:
+    """Table 2 star column for one operation."""
+    if op == "join":
+        return OperationCosts(Fraction(1), Fraction(1), Fraction(2))
+    if op == "leave":
+        return OperationCosts(Fraction(0), Fraction(1), Fraction(n_users - 1))
+    raise ValueError(f"unknown op {op!r}")
+
+
+def tree_costs(op: str, degree: int, height: int) -> OperationCosts:
+    """Key-oriented / group-oriented tree costs (Table 2)."""
+    nonreq = Fraction(degree, degree - 1)
+    if op == "join":
+        return OperationCosts(Fraction(height - 1), nonreq,
+                              Fraction(2 * (height - 1)))
+    if op == "leave":
+        return OperationCosts(Fraction(0), nonreq,
+                              Fraction(degree * (height - 1)))
+    raise ValueError(f"unknown op {op!r}")
+
+
+def complete_costs(op: str, n_users: int) -> OperationCosts:
+    """Table 2 complete column for one operation."""
+    if op == "join":
+        return OperationCosts(Fraction(2 ** n_users),
+                              Fraction(2 ** (n_users - 1)),
+                              Fraction(2 ** (n_users + 1)))
+    if op == "leave":
+        return OperationCosts(Fraction(0), Fraction(0), Fraction(0))
+    raise ValueError(f"unknown op {op!r}")
+
+
+# -- strategy-specific server encryption counts (§3.3, §3.4) -----------------------
+
+def user_oriented_join_cost(height: int) -> int:
+    """``1 + 2 + ... + (h-1) + (h-1) = h(h+1)/2 - 1``."""
+    return height * (height + 1) // 2 - 1
+
+
+def user_oriented_leave_cost(degree: int, height: int) -> int:
+    """``(d-1) * h(h-1)/2``."""
+    return (degree - 1) * height * (height - 1) // 2
+
+
+def key_oriented_join_cost(height: int) -> int:
+    """``2(h-1)``."""
+    return 2 * (height - 1)
+
+
+def key_oriented_leave_cost(degree: int, height: int) -> int:
+    """``d(h-1)`` (approximation used by the paper)."""
+    return degree * (height - 1)
+
+
+group_oriented_join_cost = key_oriented_join_cost
+group_oriented_leave_cost = key_oriented_leave_cost
+
+
+def rekey_messages_per_join(height: int) -> int:
+    """User/key-oriented joins need h messages (combined); group needs 2."""
+    return height
+
+
+def rekey_messages_per_leave(degree: int, height: int) -> int:
+    """User/key-oriented leaves need (d-1)(h-1) messages; group needs 1."""
+    return (degree - 1) * (height - 1)
+
+
+# -- Table 3: average cost per operation (1:1 join/leave mix) -------------------------
+
+def star_average_server_cost(n_users: int) -> Fraction:
+    """(2 + (n-1)) / 2 ~ n/2."""
+    return Fraction(n_users, 2)
+
+
+def tree_average_server_cost(degree: int, height: int) -> Fraction:
+    """(d+2)(h-1)/2 — minimised at d = 4 (paper §3.5)."""
+    return Fraction((degree + 2) * (height - 1), 2)
+
+
+def tree_average_server_cost_for_group(degree: int, n_users: int) -> float:
+    """(d+2) log_d(n) / 2 with a real-valued logarithm (for the d sweep)."""
+    return (degree + 2) * math.log(n_users, degree) / 2
+
+
+def complete_average_server_cost(n_users: int) -> Fraction:
+    """Table 3: complete graphs average 2**n per operation."""
+    return Fraction(2 ** n_users)
+
+
+def star_average_user_cost() -> Fraction:
+    """Table 3: one decryption per operation for a star user."""
+    return Fraction(1)
+
+
+def tree_average_user_cost(degree: int) -> Fraction:
+    """d/(d-1) decryptions per non-requesting user (Figure 12's bound)."""
+    return Fraction(degree, degree - 1)
+
+
+def complete_average_user_cost(n_users: int) -> Fraction:
+    """Table 3: exponential per-user cost for complete graphs."""
+    return Fraction(2 ** n_users)
+
+
+def optimal_tree_degree(n_users: int, candidates=range(2, 33)) -> int:
+    """The degree minimising the average server cost — 4 in the paper."""
+    return min(candidates,
+               key=lambda d: tree_average_server_cost_for_group(d, n_users))

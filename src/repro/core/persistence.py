@@ -1,0 +1,181 @@
+"""Server state snapshot / restore (paper §6, "Trust" and "Reliability").
+
+The paper's architecture has a single trusted key server and notes that
+"the key server may be replicated for reliability/performance
+enhancement".  Replication needs the server's state to be serializable:
+the key graph with all key material, the signing keypair, the sequence
+counter, and pending registered individual keys.
+
+``snapshot`` produces a self-contained JSON document; ``restore`` builds
+a warm standby that continues exactly where the primary stopped (same
+keys, same node ids, same sequence numbers), so clients never notice the
+failover.  The snapshot contains every group secret — a real deployment
+encrypts it at rest; :func:`snapshot_encrypted` does so under a
+storage key using the suite's own cipher.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..crypto import modes
+from ..crypto.rsa import RsaPrivateKey
+from ..crypto.suite import CipherSuite
+from ..keygraph.tree import KeyTree, TreeNode
+from .server import GroupKeyServer, ServerConfig
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """Raised on malformed or incompatible snapshots."""
+
+
+def _tree_to_dict(tree: KeyTree) -> dict:
+    nodes = []
+    for node in tree.nodes():
+        nodes.append({
+            "id": node.node_id,
+            "version": node.version,
+            "key": node.key.hex(),
+            "user": node.user_id,
+            "children": [child.node_id for child in node.children],
+        })
+    return {"degree": tree.degree, "next_id": tree._next_id,
+            "root": tree.root.node_id if tree.root else None,
+            "nodes": nodes}
+
+
+def _tree_from_dict(data: dict, keygen) -> KeyTree:
+    tree = KeyTree(data["degree"], keygen)
+    tree._next_id = data["next_id"]
+    by_id: Dict[int, TreeNode] = {}
+    for entry in data["nodes"]:
+        node = TreeNode(entry["id"], bytes.fromhex(entry["key"]),
+                        entry["user"])
+        node.version = entry["version"]
+        by_id[node.node_id] = node
+    for entry in data["nodes"]:
+        node = by_id[entry["id"]]
+        for child_id in entry["children"]:
+            child = by_id[child_id]
+            child.parent = node
+            node.children.append(child)
+    # Recompute subtree sizes bottom-up and rebuild the leaf registry.
+    def fill_size(node: TreeNode) -> int:
+        if node.is_leaf:
+            node.size = 1
+            tree._leaves[node.user_id] = node
+        else:
+            node.size = sum(fill_size(child) for child in node.children)
+        return node.size
+
+    if data["root"] is not None:
+        tree.root = by_id[data["root"]]
+        fill_size(tree.root)
+    tree.validate()
+    return tree
+
+
+def snapshot(server: GroupKeyServer, reseed: bytes = b"failover") -> bytes:
+    """Serialize the full server state.
+
+    ``reseed`` is mixed into the standby's DRBG so primary and standby
+    diverge in *future* key material (running both from an identical
+    stream would be a key-reuse hazard if they ever both serve).
+    """
+    config = server.config
+    doc = {
+        "format": FORMAT_VERSION,
+        "config": {
+            "group_id": config.group_id,
+            "graph": config.graph,
+            "degree": config.degree,
+            "strategy": config.strategy,
+            "cipher": config.suite.cipher_name,
+            "digest": config.suite.digest_name,
+            "signature_bits": config.suite.signature_bits,
+            "signing": config.signing,
+            "access_list": (sorted(config.access_list)
+                            if config.access_list is not None else None),
+        },
+        "seq": server._seq,
+        "reseed": reseed.hex(),
+        "registered_keys": {user: key.hex() for user, key
+                            in server._registered_keys.items()},
+    }
+    if server.signing_keypair is not None:
+        keypair = server.signing_keypair
+        doc["signing_keypair"] = {"n": keypair.n, "e": keypair.e,
+                                  "d": keypair.d, "p": keypair.p,
+                                  "q": keypair.q}
+    if server.tree is not None:
+        doc["tree"] = _tree_to_dict(server.tree)
+    else:
+        doc["star"] = {
+            "members": {user: key.hex()
+                        for user, key in server.star._members.items()},
+            "group_key": server.star.group_key.hex(),
+            "version": server.star.group_key_version,
+        }
+    return json.dumps(doc).encode("utf-8")
+
+
+def restore(blob: bytes, seed: Optional[bytes] = None) -> GroupKeyServer:
+    """Build a standby server from a snapshot."""
+    try:
+        doc = json.loads(blob.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PersistenceError(f"malformed snapshot: {exc}") from None
+    if doc.get("format") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported snapshot format {doc.get('format')!r}")
+    cfg = doc["config"]
+    suite = CipherSuite(cfg["cipher"], cfg["digest"], cfg["signature_bits"])
+    config = ServerConfig(
+        group_id=cfg["group_id"], graph=cfg["graph"], degree=cfg["degree"],
+        strategy=cfg["strategy"], suite=suite, signing=cfg["signing"],
+        seed=(seed if seed is not None
+              else bytes.fromhex(doc["reseed"])),
+        access_list=(set(cfg["access_list"])
+                     if cfg["access_list"] is not None else None),
+    )
+    server = GroupKeyServer(config)
+    server._seq = doc["seq"]
+    server._registered_keys = {user: bytes.fromhex(key) for user, key
+                               in doc["registered_keys"].items()}
+    if "signing_keypair" in doc:
+        kp = doc["signing_keypair"]
+        server.signing_keypair = RsaPrivateKey(
+            n=kp["n"], e=kp["e"], d=kp["d"], p=kp["p"], q=kp["q"])
+        # Re-point the signer at the restored keypair.
+        server._signer.private_key = server.signing_keypair
+    if "tree" in doc:
+        server.tree = _tree_from_dict(doc["tree"], server._new_key)
+    else:
+        star = doc["star"]
+        server.star._members = {user: bytes.fromhex(key)
+                                for user, key in star["members"].items()}
+        server.star.group_key = bytes.fromhex(star["group_key"])
+        server.star.group_key_version = star["version"]
+    return server
+
+
+def snapshot_encrypted(server: GroupKeyServer, storage_key: bytes,
+                       iv: bytes) -> bytes:
+    """Snapshot encrypted at rest under ``storage_key`` (suite cipher)."""
+    cipher = server.suite.new_cipher(storage_key)
+    return modes.cbc_encrypt(cipher, snapshot(server), iv)
+
+
+def restore_encrypted(blob: bytes, storage_key: bytes, iv: bytes,
+                      suite: CipherSuite,
+                      seed: Optional[bytes] = None) -> GroupKeyServer:
+    """Decrypt and restore an at-rest snapshot."""
+    cipher = suite.new_cipher(storage_key)
+    try:
+        plaintext = modes.cbc_decrypt(cipher, blob, iv)
+    except (modes.PaddingError, ValueError) as exc:
+        raise PersistenceError(f"cannot decrypt snapshot: {exc}") from None
+    return restore(plaintext, seed=seed)

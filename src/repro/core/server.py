@@ -1,0 +1,559 @@
+"""The group key server (paper §3, §5).
+
+Owns the key graph (a key tree or a star), performs group access
+control, executes the join/leave protocols under a configurable rekeying
+strategy, signs rekey messages, and records the per-request statistics
+the paper's experiments report (processing time, encryption counts,
+message counts and sizes).
+
+The server is transport-agnostic: :meth:`GroupKeyServer.join` /
+:meth:`~GroupKeyServer.leave` return :class:`~repro.core.messages.
+OutboundMessage` batches that a transport (in-memory bus, UDP, ...)
+delivers.  :meth:`~GroupKeyServer.handle_datagram` adapts raw request
+datagrams onto those methods for socket-driven operation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..crypto import drbg
+from ..crypto.suite import PAPER_SUITE, CipherSuite
+from ..keygraph.star import StarGroup
+from ..keygraph.tree import KeyTree
+from .messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_JOIN_ACK,
+                       MSG_JOIN_DENIED, MSG_JOIN_REQUEST, MSG_LEAVE_ACK,
+                       MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST, MSG_REKEY,
+                       STRATEGY_STAR, Destination, EncryptedItem, KeyRecord,
+                       Message, OutboundMessage, WireError, encrypt_records)
+from .signing import MerkleSigner, NullSigner, PerMessageSigner
+from .strategies import STRATEGIES
+from .strategies.base import PlannedMessage, RekeyContext
+
+# Reserved node id for the star graph's group key.
+STAR_GROUP_NODE = 0
+
+
+class ServerError(ValueError):
+    """Raised on invalid server configuration or requests."""
+
+
+class AccessDenied(ServerError):
+    """Raised when group access control rejects a join."""
+
+
+@dataclass
+class ServerConfig:
+    """Mirrors the paper's server specification file."""
+
+    group_id: int = 1
+    graph: str = "tree"              # "tree" or "star"
+    degree: int = 4                   # key tree degree d
+    strategy: str = "group"           # user | key | group | hybrid
+    suite: CipherSuite = PAPER_SUITE
+    signing: str = "merkle"           # none | per-message | merkle
+    seed: Optional[bytes] = None      # deterministic DRBG seed
+    access_list: Optional[Set[str]] = None  # None = open group
+    # Public key of a TicketAuthority (footnote 7): when set, joins must
+    # present a valid ticket for this group instead of matching the ACL.
+    ticket_authority: Optional[object] = None
+
+    def validate(self) -> None:
+        """Check field consistency; raises ServerError."""
+        if self.graph not in ("tree", "star"):
+            raise ServerError(f"unknown graph class {self.graph!r}")
+        if self.graph == "tree" and self.strategy not in STRATEGIES:
+            raise ServerError(f"unknown strategy {self.strategy!r}")
+        if self.signing not in ("none", "per-message", "merkle"):
+            raise ServerError(f"unknown signing mode {self.signing!r}")
+        if self.signing != "none" and not self.suite.signs:
+            raise ServerError(
+                f"signing mode {self.signing!r} needs a suite with signatures")
+
+
+@dataclass
+class RequestRecord:
+    """Statistics of one processed join/leave (one Figure 10/11 sample)."""
+
+    op: str                        # "join" or "leave"
+    user_id: str
+    seconds: float                 # server processing time
+    n_rekey_messages: int
+    rekey_bytes: int               # total bytes of rekey messages sent
+    max_message_bytes: int
+    encryptions: int               # keys encrypted (Table 2 measure)
+    signatures: int
+    key_changes_total: int         # sum over non-requesting clients
+    n_users_after: int
+
+
+@dataclass
+class RekeyOutcome:
+    """Everything produced by one join/leave."""
+
+    record: RequestRecord
+    rekey_messages: List[OutboundMessage]
+    control_messages: List[OutboundMessage] = field(default_factory=list)
+
+    @property
+    def all_messages(self) -> List[OutboundMessage]:
+        """Control messages followed by rekey messages."""
+        return self.control_messages + self.rekey_messages
+
+
+class GroupKeyServer:
+    """Trusted key server for one secure group."""
+
+    def __init__(self, config: ServerConfig):
+        config.validate()
+        self.config = config
+        self.suite = config.suite
+        self._random = drbg.make_source(config.seed, b"group-key-server")
+        self._seq = 0
+        self.history: List[RequestRecord] = []
+        # Individual keys registered by the (out-of-band) authentication
+        # exchange, for users not yet members.
+        self._registered_keys: Dict[str, bytes] = {}
+
+        if config.graph == "tree":
+            self.tree: Optional[KeyTree] = KeyTree(config.degree, self._new_key)
+            self.star: Optional[StarGroup] = None
+            self._strategy = STRATEGIES[config.strategy]()
+        else:
+            self.tree = None
+            self.star = StarGroup(self._new_key)
+            self._strategy = None
+
+        if config.signing == "none":
+            self.signing_keypair = None
+            self._signer = NullSigner(self.suite)
+        else:
+            self.signing_keypair = self.suite.generate_signing_keypair(
+                seed=(config.seed + b"/sign") if config.seed else None)
+            if config.signing == "per-message":
+                self._signer = PerMessageSigner(self.suite, self.signing_keypair)
+            else:
+                self._signer = MerkleSigner(self.suite, self.signing_keypair)
+
+    # -- key material -------------------------------------------------------
+
+    def _new_key(self) -> bytes:
+        return self.suite.safe_key(self._random)
+
+    def _new_iv(self) -> bytes:
+        return self._random.generate(self.suite.block_size)
+
+    def new_individual_key(self) -> bytes:
+        """Generate an individual key (stands in for the auth exchange)."""
+        return self._new_key()
+
+    def register_individual_key(self, user_id: str, key: bytes) -> None:
+        """Record the session key from the authentication exchange."""
+        if len(key) != self.suite.key_size:
+            raise ServerError(
+                f"individual key must be {self.suite.key_size} bytes")
+        self._registered_keys[user_id] = key
+
+    @property
+    def public_key(self):
+        """The server's signature-verification key (None when unsigned)."""
+        return (self.signing_keypair.public_key
+                if self.signing_keypair is not None else None)
+
+    # -- group state -----------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        """Current group size."""
+        if self.tree is not None:
+            return self.tree.n_users
+        return len(self.star)
+
+    def members(self) -> List[str]:
+        """Current member ids."""
+        if self.tree is not None:
+            return self.tree.users()
+        return self.star.members()
+
+    def is_member(self, user_id: str) -> bool:
+        """True iff ``user_id`` is currently in the group."""
+        if self.tree is not None:
+            return self.tree.has_user(user_id)
+        return self.star.has_user(user_id)
+
+    def group_key_ref(self) -> Tuple[int, int]:
+        """(node id, version) of the current group key."""
+        if self.tree is not None:
+            if self.tree.root is None:
+                raise ServerError("group is empty")
+            return self.tree.root.node_id, self.tree.root.version
+        return STAR_GROUP_NODE, self.star.group_key_version
+
+    def group_key(self) -> bytes:
+        """Current group key bytes."""
+        if self.tree is not None:
+            return self.tree.group_key_node().key
+        return self.star.group_key
+
+    def bootstrap(self, members: Iterable[Tuple[str, bytes]]) -> None:
+        """Bulk-initialise the group without generating rekey traffic.
+
+        Reaches the same steady-state tree as the paper's initial n joins
+        (the paper measures only the subsequent request phase).
+        """
+        members = list(members)
+        if self.n_users:
+            raise ServerError("bootstrap requires an empty group")
+        # Bootstrap is operator-initiated: the ACL applies, but ticket
+        # checks do not (the operator vouches for the initial roster).
+        acl = self.config.access_list
+        for user_id, key in members:
+            if acl is not None and user_id not in acl:
+                raise AccessDenied(
+                    f"user {user_id!r} not in access control list")
+        if self.tree is not None:
+            self.tree = KeyTree.build(members, self.config.degree,
+                                      self._new_key)
+        else:
+            for user_id, key in members:
+                self.star.join(user_id, key)
+
+    def _check_acl(self, user_id: str, ticket=None) -> None:
+        authority_key = self.config.ticket_authority
+        if authority_key is not None:
+            from .tickets import TicketAuthority, TicketError
+            if ticket is None:
+                raise AccessDenied(
+                    f"group {self.config.group_id} requires a ticket")
+            try:
+                TicketAuthority.verify(authority_key, ticket, user_id,
+                                       self.config.group_id)
+            except TicketError as exc:
+                raise AccessDenied(str(exc)) from None
+            return
+        acl = self.config.access_list
+        if acl is not None and user_id not in acl:
+            raise AccessDenied(f"user {user_id!r} not in access control list")
+
+    # -- message assembly ---------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _base_message(self, msg_type: int, strategy_code: int) -> Message:
+        root_id, root_version = self.group_key_ref()
+        return Message(
+            msg_type=msg_type,
+            group_id=self.config.group_id,
+            strategy=strategy_code,
+            seq=self._next_seq(),
+            timestamp_us=time.time_ns() // 1000,
+            root_node_id=root_id,
+            root_version=root_version,
+        )
+
+    def _finalize(self, plans: Sequence[PlannedMessage],
+                  strategy_code: int) -> Tuple[List[OutboundMessage], int]:
+        """Wrap plans in wire messages, sign the batch, encode.
+
+        This runs inside the timed region; receiver lists stay
+        unresolved (a real server multicasts to group addresses without
+        enumerating members) and are filled in by
+        :meth:`_resolve_receivers` after the clock stops.
+        """
+        signatures_before = self._signer.signatures_performed
+        wire_messages = []
+        for plan in plans:
+            message = self._base_message(MSG_REKEY, strategy_code)
+            message.items = list(plan.items)
+            wire_messages.append(message)
+        self._signer.seal(wire_messages)
+        outbound = []
+        for plan, message in zip(plans, wire_messages):
+            encoded = message.encode()
+            outbound.append(OutboundMessage(plan.destination, message,
+                                            (), encoded))
+        return outbound, self._signer.signatures_performed - signatures_before
+
+    @staticmethod
+    def _resolve_receivers(outbound: Sequence[OutboundMessage],
+                           plans: Sequence[PlannedMessage]) -> None:
+        """Simulation accounting: enumerate each message's receivers."""
+        for message, plan in zip(outbound, plans):
+            message.receivers = plan.resolve_receivers()
+
+    def _key_changes_total(self, changes, requester: str) -> int:
+        """Sum over non-requesting users of path keys changed (Fig. 12)."""
+        if self.tree is None:
+            # Star: every remaining user changes exactly the group key.
+            total = len(self.star)
+            return total - (1 if self.star.has_user(requester) else 0)
+        total = 0
+        requester_on_path = self.tree.has_user(requester)
+        for change in changes:
+            # O(1) via the maintained subtree sizes; the requester (if
+            # still a member) lies on every changed node's subtree.
+            total += self.tree.subtree_size(change.node)
+            if requester_on_path:
+                total -= 1
+        return total
+
+    # -- join -------------------------------------------------------------------
+
+    def join(self, user_id: str, individual_key: Optional[bytes] = None,
+             ticket=None) -> RekeyOutcome:
+        """Admit a user and rekey (Figures 2, 6, 7).
+
+        ``individual_key`` may be omitted when previously registered via
+        :meth:`register_individual_key`.  ``ticket`` (a
+        :class:`~repro.core.tickets.Ticket`) is required when the server
+        is configured with a ticket authority (footnote 7).
+        """
+        start = time.perf_counter()
+        self._check_acl(user_id, ticket)
+        if individual_key is None:
+            individual_key = self._registered_keys.pop(user_id, None)
+            if individual_key is None:
+                raise ServerError(f"no individual key for {user_id!r}")
+        if self.is_member(user_id):
+            raise ServerError(f"user {user_id!r} is already a member")
+
+        if self.tree is not None:
+            result = self.tree.join(user_id, individual_key)
+            ctx = RekeyContext(self.suite, self._new_iv)
+            plans = self._strategy.rekey_join(self.tree, result, ctx)
+            strategy_code = self._strategy.wire_code
+            changes = result.changes
+            leaf_id = result.leaf.node_id
+        else:
+            plans, ctx = self._star_join_plans(user_id, individual_key)
+            strategy_code = STRATEGY_STAR
+            changes = None
+            # Star members have no tree leaf; the ack carries the
+            # individual-key sentinel (it must NOT collide with the star
+            # group-key node id 0).
+            leaf_id = INDIVIDUAL_KEY
+
+        rekey_messages, signatures = self._finalize(plans, strategy_code)
+        elapsed = time.perf_counter() - start
+
+        # Everything below is simulation accounting, outside the paper's
+        # measured server processing (which multicasts to addresses
+        # rather than enumerating group members).
+        self._resolve_receivers(rekey_messages, plans)
+        ack = self._control_message(MSG_JOIN_ACK, user_id,
+                                    body=leaf_id.to_bytes(4, "big"))
+
+        record = RequestRecord(
+            op="join", user_id=user_id, seconds=elapsed,
+            n_rekey_messages=len(rekey_messages),
+            rekey_bytes=sum(m.size for m in rekey_messages),
+            max_message_bytes=max((m.size for m in rekey_messages), default=0),
+            encryptions=ctx.encryptions, signatures=signatures,
+            key_changes_total=self._key_changes_total(
+                changes if changes is not None else (), user_id)
+            if self.tree is not None else self._star_key_changes(user_id),
+            n_users_after=self.n_users,
+        )
+        self.history.append(record)
+        return RekeyOutcome(record, rekey_messages, [ack])
+
+    def _star_key_changes(self, requester: str) -> int:
+        return len(self.star) - (1 if self.star.has_user(requester) else 0)
+
+    def _star_join_plans(self, user_id: str, individual_key: bytes):
+        """Figure 2: multicast under the old group key + unicast to joiner."""
+        rekey = self.star.join(user_id, individual_key)
+        ctx = RekeyContext(self.suite, self._new_iv)
+        record = KeyRecord(STAR_GROUP_NODE, rekey.new_version,
+                           rekey.new_group_key)
+        plans = []
+        if rekey.multicast_under_old_group_key:
+            item = ctx.encrypt(rekey.multicast_under_old_group_key, [record],
+                               STAR_GROUP_NODE, rekey.old_version)
+            resolve = (lambda: tuple(u for u in self.star.members()
+                                     if u != user_id))
+            plans.append(PlannedMessage(Destination.to_all(), [item],
+                                        resolve))
+        item = ctx.encrypt(individual_key, [record], INDIVIDUAL_KEY, 0)
+        plans.append(PlannedMessage(Destination.to_user(user_id), [item],
+                                    lambda: (user_id,)))
+        return plans, ctx
+
+    # -- leave -------------------------------------------------------------------
+
+    def leave(self, user_id: str) -> RekeyOutcome:
+        """Expel/release a user and rekey (Figures 4, 8, 9)."""
+        start = time.perf_counter()
+        if not self.is_member(user_id):
+            raise ServerError(f"user {user_id!r} is not a member")
+
+        if self.tree is not None:
+            result = self.tree.leave(user_id)
+            ctx = RekeyContext(self.suite, self._new_iv)
+            plans = self._strategy.rekey_leave(self.tree, result, ctx)
+            strategy_code = self._strategy.wire_code
+            changes = result.changes
+        else:
+            plans, ctx = self._star_leave_plans(user_id)
+            strategy_code = STRATEGY_STAR
+            changes = None
+
+        rekey_messages, signatures = self._finalize(plans, strategy_code)
+        elapsed = time.perf_counter() - start
+
+        self._resolve_receivers(rekey_messages, plans)
+        ack = self._control_message(MSG_LEAVE_ACK, user_id)
+
+        record = RequestRecord(
+            op="leave", user_id=user_id, seconds=elapsed,
+            n_rekey_messages=len(rekey_messages),
+            rekey_bytes=sum(m.size for m in rekey_messages),
+            max_message_bytes=max((m.size for m in rekey_messages), default=0),
+            encryptions=ctx.encryptions, signatures=signatures,
+            key_changes_total=self._key_changes_total(
+                changes if changes is not None else (), user_id)
+            if self.tree is not None else self._star_key_changes(user_id),
+            n_users_after=self.n_users,
+        )
+        self.history.append(record)
+        return RekeyOutcome(record, rekey_messages, [ack])
+
+    def _star_leave_plans(self, user_id: str):
+        """Figure 4: the new group key unicast to each remaining member."""
+        rekey = self.star.leave(user_id)
+        ctx = RekeyContext(self.suite, self._new_iv)
+        record = KeyRecord(STAR_GROUP_NODE, rekey.new_version,
+                           rekey.new_group_key)
+        plans = []
+        for member_id, member_key in rekey.encrypt_for:
+            item = ctx.encrypt(member_key, [record], INDIVIDUAL_KEY, 0)
+            plans.append(PlannedMessage(
+                Destination.to_user(member_id), [item],
+                (lambda mid=member_id: (mid,))))
+        return plans, ctx
+
+    # -- periodic refresh ------------------------------------------------------
+
+    def refresh(self) -> RekeyOutcome:
+        """Rotate the group key without a membership change.
+
+        "To achieve a high level of security, the group key should be
+        changed frequently" — beyond per-join/leave rekeying, long-lived
+        groups rotate the group key periodically to bound the exposure
+        of any single key.  One multicast carries the new group key
+        encrypted under the old one (everyone currently entitled to the
+        old key is entitled to the new one).
+        """
+        start = time.perf_counter()
+        if self.n_users == 0:
+            raise ServerError("cannot refresh an empty group")
+        ctx = RekeyContext(self.suite, self._new_iv)
+        if self.tree is not None:
+            root = self.tree.root
+            old_key, old_version = root.key, root.version
+            root.replace_key(self._new_key())
+            record_key = KeyRecord(root.node_id, root.version, root.key)
+            item = ctx.encrypt(old_key, [record_key], root.node_id,
+                               old_version)
+            plans = [PlannedMessage(
+                Destination.to_all(), [item],
+                lambda: tuple(self.tree.users()))]
+            strategy_code = self._strategy.wire_code
+        else:
+            old_key = self.star.group_key
+            old_version = self.star.group_key_version
+            self.star.group_key = self._new_key()
+            self.star.group_key_version += 1
+            record_key = KeyRecord(STAR_GROUP_NODE,
+                                   self.star.group_key_version,
+                                   self.star.group_key)
+            item = ctx.encrypt(old_key, [record_key], STAR_GROUP_NODE,
+                               old_version)
+            plans = [PlannedMessage(
+                Destination.to_all(), [item],
+                lambda: tuple(self.star.members()))]
+            strategy_code = STRATEGY_STAR
+        rekey_messages, signatures = self._finalize(plans, strategy_code)
+        elapsed = time.perf_counter() - start
+        self._resolve_receivers(rekey_messages, plans)
+        record = RequestRecord(
+            op="refresh", user_id="", seconds=elapsed,
+            n_rekey_messages=len(rekey_messages),
+            rekey_bytes=sum(m.size for m in rekey_messages),
+            max_message_bytes=max((m.size for m in rekey_messages),
+                                  default=0),
+            encryptions=ctx.encryptions, signatures=signatures,
+            key_changes_total=self.n_users,
+            n_users_after=self.n_users,
+        )
+        self.history.append(record)
+        return RekeyOutcome(record, rekey_messages, [])
+
+    def _control_message(self, msg_type: int, user_id: str,
+                         body: bytes = b"") -> OutboundMessage:
+        try:
+            root_id, root_version = self.group_key_ref()
+        except ServerError:
+            root_id, root_version = 0, 0
+        message = Message(msg_type=msg_type, group_id=self.config.group_id,
+                          seq=self._next_seq(),
+                          timestamp_us=time.time_ns() // 1000,
+                          root_node_id=root_id, root_version=root_version,
+                          body=body)
+        self._signer.seal([message])
+        return OutboundMessage(Destination.to_user(user_id), message,
+                               (user_id,), message.encode())
+
+    # -- application data ----------------------------------------------------------
+
+    def seal_group_message(self, payload: bytes) -> OutboundMessage:
+        """Encrypt application data under the current group key."""
+        group_key = self.group_key()
+        root_id, root_version = self.group_key_ref()
+        iv = self._new_iv()
+        from ..crypto import modes
+        block = self.suite.block_size
+        padded_len = -(-max(len(payload), 1) // block) * block
+        padded = payload.ljust(padded_len, b"\x00")
+        cipher = self.suite.new_cipher(group_key)
+        ciphertext = modes.cbc_encrypt_nopad(cipher, padded, iv)
+        item = EncryptedItem(root_id, root_version, iv, ciphertext,
+                             len(payload))
+        message = self._base_message(MSG_DATA, 0)
+        message.items = [item]
+        self._signer.seal([message])
+        return OutboundMessage(Destination.to_all(), message,
+                               tuple(self.members()), message.encode())
+
+    # -- datagram interface ------------------------------------------------------------
+
+    def handle_datagram(self, data: bytes) -> List[OutboundMessage]:
+        """Socket-facing entry point: parse a request, run the protocol.
+
+        The join request body is the UTF-8 user id; the individual key
+        must have been registered beforehand (standing in for the
+        authentication exchange, which the paper also excludes from
+        processing-time measurements).
+        """
+        try:
+            message = Message.decode(data)
+        except WireError as exc:
+            raise ServerError(f"malformed request: {exc}") from None
+        user_id = message.body.decode("utf-8", errors="replace")
+        if message.msg_type == MSG_JOIN_REQUEST:
+            try:
+                outcome = self.join(user_id)
+            except (AccessDenied, ServerError):
+                return [self._control_message(MSG_JOIN_DENIED, user_id)]
+            return outcome.all_messages
+        if message.msg_type == MSG_LEAVE_REQUEST:
+            try:
+                outcome = self.leave(user_id)
+            except ServerError:
+                return [self._control_message(MSG_LEAVE_DENIED, user_id)]
+            return outcome.all_messages
+        raise ServerError(f"unexpected message type {message.msg_type}")

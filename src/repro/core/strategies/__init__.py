@@ -1,0 +1,30 @@
+"""Rekeying strategies (paper §3.3–3.4 and the §7 hybrid).
+
+``STRATEGIES`` maps the specification-file names onto classes:
+
+=========  ======================================  ===========================
+name       class                                    character
+=========  ======================================  ===========================
+user       :class:`UserOrientedStrategy`            best for clients
+key        :class:`KeyOrientedStrategy`             balanced
+group      :class:`GroupOrientedStrategy`           best for the server
+hybrid     :class:`HybridStrategy`                  d multicast addresses
+=========  ======================================  ===========================
+"""
+
+from .base import PlannedMessage, RekeyContext
+from .group_oriented import GroupOrientedStrategy
+from .hybrid import HybridStrategy
+from .key_oriented import KeyOrientedStrategy
+from .user_oriented import UserOrientedStrategy
+
+STRATEGIES = {
+    "user": UserOrientedStrategy,
+    "key": KeyOrientedStrategy,
+    "group": GroupOrientedStrategy,
+    "hybrid": HybridStrategy,
+}
+
+__all__ = ["STRATEGIES", "PlannedMessage", "RekeyContext",
+           "UserOrientedStrategy", "KeyOrientedStrategy",
+           "GroupOrientedStrategy", "HybridStrategy"]

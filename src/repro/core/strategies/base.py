@@ -1,0 +1,159 @@
+"""Shared machinery for the rekeying strategies (paper §3.3–3.4).
+
+A strategy turns a key-tree edit (:class:`~repro.keygraph.tree.JoinResult`
+or :class:`~repro.keygraph.tree.LeaveResult`) into *planned messages*:
+destination + encrypted items + the resolved receiver list.  The server
+wraps the plans into wire messages, signs and sends them.
+
+The :class:`RekeyContext` carries the cipher suite, the IV source and the
+encryption counters the experiments report (number of key-encryptions,
+per Table 2's cost measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ...keygraph.tree import JoinResult, KeyTree, LeaveResult, PathChange, TreeNode
+from ..messages import (INDIVIDUAL_KEY, Destination, EncryptedItem,
+                        KeyRecord, encrypt_records)
+
+
+@dataclass
+class RekeyContext:
+    """Per-request state handed to a strategy."""
+
+    suite: object
+    make_iv: Callable[[], bytes]
+    encryptions: int = 0
+
+    def encrypt(self, key: bytes, records: Sequence[KeyRecord],
+                enc_node_id: int, enc_version: int) -> EncryptedItem:
+        """Encrypt ``records`` under ``key``; counts one encryption per record.
+
+        The paper's cost measure is the number of *keys encrypted*
+        (Table 2); a bundle of m keys in one CBC pass counts m.
+        """
+        self.encryptions += len(records)
+        return encrypt_records(self.suite, key, self.make_iv(), records,
+                               enc_node_id, enc_version)
+
+
+@dataclass
+class PlannedMessage:
+    """A strategy's output unit, pre-wire-format.
+
+    ``resolve_receivers`` enumerates the concrete user ids the simulation
+    must deliver to.  It is a *lazy* callable: a real server multicasts to
+    a (sub)group address without enumerating members, so enumeration is
+    accounting work that the server excludes from its timed region.  The
+    strategy guarantees the audience is non-empty via cheap structural
+    checks; the closure is invoked by the server after the processing
+    clock stops (and before any further tree edit).
+    """
+
+    destination: Destination
+    items: List[EncryptedItem]
+    resolve_receivers: Callable[[], Tuple[str, ...]]
+
+
+def fixed_receivers(*user_ids: str) -> Callable[[], Tuple[str, ...]]:
+    """A resolver returning a constant receiver tuple."""
+    receivers = tuple(user_ids)
+    return lambda: receivers
+
+
+def subtree_receivers(tree: KeyTree, node: TreeNode,
+                      exclude: str = None) -> Callable[[], Tuple[str, ...]]:
+    """Lazy enumeration of the users below ``node`` (minus ``exclude``)."""
+    def resolve() -> Tuple[str, ...]:
+        users = tree.userset(node)
+        if exclude is None:
+            return tuple(users)
+        return tuple(user for user in users if user != exclude)
+    return resolve
+
+
+def frontier_receivers(tree: KeyTree, node: TreeNode, below: TreeNode,
+                       exclude: str) -> Callable[[], Tuple[str, ...]]:
+    """Lazy ``userset(node) - userset(below) - {exclude}`` (Figure 6)."""
+    def resolve() -> Tuple[str, ...]:
+        outside = set(tree.userset(below))
+        outside.add(exclude)
+        return tuple(user for user in tree.userset(node)
+                     if user not in outside)
+    return resolve
+
+
+def new_key_record(change: PathChange) -> KeyRecord:
+    """The key record announcing a path change's new key."""
+    return KeyRecord(change.node.node_id, change.node.version, change.new_key)
+
+
+def join_cover_key(result: JoinResult, change: PathChange,
+                   index: int) -> Tuple[bytes, int, int]:
+    """Key covering the *pre-join* holders of a changed node.
+
+    Normally that is the node's old key.  When the join split a leaf, the
+    joining point is a freshly created interior node whose "old key" was
+    never distributed; its only pre-join holder is the displaced user, so
+    that user's individual (leaf) key is the cover.
+
+    Returns ``(key_bytes, enc_node_id, enc_version)``.
+    """
+    is_fresh_interior = (result.split_leaf is not None
+                         and index == len(result.changes) - 1)
+    if is_fresh_interior:
+        leaf = result.split_leaf
+        return leaf.key, leaf.node_id, leaf.version
+    return change.old_key, change.node.node_id, change.old_version
+
+
+def join_frontier(tree: KeyTree, result: JoinResult, index: int):
+    """The Figure 6 frontier for changed node ``x_index``.
+
+    Returns ``(resolve, destination)`` for the audience
+    ``userset(K_i) - userset(K_{i+1}) - {joiner}`` — the users whose
+    deepest needed new key is ``K'_i`` — or ``None`` when that audience
+    is structurally empty.  The emptiness test is O(d): the audience is
+    empty iff every child of ``x_i`` is either the next path node or the
+    joiner's new leaf.
+    """
+    changes = result.changes
+    node = changes[index].node
+    if index + 1 < len(changes):
+        below = changes[index + 1].node
+    else:
+        below = result.leaf
+    has_audience = any(child is not below and child is not result.leaf
+                       for child in node.children)
+    if not has_audience:
+        return None
+    resolve = frontier_receivers(tree, node, below, result.user_id)
+    destination = Destination.to_subgroup(node.node_id)
+    return resolve, destination
+
+
+def requesting_user_message(result: JoinResult, ctx: RekeyContext) -> PlannedMessage:
+    """The unicast to the joiner: all path keys under its individual key.
+
+    Figure 6/7 step (5): ``s -> u : {K'_0, ..., K'_j}_{k_u}``.
+    """
+    records = [new_key_record(change) for change in result.changes]
+    item = ctx.encrypt(result.leaf.key, records, INDIVIDUAL_KEY, 0)
+    return PlannedMessage(Destination.to_user(result.user_id), [item],
+                          fixed_receivers(result.user_id))
+
+
+def other_children(node: TreeNode, excluded: Optional[TreeNode]) -> List[TreeNode]:
+    """Children of ``node`` other than ``excluded`` (the rekeyed child)."""
+    return [child for child in node.children if child is not excluded]
+
+
+def rekeyed_child(result: LeaveResult, index: int) -> Optional[TreeNode]:
+    """The child of ``x_index`` that lies on the rekeyed path (x_{index+1})."""
+    changes = result.changes
+    if index + 1 < len(changes):
+        return changes[index + 1].node
+    return None

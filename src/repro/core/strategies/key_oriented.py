@@ -1,0 +1,80 @@
+"""Key-oriented rekeying (paper §3.3/§3.4, Figures 6 and 8).
+
+Each new key is encrypted *individually* and the encryptions are shared
+across messages, so the server performs far fewer encryptions than
+user-oriented rekeying while sending the same number of messages
+(combined per audience):
+
+* join cost  : ``2(h-1)``
+* leave cost : ``d(h-1)`` (approximately; exactly
+  ``(d-1)(h-1) + (h-2) + ...`` depending on tree shape)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...keygraph.tree import JoinResult, KeyTree, LeaveResult
+from ..messages import STRATEGY_KEY_ORIENTED, Destination, EncryptedItem
+from .base import (PlannedMessage, RekeyContext, join_cover_key,
+                   join_frontier, new_key_record, other_children,
+                   rekeyed_child, requesting_user_message,
+                   subtree_receivers)
+
+
+class KeyOrientedStrategy:
+    """Individually-encrypted keys, shared across combined messages."""
+
+    name = "key"
+    wire_code = STRATEGY_KEY_ORIENTED
+
+    def rekey_join(self, tree: KeyTree, result: JoinResult,
+                   ctx: RekeyContext) -> List[PlannedMessage]:
+        # Encrypt each new key once: {K'_i}_{K_i} (old key of the same
+        # node; for a split joining point, the displaced leaf's key).
+        """Figure 6: each new key encrypted once; combined per audience."""
+        items: List[EncryptedItem] = []
+        for index, change in enumerate(result.changes):
+            cover_key, enc_id, enc_version = join_cover_key(result, change, index)
+            items.append(ctx.encrypt(cover_key, [new_key_record(change)],
+                                     enc_id, enc_version))
+        plans = []
+        # Figure 6 step (4): audience userset(K_i) - userset(K_{i+1})
+        # receives the combined message {K'_0}_{K_0}, ..., {K'_i}_{K_i}.
+        for index in range(len(result.changes)):
+            frontier = join_frontier(tree, result, index)
+            if frontier is None:
+                continue
+            resolve, destination = frontier
+            plans.append(PlannedMessage(destination, items[:index + 1],
+                                        resolve))
+        plans.append(requesting_user_message(result, ctx))
+        return plans
+
+    def rekey_leave(self, tree: KeyTree, result: LeaveResult,
+                    ctx: RekeyContext) -> List[PlannedMessage]:
+        """Figure 8: per-child heads plus the shared ancestor chain."""
+        changes = result.changes
+        # Chain items {K'_{i-1}}_{K'_i}: the new key of each node
+        # encrypted under the new key of its rekeyed child, computed once
+        # and shared by every message below that child (Figure 8).
+        chain: List[EncryptedItem] = []
+        for index in range(1, len(changes)):
+            parent_change = changes[index - 1]
+            child_change = changes[index]
+            chain.append(ctx.encrypt(
+                child_change.new_key, [new_key_record(parent_change)],
+                child_change.node.node_id, child_change.node.version))
+        plans = []
+        for index, change in enumerate(changes):
+            skip = rekeyed_child(result, index)
+            # Message to each unchanged child y: {K'_i}_{K_y} followed by
+            # the chain up to the root.
+            ancestors = list(reversed(chain[:index]))  # child-to-root order
+            for child in other_children(change.node, skip):
+                head = ctx.encrypt(child.key, [new_key_record(change)],
+                                   child.node_id, child.version)
+                plans.append(PlannedMessage(
+                    Destination.to_subgroup(child.node_id),
+                    [head] + ancestors, subtree_receivers(tree, child)))
+        return plans

@@ -1,0 +1,64 @@
+"""User-oriented rekeying (paper §3.3/§3.4).
+
+For each audience of users that needs the same set of new keys, the
+server builds one message containing *precisely those keys*, encrypted
+together (a single CBC pass) under one key that audience holds.  Cheap
+for clients — each receives exactly what it needs in one decryption
+pass — but the server re-encrypts ancestor keys once per audience:
+
+* join cost  : ``1 + 2 + ... + (h-1) + (h-1) = h(h+1)/2 - 1``
+* leave cost : ``(d-1) * h(h-1)/2``
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...keygraph.tree import JoinResult, KeyTree, LeaveResult
+from ..messages import STRATEGY_USER_ORIENTED, Destination
+from .base import (PlannedMessage, RekeyContext, join_cover_key,
+                   join_frontier, new_key_record, other_children,
+                   rekeyed_child, requesting_user_message,
+                   subtree_receivers)
+
+
+class UserOrientedStrategy:
+    """Per-audience bundles: best for clients, worst for the server."""
+
+    name = "user"
+    wire_code = STRATEGY_USER_ORIENTED
+
+    def rekey_join(self, tree: KeyTree, result: JoinResult,
+                   ctx: RekeyContext) -> List[PlannedMessage]:
+        """One bundle per audience with precisely the keys it needs."""
+        plans = []
+        for index, change in enumerate(result.changes):
+            frontier = join_frontier(tree, result, index)
+            if frontier is None:
+                continue
+            resolve, destination = frontier
+            # This audience needs the new keys of x_0 .. x_index, all
+            # encrypted together under the old key of x_index.
+            records = [new_key_record(c) for c in result.changes[:index + 1]]
+            cover_key, enc_id, enc_version = join_cover_key(result, change, index)
+            item = ctx.encrypt(cover_key, records, enc_id, enc_version)
+            plans.append(PlannedMessage(destination, [item], resolve))
+        plans.append(requesting_user_message(result, ctx))
+        return plans
+
+    def rekey_leave(self, tree: KeyTree, result: LeaveResult,
+                    ctx: RekeyContext) -> List[PlannedMessage]:
+        """Per unchanged child: the new ancestor keys in one bundle."""
+        plans = []
+        for index, change in enumerate(result.changes):
+            # For each unchanged child y of x_index: one message with the
+            # new keys of x_index .. x_0 under y's key (Figure 5 example).
+            records = [new_key_record(c) for c in result.changes[:index + 1]]
+            skip = rekeyed_child(result, index)
+            for child in other_children(change.node, skip):
+                item = ctx.encrypt(child.key, list(records),
+                                   child.node_id, child.version)
+                plans.append(PlannedMessage(
+                    Destination.to_subgroup(child.node_id), [item],
+                    subtree_receivers(tree, child)))
+        return plans

@@ -1,0 +1,185 @@
+"""Pure-Python AES (FIPS 197) supporting 128/192/256-bit keys.
+
+The paper predates AES; it is provided here as the "modern" cipher-suite
+option so experiments can be repeated with a contemporary cipher (and so
+the optimal-degree and strategy-ordering conclusions can be shown to be
+independent of the block cipher).
+
+The S-box and round constants are *derived* (GF(2^8) inversion + affine
+transform) rather than transcribed, eliminating table-typo risk; the
+implementation is validated against the FIPS 197 appendix vectors in the
+test suite.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+
+
+def _xtime(a: int) -> int:
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def _build_sbox():
+    # Multiplicative inverses in GF(2^8) via exp/log tables on generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    value = 1
+    for i in range(255):
+        exp[i] = value
+        log[value] = i
+        value = _gf_mul(value, 3)
+    exp[255] = exp[0]
+
+    def inverse(a):
+        if a == 0:
+            return 0
+        return exp[255 - log[a]]
+
+    sbox = [0] * 256
+    for a in range(256):
+        inv = inverse(a)
+        # Affine transform: b = inv ^ rotl(inv,1..4) ^ 0x63
+        b = inv
+        for rotation in range(1, 5):
+            b ^= ((inv << rotation) | (inv >> (8 - rotation))) & 0xFF
+        sbox[a] = b ^ 0x63
+    return tuple(sbox)
+
+
+_SBOX = _build_sbox()
+_INV_SBOX = tuple(_SBOX.index(i) for i in range(256))
+_RCON = []
+_value = 1
+for _ in range(14):
+    _RCON.append(_value)
+    _value = _xtime(_value)
+_RCON = tuple(_RCON)
+
+# T-tables for the forward rounds: combined SubBytes + MixColumns.
+_MUL2 = tuple(_gf_mul(s, 2) for s in _SBOX)
+_MUL3 = tuple(_gf_mul(s, 3) for s in _SBOX)
+_INV_MUL = {factor: tuple(_gf_mul(x, factor) for x in range(256))
+            for factor in (9, 11, 13, 14)}
+
+
+class AES:
+    """AES block cipher; key may be 16, 24 or 32 bytes.
+
+    >>> key = bytes(range(16))
+    >>> AES(key).encrypt_block(bytes.fromhex(
+    ...     "00112233445566778899aabbccddeeff")).hex()
+    '69c4e0d86a7b0430d8cdb78070b4c55a'
+    """
+
+    block_size = BLOCK_SIZE
+    name = "aes"
+
+    def __init__(self, key: bytes):
+        if len(key) not in (16, 24, 32):
+            raise ValueError("AES key must be 16, 24 or 32 bytes")
+        self.key_size = len(key)
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes):
+        nk = len(key) // 4
+        words = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self._rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
+        # Group into per-round 16-byte keys (column-major state order).
+        round_keys = []
+        for round_index in range(self._rounds + 1):
+            flat = []
+            for word in words[4 * round_index:4 * round_index + 4]:
+                flat.extend(word)
+            round_keys.append(tuple(flat))
+        return tuple(round_keys)
+
+    @staticmethod
+    def _add_round_key(state, round_key):
+        return [state[i] ^ round_key[i] for i in range(16)]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("AES operates on 16-byte blocks")
+        state = self._add_round_key(list(block), self._round_keys[0])
+        sbox, mul2, mul3 = _SBOX, _MUL2, _MUL3
+        for round_index in range(1, self._rounds):
+            rk = self._round_keys[round_index]
+            new = [0] * 16
+            # Fused SubBytes + ShiftRows + MixColumns per column.
+            for col in range(4):
+                s0 = state[4 * col]
+                s1 = state[(4 * col + 5) % 16]
+                s2 = state[(4 * col + 10) % 16]
+                s3 = state[(4 * col + 15) % 16]
+                new[4 * col] = mul2[s0] ^ mul3[s1] ^ sbox[s2] ^ sbox[s3] ^ rk[4 * col]
+                new[4 * col + 1] = sbox[s0] ^ mul2[s1] ^ mul3[s2] ^ sbox[s3] ^ rk[4 * col + 1]
+                new[4 * col + 2] = sbox[s0] ^ sbox[s1] ^ mul2[s2] ^ mul3[s3] ^ rk[4 * col + 2]
+                new[4 * col + 3] = mul3[s0] ^ sbox[s1] ^ sbox[s2] ^ mul2[s3] ^ rk[4 * col + 3]
+            state = new
+        # Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+        rk = self._round_keys[self._rounds]
+        final = [0] * 16
+        for col in range(4):
+            final[4 * col] = sbox[state[4 * col]] ^ rk[4 * col]
+            final[4 * col + 1] = sbox[state[(4 * col + 5) % 16]] ^ rk[4 * col + 1]
+            final[4 * col + 2] = sbox[state[(4 * col + 10) % 16]] ^ rk[4 * col + 2]
+            final[4 * col + 3] = sbox[state[(4 * col + 15) % 16]] ^ rk[4 * col + 3]
+        return bytes(final)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("AES operates on 16-byte blocks")
+        inv_sbox = _INV_SBOX
+        mul9, mul11 = _INV_MUL[9], _INV_MUL[11]
+        mul13, mul14 = _INV_MUL[13], _INV_MUL[14]
+        state = self._add_round_key(list(block), self._round_keys[self._rounds])
+        # Inverse final round: InvShiftRows + InvSubBytes.
+        state = self._inv_shift_sub(state, inv_sbox)
+        for round_index in range(self._rounds - 1, 0, -1):
+            state = self._add_round_key(state, self._round_keys[round_index])
+            new = [0] * 16
+            for col in range(4):
+                s0, s1, s2, s3 = state[4 * col:4 * col + 4]
+                new[4 * col] = mul14[s0] ^ mul11[s1] ^ mul13[s2] ^ mul9[s3]
+                new[4 * col + 1] = mul9[s0] ^ mul14[s1] ^ mul11[s2] ^ mul13[s3]
+                new[4 * col + 2] = mul13[s0] ^ mul9[s1] ^ mul14[s2] ^ mul11[s3]
+                new[4 * col + 3] = mul11[s0] ^ mul13[s1] ^ mul9[s2] ^ mul14[s3]
+            state = self._inv_shift_sub(new, inv_sbox)
+        state = self._add_round_key(state, self._round_keys[0])
+        return bytes(state)
+
+    @staticmethod
+    def _inv_shift_sub(state, inv_sbox):
+        new = [0] * 16
+        for col in range(4):
+            new[4 * col] = inv_sbox[state[4 * col]]
+            new[4 * col + 1] = inv_sbox[state[(4 * col + 13) % 16]]
+            new[4 * col + 2] = inv_sbox[state[(4 * col + 10) % 16]]
+            new[4 * col + 3] = inv_sbox[state[(4 * col + 7) % 16]]
+        return new

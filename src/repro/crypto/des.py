@@ -1,0 +1,315 @@
+"""Pure-Python DES block cipher (FIPS 46-3).
+
+The paper's prototype encrypts rekey messages with DES-CBC from CryptoLib.
+No C crypto library is available in this environment, so the cipher is
+implemented here from the standard tables.  The implementation favours
+clarity over raw speed but precomputes the key schedule and collapses the
+expansion/S-box/permutation round function into table lookups so that the
+benchmark harness can drive thousands of rekey operations.
+
+Only the raw 64-bit block operations live here; chaining modes and padding
+are in :mod:`repro.crypto.modes`.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 8
+KEY_SIZE = 8
+
+# Initial permutation (FIPS 46-3, 1-indexed source bit positions).
+_IP = (
+    58, 50, 42, 34, 26, 18, 10, 2,
+    60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9, 1,
+    59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5,
+    63, 55, 47, 39, 31, 23, 15, 7,
+)
+
+# Final permutation (inverse of IP).
+_FP = (
+    40, 8, 48, 16, 56, 24, 64, 32,
+    39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28,
+    35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26,
+    33, 1, 41, 9, 49, 17, 57, 25,
+)
+
+# Expansion of the 32-bit half block to 48 bits.
+_E = (
+    32, 1, 2, 3, 4, 5,
+    4, 5, 6, 7, 8, 9,
+    8, 9, 10, 11, 12, 13,
+    12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21,
+    20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29,
+    28, 29, 30, 31, 32, 1,
+)
+
+# Permutation applied to the S-box output.
+_P = (
+    16, 7, 20, 21,
+    29, 12, 28, 17,
+    1, 15, 23, 26,
+    5, 18, 31, 10,
+    2, 8, 24, 14,
+    32, 27, 3, 9,
+    19, 13, 30, 6,
+    22, 11, 4, 25,
+)
+
+# The eight S-boxes, each 4 rows x 16 columns.
+_SBOXES = (
+    (
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7,
+        0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8,
+        4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0,
+        15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ),
+    (
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10,
+        3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5,
+        0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15,
+        13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ),
+    (
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8,
+        13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1,
+        13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7,
+        1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ),
+    (
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15,
+        13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9,
+        10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4,
+        3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ),
+    (
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9,
+        14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6,
+        4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14,
+        11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ),
+    (
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11,
+        10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8,
+        9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6,
+        4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ),
+    (
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1,
+        13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6,
+        1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2,
+        6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ),
+    (
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7,
+        1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2,
+        7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8,
+        2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ),
+)
+
+# Permuted choice 1: 64-bit key -> 56 bits (drops parity bits).
+_PC1 = (
+    57, 49, 41, 33, 25, 17, 9,
+    1, 58, 50, 42, 34, 26, 18,
+    10, 2, 59, 51, 43, 35, 27,
+    19, 11, 3, 60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15,
+    7, 62, 54, 46, 38, 30, 22,
+    14, 6, 61, 53, 45, 37, 29,
+    21, 13, 5, 28, 20, 12, 4,
+)
+
+# Permuted choice 2: 56 bits -> 48-bit round key.
+_PC2 = (
+    14, 17, 11, 24, 1, 5,
+    3, 28, 15, 6, 21, 10,
+    23, 19, 12, 4, 26, 8,
+    16, 7, 27, 20, 13, 2,
+    41, 52, 31, 37, 47, 55,
+    30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53,
+    46, 42, 50, 36, 29, 32,
+)
+
+# Left-rotation amounts per round.
+_SHIFTS = (1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1)
+
+
+def _permute(value: int, in_width: int, table) -> int:
+    """Permute ``value`` of ``in_width`` bits using a 1-indexed DES table."""
+    out = 0
+    for pos in table:
+        out = (out << 1) | ((value >> (in_width - pos)) & 1)
+    return out
+
+
+def _byte_tables(in_width: int, table):
+    """Build per-input-byte lookup tables for a bit-selection permutation.
+
+    A permutation distributes each input bit independently, so the permuted
+    value is the OR of per-byte contributions.  This turns a 64-bit
+    permutation into 8 table lookups.
+    """
+    n_bytes = in_width // 8
+    tables = []
+    for byte_index in range(n_bytes):
+        shift = in_width - 8 * (byte_index + 1)
+        entries = [_permute(byte_value << shift, in_width, table)
+                   for byte_value in range(256)]
+        tables.append(tuple(entries))
+    return tuple(tables)
+
+
+def _rotl28(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (28 - amount))) & 0xFFFFFFF
+
+
+# Precompute, for each S-box, a 64-entry table mapping the 6-bit S-box
+# input directly to the 32-bit output with permutation P already applied.
+# This fuses the S-box lookup and P-permutation into a single table read,
+# cutting the round function to 8 lookups and xors.
+def _build_sp_boxes():
+    boxes = []
+    for box_index, sbox in enumerate(_SBOXES):
+        table = []
+        for chunk in range(64):
+            row = ((chunk & 0x20) >> 4) | (chunk & 1)
+            col = (chunk >> 1) & 0xF
+            nibble = sbox[row * 16 + col]
+            # Position the 4-bit output in the 32-bit pre-P word...
+            pre_p = nibble << (4 * (7 - box_index))
+            # ...then apply P to that word.
+            table.append(_permute(pre_p, 32, _P))
+        boxes.append(tuple(table))
+    return tuple(boxes)
+
+
+_SP = _build_sp_boxes()
+_IP_TABLES = _byte_tables(64, _IP)
+_FP_TABLES = _byte_tables(64, _FP)
+_E_TABLES = _byte_tables(32, _E)
+
+
+def _fast_permute(value: int, tables, n_bytes: int, in_width: int) -> int:
+    out = 0
+    for byte_index in range(n_bytes):
+        shift = in_width - 8 * (byte_index + 1)
+        out |= tables[byte_index][(value >> shift) & 0xFF]
+    return out
+
+
+# The four weak keys (self-inverse schedules) and six semi-weak key
+# pairs (K1 encrypts what K2 decrypts), FIPS 74 / Menezes et al. §7.4.3.
+# Stored with odd parity as conventionally listed; comparison ignores
+# parity bits since DES does.
+WEAK_KEYS = tuple(bytes.fromhex(value) for value in (
+    "0101010101010101", "FEFEFEFEFEFEFEFE",
+    "E0E0E0E0F1F1F1F1", "1F1F1F1F0E0E0E0E",
+))
+SEMI_WEAK_KEYS = tuple(bytes.fromhex(value) for value in (
+    "011F011F010E010E", "1F011F010E010E01",
+    "01E001E001F101F1", "E001E001F101F101",
+    "01FE01FE01FE01FE", "FE01FE01FE01FE01",
+    "1FE01FE00EF10EF1", "E01FE01FF10EF10E",
+    "1FFE1FFE0EFE0EFE", "FE1FFE1FFE0EFE0E",
+    "E0FEE0FEF1FEF1FE", "FEE0FEE0FEF1FEF1",
+))
+
+
+def _strip_parity(key: bytes) -> bytes:
+    """Zero each byte's parity bit (bit 0), which DES ignores."""
+    return bytes(b & 0xFE for b in key)
+
+
+def is_weak_key(key: bytes) -> bool:
+    """True for the four weak keys (encryption == decryption).
+
+    A group key server must never issue one as key material — with a
+    weak key, every eavesdropper's double-encryption is the identity.
+    """
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"DES key must be {KEY_SIZE} bytes")
+    stripped = _strip_parity(key)
+    return any(stripped == _strip_parity(weak) for weak in WEAK_KEYS)
+
+
+def is_semi_weak_key(key: bytes) -> bool:
+    """True for the twelve semi-weak keys (paired inverse schedules)."""
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"DES key must be {KEY_SIZE} bytes")
+    stripped = _strip_parity(key)
+    return any(stripped == _strip_parity(semi) for semi in SEMI_WEAK_KEYS)
+
+
+class DES:
+    """DES block cipher with a precomputed key schedule.
+
+    >>> cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+    >>> cipher.encrypt_block(bytes.fromhex("0123456789ABCDEF")).hex()
+    '85e813540f0ab405'
+    """
+
+    block_size = BLOCK_SIZE
+    key_size = KEY_SIZE
+    name = "des"
+
+    def __init__(self, key: bytes):
+        if len(key) != KEY_SIZE:
+            raise ValueError(f"DES key must be {KEY_SIZE} bytes, got {len(key)}")
+        self._round_keys = self._key_schedule(key)
+
+    @staticmethod
+    def _key_schedule(key: bytes):
+        key_int = int.from_bytes(key, "big")
+        permuted = _permute(key_int, 64, _PC1)
+        c = (permuted >> 28) & 0xFFFFFFF
+        d = permuted & 0xFFFFFFF
+        round_keys = []
+        for shift in _SHIFTS:
+            c = _rotl28(c, shift)
+            d = _rotl28(d, shift)
+            round_keys.append(_permute((c << 28) | d, 56, _PC2))
+        return tuple(round_keys)
+
+    @staticmethod
+    def _feistel(half: int, round_key: int) -> int:
+        e0, e1, e2, e3 = _E_TABLES
+        expanded = (e0[(half >> 24) & 0xFF] | e1[(half >> 16) & 0xFF]
+                    | e2[(half >> 8) & 0xFF] | e3[half & 0xFF]) ^ round_key
+        sp = _SP
+        return (sp[0][(expanded >> 42) & 0x3F] | sp[1][(expanded >> 36) & 0x3F]
+                | sp[2][(expanded >> 30) & 0x3F] | sp[3][(expanded >> 24) & 0x3F]
+                | sp[4][(expanded >> 18) & 0x3F] | sp[5][(expanded >> 12) & 0x3F]
+                | sp[6][(expanded >> 6) & 0x3F] | sp[7][expanded & 0x3F])
+
+    def _crypt_block(self, block: bytes, round_keys) -> bytes:
+        value = _fast_permute(int.from_bytes(block, "big"), _IP_TABLES, 8, 64)
+        left = (value >> 32) & 0xFFFFFFFF
+        right = value & 0xFFFFFFFF
+        feistel = self._feistel
+        for round_key in round_keys:
+            left, right = right, left ^ feistel(right, round_key)
+        # Final swap: the last round's halves are exchanged before FP.
+        combined = (right << 32) | left
+        return _fast_permute(combined, _FP_TABLES, 8, 64).to_bytes(8, "big")
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 8-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("DES operates on 8-byte blocks")
+        return self._crypt_block(block, self._round_keys)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 8-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("DES operates on 8-byte blocks")
+        return self._crypt_block(block, tuple(reversed(self._round_keys)))

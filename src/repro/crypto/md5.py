@@ -1,0 +1,105 @@
+"""Pure-Python MD5 (RFC 1321).
+
+The paper computes MD5 digests of rekey messages.  The per-step constants
+are derived from ``int(abs(sin(i+1)) * 2**32)`` exactly as RFC 1321
+specifies, so no 64-entry table needs transcribing.  Validated against
+``hashlib.md5`` in the test suite (including a hypothesis property test
+over arbitrary inputs).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+DIGEST_SIZE = 16
+BLOCK_SIZE = 64
+
+_K = tuple(int(abs(math.sin(i + 1)) * 2**32) & 0xFFFFFFFF for i in range(64))
+_S = (
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+)
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl32(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+class MD5:
+    """Incremental MD5 with the ``hashlib``-style interface."""
+
+    digest_size = DIGEST_SIZE
+    block_size = BLOCK_SIZE
+    name = "md5"
+
+    def __init__(self, data: bytes = b""):
+        self._state = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def copy(self) -> "MD5":
+        """Clone the running state."""
+        clone = MD5()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes."""
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= BLOCK_SIZE:
+            self._state = self._compress(self._state, self._buffer[:BLOCK_SIZE])
+            self._buffer = self._buffer[BLOCK_SIZE:]
+
+    @staticmethod
+    def _compress(state, block: bytes):
+        a0, b0, c0, d0 = state
+        m = struct.unpack("<16I", block)
+        a, b, c, d = a0, b0, c0, d0
+        for i in range(64):
+            if i < 16:
+                f = (b & c) | (~b & d)
+                g = i
+            elif i < 32:
+                f = (d & b) | (~d & c)
+                g = (5 * i + 1) % 16
+            elif i < 48:
+                f = b ^ c ^ d
+                g = (3 * i + 5) % 16
+            else:
+                f = c ^ (b | (~d & _MASK))
+                g = (7 * i) % 16
+            f = (f + a + _K[i] + m[g]) & _MASK
+            a, d, c = d, c, b
+            b = (b + _rotl32(f, _S[i])) & _MASK
+        return ((a0 + a) & _MASK, (b0 + b) & _MASK,
+                (c0 + c) & _MASK, (d0 + d) & _MASK)
+
+    def digest(self) -> bytes:
+        # Pad a copy so update() can continue afterwards.
+        """Digest of everything absorbed so far (state preserved)."""
+        length_bits = (self._length * 8) & 0xFFFFFFFFFFFFFFFF
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        tail = self._buffer + padding + struct.pack("<Q", length_bits)
+        state = self._state
+        for offset in range(0, len(tail), BLOCK_SIZE):
+            state = self._compress(state, tail[offset:offset + BLOCK_SIZE])
+        return struct.pack("<4I", *state)
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self.digest().hex()
+
+
+def md5(data: bytes = b"") -> MD5:
+    """Factory matching ``hashlib.md5`` call style."""
+    return MD5(data)

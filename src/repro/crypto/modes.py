@@ -1,0 +1,144 @@
+"""Block cipher modes of operation and padding.
+
+The paper encrypts rekey payloads with DES-CBC.  This module provides
+PKCS#7 padding, ECB (for tests/known-answer work) and CBC with an
+explicit IV, generic over any block cipher object exposing
+``block_size`` / ``encrypt_block`` / ``decrypt_block``.
+"""
+
+from __future__ import annotations
+
+
+class PaddingError(ValueError):
+    """Raised when ciphertext unpads to an invalid PKCS#7 padding."""
+
+
+def pad(data: bytes, block_size: int) -> bytes:
+    """Apply PKCS#7 padding up to a multiple of ``block_size``."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block size must be in [1, 255]")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+def unpad(data: bytes, block_size: int) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise PaddingError("padded data length is not a block multiple")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise PaddingError("invalid padding length byte")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("padding bytes are inconsistent")
+    return data[:-pad_len]
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def ecb_encrypt(cipher, plaintext: bytes) -> bytes:
+    """ECB encryption of PKCS#7 padded ``plaintext``."""
+    block = cipher.block_size
+    padded = pad(plaintext, block)
+    return b"".join(cipher.encrypt_block(padded[i:i + block])
+                    for i in range(0, len(padded), block))
+
+
+def ecb_decrypt(cipher, ciphertext: bytes) -> bytes:
+    """ECB decryption; raises :class:`PaddingError` on bad padding."""
+    block = cipher.block_size
+    if len(ciphertext) % block:
+        raise ValueError("ciphertext length is not a block multiple")
+    padded = b"".join(cipher.decrypt_block(ciphertext[i:i + block])
+                      for i in range(0, len(ciphertext), block))
+    return unpad(padded, block)
+
+
+def cbc_encrypt(cipher, plaintext: bytes, iv: bytes) -> bytes:
+    """CBC encryption of PKCS#7 padded ``plaintext`` under ``iv``.
+
+    The IV is *not* prepended to the ciphertext; callers that need to
+    transmit it (the rekey message format does) carry it explicitly.
+    """
+    block = cipher.block_size
+    if len(iv) != block:
+        raise ValueError(f"IV must be {block} bytes")
+    padded = pad(plaintext, block)
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(padded), block):
+        encrypted = cipher.encrypt_block(_xor_bytes(padded[i:i + block], previous))
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def cbc_encrypt_nopad(cipher, plaintext: bytes, iv: bytes) -> bytes:
+    """CBC encryption of already block-aligned ``plaintext`` (no padding).
+
+    Used by the rekey message format, which carries an explicit plaintext
+    length and zero-pads, keeping single-key items to two cipher blocks.
+    """
+    block = cipher.block_size
+    if len(iv) != block:
+        raise ValueError(f"IV must be {block} bytes")
+    if len(plaintext) % block:
+        raise ValueError("plaintext length is not a block multiple")
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(plaintext), block):
+        encrypted = cipher.encrypt_block(_xor_bytes(plaintext[i:i + block], previous))
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def cbc_decrypt_nopad(cipher, ciphertext: bytes, iv: bytes) -> bytes:
+    """CBC decryption without padding removal (see cbc_encrypt_nopad)."""
+    block = cipher.block_size
+    if len(iv) != block:
+        raise ValueError(f"IV must be {block} bytes")
+    if len(ciphertext) % block:
+        raise ValueError("ciphertext length is not a block multiple")
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(ciphertext), block):
+        chunk = ciphertext[i:i + block]
+        out.extend(_xor_bytes(cipher.decrypt_block(chunk), previous))
+        previous = chunk
+    return bytes(out)
+
+
+def ctr_transform(cipher, data: bytes, nonce: bytes) -> bytes:
+    """CTR mode: encrypt or decrypt (self-inverse), any length.
+
+    The counter block is ``nonce`` (block_size - 4 bytes) followed by a
+    32-bit big-endian block counter.  Used by the streaming-data
+    examples; key distribution itself stays on CBC like the paper.
+    """
+    block = cipher.block_size
+    if len(nonce) != block - 4:
+        raise ValueError(f"nonce must be {block - 4} bytes")
+    out = bytearray()
+    for counter in range(-(-len(data) // block) if data else 0):
+        keystream = cipher.encrypt_block(
+            nonce + counter.to_bytes(4, "big"))
+        chunk = data[counter * block:(counter + 1) * block]
+        out.extend(_xor_bytes(chunk, keystream[:len(chunk)]))
+    return bytes(out)
+
+
+def cbc_decrypt(cipher, ciphertext: bytes, iv: bytes) -> bytes:
+    """CBC decryption; raises :class:`PaddingError` on bad padding."""
+    block = cipher.block_size
+    if len(iv) != block:
+        raise ValueError(f"IV must be {block} bytes")
+    if len(ciphertext) % block:
+        raise ValueError("ciphertext length is not a block multiple")
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(ciphertext), block):
+        chunk = ciphertext[i:i + block]
+        out.extend(_xor_bytes(cipher.decrypt_block(chunk), previous))
+        previous = chunk
+    return unpad(bytes(out), block)

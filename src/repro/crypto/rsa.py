@@ -1,0 +1,177 @@
+"""RSA key generation and PKCS#1 v1.5 signatures.
+
+The paper signs rekey messages with 512-bit RSA (CryptoLib).  This module
+implements key generation (Miller-Rabin), raw RSA with CRT acceleration,
+and EMSA-PKCS1-v1_5 signing/verification with the standard DigestInfo
+prefixes for MD5, SHA-1 and SHA-256.
+
+512-bit moduli are cryptographically obsolete; they are retained as the
+default because the reproduction matches the paper's message sizes
+(64-byte signatures) and relative signature cost.  Pass ``bits=1024`` or
+higher for anything beyond the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .drbg import make_source
+
+# ASN.1 DigestInfo prefixes (RFC 8017, section 9.2 notes).
+DIGEST_INFO_PREFIX = {
+    "md5": bytes.fromhex("3020300c06082a864886f70d020505000410"),
+    "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
+    "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
+}
+
+_SMALL_PRIMES = (
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+    227, 229, 233, 239, 241, 251,
+)
+
+
+class SignatureError(ValueError):
+    """Raised when a signature fails to verify."""
+
+
+def _is_probable_prime(candidate: int, source, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test with ``rounds`` random bases."""
+    if candidate < 2:
+        return False
+    for small in _SMALL_PRIMES:
+        if candidate % small == 0:
+            return candidate == small
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        base = 2 + source.randint_below(candidate - 3)
+        x = pow(base, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, source) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime size too small")
+    while True:
+        candidate = int.from_bytes(source.generate((bits + 7) // 8), "big")
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        candidate &= (1 << bits) - 1
+        if _is_probable_prime(candidate, source):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key (n, e)."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_size(self) -> int:
+        """Modulus size in bytes (= signature size)."""
+        return (self.n.bit_length() + 7) // 8
+
+    def raw_verify(self, value: int) -> int:
+        """Raw public-key exponentiation."""
+        return pow(value, self.e, self.n)
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """RSA private key with CRT components."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def byte_size(self) -> int:
+        """Modulus size in bytes (= signature size)."""
+        return (self.n.bit_length() + 7) // 8
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The corresponding public key."""
+        return RsaPublicKey(self.n, self.e)
+
+    def raw_sign(self, value: int) -> int:
+        """Private exponentiation using the Chinese Remainder Theorem."""
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        q_inv = pow(self.q, -1, self.p)
+        m1 = pow(value, dp, self.p)
+        m2 = pow(value, dq, self.q)
+        h = (q_inv * (m1 - m2)) % self.p
+        return m2 + h * self.q
+
+
+def generate_keypair(bits: int = 512, e: int = 65537,
+                     seed: Optional[bytes] = None) -> RsaPrivateKey:
+    """Generate an RSA keypair; deterministic when ``seed`` is given."""
+    if bits < 256:
+        raise ValueError("modulus must be at least 256 bits")
+    source = make_source(seed, personalization=b"rsa-keygen")
+    while True:
+        p = _generate_prime(bits // 2, source)
+        q = _generate_prime(bits - bits // 2, source)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue
+        return RsaPrivateKey(n=n, e=e, d=d, p=p, q=q)
+
+
+def _emsa_pkcs1_v15(digest: bytes, algorithm: str, em_len: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of a message digest."""
+    try:
+        prefix = DIGEST_INFO_PREFIX[algorithm]
+    except KeyError:
+        raise ValueError(f"unsupported digest algorithm {algorithm!r}") from None
+    t = prefix + digest
+    if em_len < len(t) + 11:
+        raise ValueError("intended encoded message length too short")
+    ps = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + ps + b"\x00" + t
+
+
+def sign_digest(private_key: RsaPrivateKey, digest: bytes,
+                algorithm: str = "md5") -> bytes:
+    """Sign a precomputed message digest, returning a fixed-size signature."""
+    em = _emsa_pkcs1_v15(digest, algorithm, private_key.byte_size)
+    signature = private_key.raw_sign(int.from_bytes(em, "big"))
+    return signature.to_bytes(private_key.byte_size, "big")
+
+
+def verify_digest(public_key: RsaPublicKey, digest: bytes,
+                  signature: bytes, algorithm: str = "md5") -> None:
+    """Verify a signature over ``digest``; raises SignatureError on failure."""
+    if len(signature) != public_key.byte_size:
+        raise SignatureError("signature has wrong length")
+    recovered = public_key.raw_verify(int.from_bytes(signature, "big"))
+    expected = _emsa_pkcs1_v15(digest, algorithm, public_key.byte_size)
+    if recovered != int.from_bytes(expected, "big"):
+        raise SignatureError("signature does not verify")

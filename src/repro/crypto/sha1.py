@@ -1,0 +1,92 @@
+"""Pure-Python SHA-1 (FIPS 180-4).
+
+Provided as the digest option for the "modern" cipher suite and as the
+hash underlying HMAC-DRBG.  Validated against ``hashlib.sha1``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+DIGEST_SIZE = 20
+BLOCK_SIZE = 64
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl32(value: int, amount: int) -> int:
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+class SHA1:
+    """Incremental SHA-1 with the ``hashlib``-style interface."""
+
+    digest_size = DIGEST_SIZE
+    block_size = BLOCK_SIZE
+    name = "sha1"
+
+    def __init__(self, data: bytes = b""):
+        self._state = (0x67452301, 0xEFCDAB89, 0x98BADCFE,
+                       0x10325476, 0xC3D2E1F0)
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def copy(self) -> "SHA1":
+        """Clone the running state."""
+        clone = SHA1()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes."""
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= BLOCK_SIZE:
+            self._state = self._compress(self._state, self._buffer[:BLOCK_SIZE])
+            self._buffer = self._buffer[BLOCK_SIZE:]
+
+    @staticmethod
+    def _compress(state, block: bytes):
+        w = list(struct.unpack(">16I", block))
+        for i in range(16, 80):
+            w.append(_rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1))
+        a, b, c, d, e = state
+        for i in range(80):
+            if i < 20:
+                f = (b & c) | (~b & d)
+                k = 0x5A827999
+            elif i < 40:
+                f = b ^ c ^ d
+                k = 0x6ED9EBA1
+            elif i < 60:
+                f = (b & c) | (b & d) | (c & d)
+                k = 0x8F1BBCDC
+            else:
+                f = b ^ c ^ d
+                k = 0xCA62C1D6
+            temp = (_rotl32(a, 5) + f + e + k + w[i]) & _MASK
+            e, d, c, b, a = d, c, _rotl32(b, 30), a, temp
+        return tuple((x + y) & _MASK for x, y in zip(state, (a, b, c, d, e)))
+
+    def digest(self) -> bytes:
+        """Digest of everything absorbed so far (state preserved)."""
+        length_bits = (self._length * 8) & 0xFFFFFFFFFFFFFFFF
+        padding = b"\x80" + b"\x00" * ((55 - self._length) % 64)
+        tail = self._buffer + padding + struct.pack(">Q", length_bits)
+        state = self._state
+        for offset in range(0, len(tail), BLOCK_SIZE):
+            state = self._compress(state, tail[offset:offset + BLOCK_SIZE])
+        return struct.pack(">5I", *state)
+
+    def hexdigest(self) -> str:
+        """Hex form of :meth:`digest`."""
+        return self.digest().hex()
+
+
+def sha1(data: bytes = b"") -> SHA1:
+    """Factory matching ``hashlib.sha1`` call style."""
+    return SHA1(data)

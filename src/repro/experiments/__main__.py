@@ -1,0 +1,71 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments                # quick parameters
+    python -m repro.experiments --paper        # the paper's parameters
+    python -m repro.experiments table5 fig10   # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS, PAPER, QUICK
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the SIGCOMM '98 key-graphs tables/figures.")
+    parser.add_argument("--paper", action="store_true",
+                        help="use the paper's full parameters "
+                             "(n=8192, 1000 requests; slow in pure Python)")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render Figures 10-12 as ASCII charts")
+    parser.add_argument("--output", metavar="PATH",
+                        help="also append the formatted tables to a file")
+    parser.add_argument("names", nargs="*",
+                        help="experiment name filters, e.g. 'table5' 'fig10'")
+    args = parser.parse_args(argv)
+    scale = PAPER if args.paper else QUICK
+
+    selected = []
+    for title, runner in ALL_EXPERIMENTS:
+        key = title.lower().replace(" ", "").replace(":", "")
+        if not args.names or any(name.lower().replace(" ", "") in key
+                                 for name in args.names):
+            selected.append((title, runner))
+    if not selected:
+        parser.error(f"no experiment matches {args.names}")
+
+    sink = open(args.output, "a", encoding="utf-8") if args.output else None
+    for title, runner in selected:
+        started = time.perf_counter()
+        table = runner(scale)
+        elapsed = time.perf_counter() - started
+        print(table.format())
+        if sink is not None:
+            sink.write(table.format() + "\n\n")
+            sink.flush()
+        if args.plot:
+            from . import plot
+            charts = {"Figure 10": plot.fig10_chart,
+                      "Figure 11": plot.fig11_chart,
+                      "Figure 12": plot.fig12_chart}
+            if title in charts:
+                print()
+                print(charts[title](table))
+        print(f"[{title} regenerated in {elapsed:.1f}s at scale "
+              f"'{scale.name}']")
+        print()
+    if sink is not None:
+        sink.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Shared infrastructure for the table/figure reproductions.
+
+Every experiment module exposes ``run(scale) -> TableData`` where
+``scale`` selects between two parameter sets:
+
+* ``QUICK``  — small groups / short workloads, minutes of wall time for
+  the whole suite; used by the benchmark harness and CI;
+* ``PAPER``  — the paper's parameters (initial size 8192, 1000 requests,
+  3 sequences, degrees 4/8/16, group sizes 32..8192); run via
+  ``python -m repro.experiments --paper``.
+
+Absolute milliseconds cannot match a 1998 SGI Origin 200 running C
+(CryptoLib) — this is pure Python — but every *shape* the paper reports
+is asserted by the test suite against these experiment outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..crypto.suite import (PAPER_SUITE, PAPER_SUITE_ENC_ONLY,
+                            PAPER_SUITE_NO_SIG)
+from ..simulation.runner import ExperimentConfig, run_experiment
+
+STRATEGY_ORDER = ("user", "key", "group")
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Parameter set for one reproduction pass."""
+
+    name: str
+    initial_size: int            # Tables 4-6 / Figure 11/12 group size
+    n_requests: int
+    group_sizes: Sequence[int]   # Figure 10 sweep
+    degrees: Sequence[int]       # Table 5/6, Figure 11/12 sweep
+    n_sequences: int
+
+
+QUICK = Scale(name="quick", initial_size=256, n_requests=60,
+              group_sizes=(32, 128, 512, 1024),
+              degrees=(2, 4, 8, 16), n_sequences=1)
+
+PAPER = Scale(name="paper", initial_size=8192, n_requests=1000,
+              group_sizes=(32, 128, 512, 2048, 8192),
+              degrees=(2, 4, 8, 16), n_sequences=3)
+
+
+@dataclass
+class TableData:
+    """One regenerated table/figure: headers + rows + provenance."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: str = ""
+
+    def format(self) -> str:
+        """Plain-text rendering in the paper's row layout."""
+        columns = [self.headers] + [
+            [_render(cell) for cell in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in columns)
+                  for i in range(len(self.headers))]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(
+                _render(cell).ljust(width)
+                for cell, width in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def strategy_experiment(scale: Scale, strategy: str, *, degree: int = 4,
+                        initial_size: Optional[int] = None,
+                        suite=PAPER_SUITE, signing: str = "merkle",
+                        client_mode: str = "accounting",
+                        seed: bytes = b"sigcomm98") -> "ExperimentResult":
+    """One configured run with the scale's workload length."""
+    config = ExperimentConfig(
+        initial_size=initial_size if initial_size is not None
+        else scale.initial_size,
+        n_requests=scale.n_requests,
+        degree=degree, strategy=strategy, suite=suite, signing=signing,
+        client_mode=client_mode, seed=seed)
+    return run_experiment(config)
+
+
+SUITES_BY_PROTECTION = {
+    "encryption-only": PAPER_SUITE_ENC_ONLY,
+    "encryption+digest+signature": PAPER_SUITE,
+}
+
+
+def signing_for(suite) -> str:
+    """'merkle' when the suite signs, else 'none'."""
+    return "merkle" if suite.signs else "none"

@@ -1,0 +1,49 @@
+"""Figure 10: server processing time per request vs group size.
+
+Two panels: rekey messages with DES-CBC encryption only (left), and with
+encryption + MD5 digest + RSA-512 signature (right); three strategies;
+key tree degree 4; group sizes on a log axis.
+
+The headline scalability claim: processing time grows (approximately)
+linearly with the *logarithm* of group size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .common import (QUICK, STRATEGY_ORDER, SUITES_BY_PROTECTION, Scale,
+                     TableData, signing_for, strategy_experiment)
+
+
+def run(scale: Scale = QUICK, degree: int = 4) -> TableData:
+    """Regenerate this table/figure at the given scale."""
+    rows = []
+    for protection, suite in SUITES_BY_PROTECTION.items():
+        for strategy in STRATEGY_ORDER:
+            for size in scale.group_sizes:
+                result = strategy_experiment(
+                    scale, strategy, degree=degree, initial_size=size,
+                    suite=suite, signing=signing_for(suite),
+                    client_mode="none", seed=b"fig10")
+                rows.append([protection, strategy, size,
+                             result.mean_processing_ms,
+                             result.final_height])
+    return TableData(
+        title=(f"Figure 10: server processing time per request vs group "
+               f"size (key tree degree {degree})"),
+        headers=["protection", "strategy", "group size", "mean ms",
+                 "tree height"],
+        rows=rows,
+        notes=("Expected shape: for each (protection, strategy) series, "
+               "mean ms grows ~linearly in log(group size); group- < "
+               "key- < user-oriented on the server side."),
+    )
+
+
+def series(table: TableData) -> Dict[Tuple[str, str], List[Tuple[int, float]]]:
+    """(protection, strategy) -> [(group size, mean ms)] for assertions."""
+    result: Dict[Tuple[str, str], List[Tuple[int, float]]] = {}
+    for protection, strategy, size, ms, _height in table.rows:
+        result.setdefault((protection, strategy), []).append((size, ms))
+    return result

@@ -1,0 +1,58 @@
+"""Figure 11: server processing time vs key tree degree.
+
+Fixed initial group size, degree sweep, for encryption-only and
+encryption+digest+signature configurations.  Three observations the
+paper draws: the optimal degree is around 4; group- beats key- beats
+user-oriented on the server; signing adds an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .common import (QUICK, STRATEGY_ORDER, SUITES_BY_PROTECTION, Scale,
+                     TableData, signing_for, strategy_experiment)
+
+
+def run(scale: Scale = QUICK) -> TableData:
+    """Regenerate this table/figure at the given scale."""
+    rows = []
+    for protection, suite in SUITES_BY_PROTECTION.items():
+        for strategy in STRATEGY_ORDER:
+            for degree in scale.degrees:
+                result = strategy_experiment(
+                    scale, strategy, degree=degree,
+                    suite=suite, signing=signing_for(suite),
+                    client_mode="none", seed=b"fig11")
+                rows.append([protection, strategy, degree,
+                             result.mean_processing_ms,
+                             result.server_metrics.join.encryptions.mean,
+                             result.server_metrics.leave.encryptions.mean])
+    return TableData(
+        title=(f"Figure 11: server processing time vs key tree degree "
+               f"(initial group size {scale.initial_size})"),
+        headers=["protection", "strategy", "degree", "mean ms",
+                 "join enc ave", "leave enc ave"],
+        rows=rows,
+        notes=("Expected shape: per-strategy encryption counts are "
+               "U-shaped in d with the minimum near d=4; server-side "
+               "strategy ranking group < key < user."),
+    )
+
+
+def series(table: TableData) -> Dict[Tuple[str, str], List[Tuple[int, float]]]:
+    """(protection, strategy) -> [(degree, mean ms)]."""
+    result: Dict[Tuple[str, str], List[Tuple[int, float]]] = {}
+    for protection, strategy, degree, ms, _je, _le in table.rows:
+        result.setdefault((protection, strategy), []).append((degree, ms))
+    return result
+
+
+def encryption_series(table: TableData) -> Dict[str, List[Tuple[int, float]]]:
+    """strategy -> [(degree, mean join+leave encryptions)] (enc-only rows)."""
+    result: Dict[str, List[Tuple[int, float]]] = {}
+    for protection, strategy, degree, _ms, join_enc, leave_enc in table.rows:
+        if protection == "encryption-only":
+            result.setdefault(strategy, []).append(
+                (degree, (join_enc + leave_enc) / 2))
+    return result

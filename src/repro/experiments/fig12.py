@@ -1,0 +1,53 @@
+"""Figure 12: average number of key changes by a client per request.
+
+Two sweeps — versus key tree degree (top panel) and versus initial group
+size (bottom panel) — compared with the analytic bound d/(d-1).  The
+measured value is small, close to the bound, and independent of group
+size: the client-side scalability half of the paper's argument.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core import costs
+from .common import QUICK, Scale, TableData, strategy_experiment
+
+
+def run(scale: Scale = QUICK, strategy: str = "group") -> TableData:
+    """Regenerate this table/figure at the given scale."""
+    rows = []
+    for degree in scale.degrees:
+        result = strategy_experiment(scale, strategy, degree=degree,
+                                     signing="none", seed=b"fig12")
+        rows.append(["vs degree", degree, scale.initial_size,
+                     result.client_metrics.key_changes_per_client(),
+                     float(costs.tree_average_user_cost(degree))])
+    for size in scale.group_sizes:
+        result = strategy_experiment(scale, strategy, degree=4,
+                                     initial_size=size,
+                                     signing="none", seed=b"fig12")
+        rows.append(["vs group size", 4, size,
+                     result.client_metrics.key_changes_per_client(),
+                     float(costs.tree_average_user_cost(4))])
+    return TableData(
+        title="Figure 12: key changes by a client per request",
+        headers=["sweep", "degree", "group size", "measured", "d/(d-1)"],
+        rows=rows,
+        notes=("Expected shape: measured values sit near d/(d-1) and are "
+               "flat in group size."),
+    )
+
+
+def degree_series(table: TableData) -> List[Tuple[int, float, float]]:
+    """[(degree, measured, bound)] rows of the top panel."""
+    return [(degree, measured, bound)
+            for sweep, degree, _size, measured, bound in table.rows
+            if sweep == "vs degree"]
+
+
+def size_series(table: TableData) -> List[Tuple[int, float, float]]:
+    """[(group size, measured, bound)] rows of the bottom panel."""
+    return [(size, measured, bound)
+            for sweep, _degree, size, measured, bound in table.rows
+            if sweep == "vs group size"]

@@ -1,0 +1,135 @@
+"""ASCII rendering of the paper's figures.
+
+The paper's Figures 10-12 are line charts; this module renders the
+regenerated series as terminal charts so ``python -m repro.experiments
+--plot`` shows the shapes directly (no plotting dependency exists in the
+offline environment).
+
+The renderer is deliberately simple: linear or log-2 x axis, linear y
+axis, one glyph per series, a legend, and axis labels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def render_chart(series: Dict[str, Sequence[Tuple[float, float]]],
+                 title: str = "", x_label: str = "", y_label: str = "",
+                 width: int = 64, height: int = 18,
+                 log_x: bool = False) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    >>> chart = render_chart({"a": [(1, 1), (2, 2)]}, width=20, height=5)
+    >>> "a" in chart
+    True
+    """
+    if not series or all(not points for points in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small")
+
+    def x_of(value: float) -> float:
+        return math.log2(value) if log_x else value
+
+    all_points = [(x_of(x), y) for points in series.values()
+                  for x, y in points]
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(min(ys), 0.0), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, points) in enumerate(sorted(series.items())):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        legend.append(f"{glyph} = {name}")
+        ordered = sorted(points)
+        # Draw connecting segments then the markers on top.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            steps = max(2, width // max(1, len(ordered) - 1))
+            for step in range(steps + 1):
+                t = step / steps
+                x = x_of(x0) * (1 - t) + x_of(x1) * t
+                y = y0 * (1 - t) + y1 * t
+                col = _scale(x, x_low, x_high, width)
+                row = height - 1 - _scale(y, y_low, y_high, height)
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+        for x, y in ordered:
+            col = _scale(x_of(x), x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_high_label = f"{y_high:.3g}"
+    y_low_label = f"{y_low:.3g}"
+    margin = max(len(y_high_label), len(y_low_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_high_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = y_low_label.rjust(margin)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    x_low_raw = min(x for points in series.values() for x, _ in points)
+    x_high_raw = max(x for points in series.values() for x, _ in points)
+    axis = f"{' ' * margin}+{'-' * width}"
+    lines.append(axis)
+    x_legend = (f"{x_low_raw:.3g}".ljust(width - 8) + f"{x_high_raw:.3g}")
+    lines.append(f"{' ' * (margin + 1)}{x_legend}")
+    if x_label:
+        suffix = " (log scale)" if log_x else ""
+        lines.append(f"{' ' * (margin + 1)}{x_label}{suffix}")
+    lines.append(f"{' ' * (margin + 1)}{'   '.join(legend)}")
+    return "\n".join(lines)
+
+
+def fig10_chart(table) -> str:
+    """Figure 10 as an ASCII chart (signed configuration panel)."""
+    from . import fig10 as fig10_module
+    series = {}
+    for (protection, strategy), points in fig10_module.series(table).items():
+        if protection == "encryption+digest+signature":
+            series[strategy] = points
+    return render_chart(
+        series, title="Figure 10 (enc+digest+sig): mean ms vs group size",
+        x_label="group size", y_label="ms", log_x=True)
+
+
+def fig11_chart(table) -> str:
+    """Figure 11 as an ASCII chart (encryption-only panel)."""
+    from . import fig11 as fig11_module
+    series = {}
+    for (protection, strategy), points in fig11_module.series(table).items():
+        if protection == "encryption-only":
+            series[strategy] = points
+    return render_chart(
+        series, title="Figure 11 (encryption only): mean ms vs degree",
+        x_label="key tree degree", y_label="ms", log_x=True)
+
+
+def fig12_chart(table) -> str:
+    """Figure 12 (vs degree) as an ASCII chart with the bound."""
+    from . import fig12 as fig12_module
+    measured = [(d, m) for d, m, _b in fig12_module.degree_series(table)]
+    bound = [(d, b) for d, _m, b in fig12_module.degree_series(table)]
+    return render_chart(
+        {"measured": measured, "d/(d-1)": bound},
+        title="Figure 12: key changes per client vs degree",
+        x_label="key tree degree", y_label="keys", log_x=True)

@@ -1,0 +1,87 @@
+"""Table 4: the signing technique (paper §4).
+
+Average rekey message size and server processing time per join/leave,
+for each rekeying strategy, under (a) one RSA signature per rekey
+message, and (b) one Merkle-certified signature for all of a request's
+rekey messages.  The paper reports a ~10x processing-time reduction for
+user- and key-oriented rekeying; group-oriented (one message per
+request) is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..crypto.suite import CipherSuite
+from .common import (QUICK, STRATEGY_ORDER, Scale, TableData,
+                     strategy_experiment)
+
+
+def run(scale: Scale = QUICK, degree: int = 4,
+        signature_bits: int = 512) -> TableData:
+    """Regenerate Table 4.
+
+    ``signature_bits`` defaults to the paper's RSA-512.  Substrate note:
+    the paper's premise is "a digital signature operation is around two
+    orders of magnitude slower than a key encryption" — true for C
+    DES vs RSA-512 in 1998, but pure-Python DES is slow relative to
+    Python's bignum RSA-512, which compresses the measured speedup.
+    Running with ``signature_bits=2048`` restores the paper's relative
+    cost structure (RSA sign ~ 100x a rekey-item encryption here) and
+    with it the ~10x Merkle speedup.
+    """
+    suite = CipherSuite("des", "md5", signature_bits)
+    rows = []
+    measurements: Dict[str, Dict[str, object]] = {}
+    for strategy in STRATEGY_ORDER:
+        cells = {}
+        for signing, label in (("per-message", "one sig per msg"),
+                               ("merkle", "one sig for all")):
+            result = strategy_experiment(scale, strategy, degree=degree,
+                                         suite=suite,
+                                         signing=signing, seed=b"table4")
+            metrics = result.server_metrics
+            cells[signing] = {
+                "join_size": metrics.join.message_bytes.mean,
+                "leave_size": metrics.leave.message_bytes.mean,
+                "join_ms": metrics.join.processing_ms.mean,
+                "leave_ms": metrics.leave.processing_ms.mean,
+                "ave_ms": (metrics.join.processing_ms.mean
+                           + metrics.leave.processing_ms.mean) / 2,
+            }
+        measurements[strategy] = cells
+        per_message = cells["per-message"]
+        merkle = cells["merkle"]
+        rows.append([
+            strategy,
+            per_message["join_size"], per_message["leave_size"],
+            per_message["join_ms"], per_message["leave_ms"],
+            per_message["ave_ms"],
+            merkle["join_size"], merkle["leave_size"],
+            merkle["join_ms"], merkle["leave_ms"], merkle["ave_ms"],
+        ])
+    return TableData(
+        title=(f"Table 4: signing technique, key tree degree {degree}, "
+               f"n={scale.initial_size} (DES, MD5, RSA-{signature_bits})"),
+        headers=["strategy",
+                 "sig/msg join B", "sig/msg leave B",
+                 "sig/msg join ms", "sig/msg leave ms", "sig/msg ave ms",
+                 "merkle join B", "merkle leave B",
+                 "merkle join ms", "merkle leave ms", "merkle ave ms"],
+        rows=rows,
+        notes=("Expected shape: user/key-oriented ave ms drops ~10x with "
+               "the Merkle technique; group-oriented is unchanged (one "
+               "rekey message either way); message sizes grow slightly "
+               "(the Merkle certificate)."),
+    )
+
+
+def speedup(table: TableData) -> Dict[str, float]:
+    """Per-strategy ave-ms ratio (per-message / merkle) for assertions."""
+    ratios = {}
+    for row in table.rows:
+        strategy = row[0]
+        per_message_ave, merkle_ave = row[5], row[10]
+        ratios[strategy] = (per_message_ave / merkle_ave
+                            if merkle_ave else float("inf"))
+    return ratios

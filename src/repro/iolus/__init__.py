@@ -1,0 +1,5 @@
+"""Iolus baseline (paper §6): hierarchy of group security agents."""
+
+from .system import Agent, IolusError, IolusOpRecord, IolusSystem
+
+__all__ = ["IolusSystem", "IolusOpRecord", "IolusError", "Agent"]

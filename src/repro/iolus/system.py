@@ -1,0 +1,279 @@
+"""Iolus baseline: a hierarchy of group security agents (paper §6).
+
+Mittra's Iolus (SIGCOMM '97) is the approach the paper compares against.
+Structure (as summarised in §6):
+
+* clients sit at the leaves under *group security agents* (GSAs), with a
+  *group security controller* at the top;
+* every tree node (agent) forms a subgroup with its children (clients or
+  lower-level agents) and shares a subgroup key (SGK) with them;
+* there is **no** globally shared group key, so a join/leave rekeys only
+  the local subgroup (the "1 does not equal n" win);
+* but confidential data needs a per-message *message key* that agents
+  decrypt and re-encrypt subgroup-by-subgroup as the message propagates
+  (the "1 affects n" work moves to data time).
+
+This implementation is a real substrate — subgroup keys are real cipher
+keys, message keys really are re-encrypted hop by hop, and clients can
+decrypt end to end — so the §6 comparison benchmarks count actual
+cryptographic operations on both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto import drbg
+from ..crypto import modes
+from ..crypto.suite import PAPER_SUITE, CipherSuite
+
+
+class IolusError(ValueError):
+    """Raised on invalid Iolus operations."""
+
+
+@dataclass
+class IolusOpRecord:
+    """Cost of one Iolus operation, in key encryptions/decryptions."""
+
+    op: str
+    encryptions: int = 0
+    decryptions: int = 0
+    messages: int = 0
+
+    @property
+    def crypto_ops(self) -> int:
+        """Encryptions plus decryptions."""
+        return self.encryptions + self.decryptions
+
+
+class Agent:
+    """One group security agent and the subgroup it anchors.
+
+    The subgroup = this agent + its children (client members or child
+    agents); all of them share ``subgroup_key``.
+    """
+
+    def __init__(self, agent_id: str, keygen):
+        self.agent_id = agent_id
+        self._keygen = keygen
+        self.subgroup_key: bytes = keygen()
+        self.key_version = 0
+        self.parent: Optional["Agent"] = None
+        self.children: List["Agent"] = []
+        # client id -> individual key shared between client and this agent
+        self.clients: Dict[str, bytes] = {}
+
+    @property
+    def is_leaf(self) -> bool:
+        """True iff this agent hosts clients directly."""
+        return not self.children
+
+    def rotate_key(self) -> Tuple[bytes, bytes]:
+        """Replace the subgroup key; returns (old, new)."""
+        old = self.subgroup_key
+        self.subgroup_key = self._keygen()
+        self.key_version += 1
+        return old, self.subgroup_key
+
+    def subgroup_size(self) -> int:
+        """Members sharing this SGK: clients + child agents (+ parent link
+        is *not* part of this subgroup)."""
+        return len(self.clients) + len(self.children)
+
+
+class IolusSystem:
+    """A complete Iolus deployment for one secure group."""
+
+    def __init__(self, suite: CipherSuite = PAPER_SUITE,
+                 agent_fanout: int = 4, agent_levels: int = 2,
+                 seed: Optional[bytes] = None):
+        if agent_fanout < 1 or agent_levels < 1:
+            raise IolusError("need positive fanout and levels")
+        self.suite = suite
+        self._random = drbg.make_source(seed, b"iolus")
+        self.history: List[IolusOpRecord] = []
+
+        # Build the agent hierarchy: a full agent tree of `agent_levels`
+        # levels with the GSC at the top.
+        self.gsc = Agent("gsc", self._new_key)
+        frontier = [self.gsc]
+        count = 0
+        for _level in range(agent_levels - 1):
+            next_frontier = []
+            for parent in frontier:
+                for _ in range(agent_fanout):
+                    agent = Agent(f"gsa{count}", self._new_key)
+                    count += 1
+                    agent.parent = parent
+                    parent.children.append(agent)
+                    next_frontier.append(agent)
+            frontier = next_frontier
+        self.leaf_agents = frontier
+        self._client_home: Dict[str, Agent] = {}
+
+    def _new_key(self) -> bytes:
+        return self.suite.safe_key(self._random)
+
+    def _new_iv(self) -> bytes:
+        return self._random.generate(self.suite.block_size)
+
+    # -- membership -----------------------------------------------------------
+
+    @property
+    def n_clients(self) -> int:
+        """Current client population."""
+        return len(self._client_home)
+
+    def agents(self) -> List[Agent]:
+        """Every agent, GSC first (preorder)."""
+        result = []
+        stack = [self.gsc]
+        while stack:
+            agent = stack.pop()
+            result.append(agent)
+            stack.extend(agent.children)
+        return result
+
+    def join(self, client_id: str,
+             individual_key: Optional[bytes] = None) -> IolusOpRecord:
+        """Admit a client into the least-loaded leaf subgroup.
+
+        Local rekey only (the Iolus advantage): the new SGK goes to the
+        joiner under its individual key (1 encryption) and to the rest of
+        the subgroup under the old SGK (1 encryption).
+        """
+        if client_id in self._client_home:
+            raise IolusError(f"client {client_id!r} already joined")
+        if individual_key is None:
+            individual_key = self._new_key()
+        home = min(self.leaf_agents, key=lambda agent: len(agent.clients))
+        had_members = home.subgroup_size() > 0
+        home.clients[client_id] = individual_key
+        self._client_home[client_id] = home
+        home.rotate_key()
+        record = IolusOpRecord(op="join",
+                               encryptions=2 if had_members else 1,
+                               messages=2 if had_members else 1)
+        self.history.append(record)
+        return record
+
+    def leave(self, client_id: str) -> IolusOpRecord:
+        """Remove a client; rekey only its home subgroup.
+
+        The agent unicasts the new SGK to each remaining subgroup member
+        (clients under their individual keys; child agents under
+        pairwise agent keys — counted the same).
+        """
+        home = self._client_home.pop(client_id, None)
+        if home is None:
+            raise IolusError(f"unknown client {client_id!r}")
+        del home.clients[client_id]
+        home.rotate_key()
+        remaining = home.subgroup_size()
+        record = IolusOpRecord(op="leave", encryptions=remaining,
+                               messages=remaining)
+        self.history.append(record)
+        return record
+
+    # -- data path ---------------------------------------------------------------
+
+    def multicast(self, sender_id: str, payload: bytes) -> Tuple[IolusOpRecord, Dict[str, bytes]]:
+        """Confidential data from ``sender_id`` to the whole group.
+
+        The sender generates a message key, encrypts it under its leaf
+        SGK; every agent on the distribution tree decrypts the message
+        key with one subgroup key and re-encrypts it for each adjacent
+        subgroup.  Returns the cost record and the plaintext as decrypted
+        by every receiving client (tests assert these all match).
+
+        The LKH equivalent costs exactly one encryption (under the group
+        key) regardless of group size — the §6 trade-off.
+        """
+        home = self._client_home.get(sender_id)
+        if home is None:
+            raise IolusError(f"unknown sender {sender_id!r}")
+        message_key = self._new_key()
+        data_iv = self._new_iv()
+        block = self.suite.block_size
+        padded_len = -(-max(len(payload), 1) // block) * block
+        cipher = self.suite.new_cipher(message_key)
+        body = modes.cbc_encrypt_nopad(cipher, payload.ljust(padded_len, b"\x00"),
+                                       data_iv)
+        record = IolusOpRecord(op="data")
+
+        # An envelope {Km}_{SGK_X} is readable by agent X and by the
+        # members of X's anchored subgroup (X's clients and child agents).
+        # Each agent knows exactly two subgroup keys: its own anchored
+        # SGK and its parent's; forwarding means producing the envelope
+        # for the *other* key space it belongs to.
+        envelopes: Dict[str, Tuple[bytes, bytes]] = {}  # anchor id -> (ct, iv)
+
+        def produce(anchor: Agent, key_material: bytes) -> None:
+            iv = self._new_iv()
+            envelopes[anchor.agent_id] = (
+                self.suite.encrypt(anchor.subgroup_key, key_material, iv), iv)
+            record.encryptions += 1
+            record.messages += 1
+
+        # The sender is a member of its home subgroup and seeds it.
+        produce(home, message_key)
+
+        # Flood: an agent obtains Km by decrypting any envelope it can
+        # read (one decryption each), then produces missing envelopes for
+        # the key spaces it belongs to.
+        has_km: Dict[str, bytes] = {}
+        progress = True
+        while progress:
+            progress = False
+            for agent in self.agents():
+                if agent.agent_id in has_km:
+                    continue
+                readable = None
+                if agent.agent_id in envelopes:
+                    readable = (agent.subgroup_key,
+                                envelopes[agent.agent_id])
+                elif (agent.parent is not None
+                        and agent.parent.agent_id in envelopes):
+                    readable = (agent.parent.subgroup_key,
+                                envelopes[agent.parent.agent_id])
+                if readable is None:
+                    continue
+                key, (ciphertext, iv) = readable
+                has_km[agent.agent_id] = self.suite.decrypt(key, ciphertext, iv)
+                record.decryptions += 1
+                progress = True
+            for agent in self.agents():
+                key_material = has_km.get(agent.agent_id)
+                if key_material is None:
+                    continue
+                if agent.agent_id not in envelopes and (
+                        agent.clients or agent.children):
+                    produce(agent, key_material)
+                    progress = True
+                if (agent.parent is not None
+                        and agent.parent.agent_id not in envelopes):
+                    produce(agent.parent, key_material)
+                    progress = True
+
+        # Clients read their home subgroup's envelope and decrypt the data.
+        received: Dict[str, bytes] = {}
+        for agent in self.agents():
+            if not agent.clients:
+                continue
+            ciphertext, iv = envelopes[agent.agent_id]
+            for client_id in agent.clients:
+                client_key = self.suite.decrypt(agent.subgroup_key,
+                                                ciphertext, iv)
+                client_cipher = self.suite.new_cipher(client_key)
+                plain = modes.cbc_decrypt_nopad(client_cipher, body, data_iv)
+                received[client_id] = plain[:len(payload)]
+        self.history.append(record)
+        return record, received
+
+    # -- analytics ------------------------------------------------------------------
+
+    def trusted_entities(self) -> int:
+        """Every agent is a trusted entity in Iolus (§6 'Trust')."""
+        return len(self.agents())

@@ -1,0 +1,34 @@
+"""Key graphs: the formal model of secure groups (paper §2).
+
+* :class:`~repro.keygraph.graph.KeyGraph` — generic DAG key graphs and
+  their ``(U, K, R)`` semantics (:class:`~repro.keygraph.graph.SecureGroup`);
+* :class:`~repro.keygraph.tree.KeyTree` — the operational LKH key tree
+  with the full/balanced maintenance heuristic;
+* :class:`~repro.keygraph.star.StarGroup` — the conventional baseline;
+* :class:`~repro.keygraph.complete.CompleteGroup` — one key per subset;
+* :mod:`~repro.keygraph.covering` — the (NP-hard) key-covering problem.
+"""
+
+from .analysis import TreeShape, assert_balanced, leaf_depth_histogram, measure
+from .complete import CompleteGroup, CompleteGroupError
+from .covering import (CoverError, exact_cover, greedy_cover, is_cover,
+                       tree_cover)
+from .graph import (K_NODE, U_NODE, KeyGraph, KeyGraphError, SecureGroup,
+                    figure1_example)
+from .materialized import (GraphRekeyOutcome, MaterializedGraphError,
+                           MaterializedKeyGraph)
+from .star import StarGroup, StarError, StarRekey
+from .tree import (JoinResult, KeyTree, KeyTreeError, LeaveResult,
+                   PathChange, TreeNode)
+
+__all__ = [
+    "KeyGraph", "KeyGraphError", "SecureGroup", "figure1_example",
+    "U_NODE", "K_NODE",
+    "KeyTree", "KeyTreeError", "TreeNode", "PathChange",
+    "JoinResult", "LeaveResult",
+    "StarGroup", "StarError", "StarRekey",
+    "CompleteGroup", "CompleteGroupError",
+    "CoverError", "exact_cover", "greedy_cover", "is_cover", "tree_cover",
+    "TreeShape", "measure", "leaf_depth_histogram", "assert_balanced",
+    "MaterializedKeyGraph", "MaterializedGraphError", "GraphRekeyOutcome",
+]

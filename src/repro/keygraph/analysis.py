@@ -1,0 +1,92 @@
+"""Key tree shape analysis.
+
+The paper's server "employs a heuristic that attempts to build and
+maintain a key tree that is full and balanced.  However, since the
+sequence of join/leave requests is randomly generated, it is unlikely
+that the tree is truly full and balanced at any time."  This module
+quantifies how close the tree actually stays: height vs the balanced
+optimum, interior fill factor, leaf-depth distribution, and key-count
+overhead vs the d/(d-1)·n ideal.
+
+Used by the long-churn drift ablation and the property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .tree import KeyTree
+
+
+@dataclass(frozen=True)
+class TreeShape:
+    """A snapshot of a key tree's structural quality."""
+
+    n_users: int
+    n_keys: int
+    height: int                 # paper height h (u-node to root edges)
+    optimal_height: int         # ceil(log_d n) + 1
+    min_leaf_depth: int         # shallowest user's key count
+    mean_leaf_depth: float
+    interior_fill: float        # mean children/degree over interior nodes
+    key_overhead: float         # n_keys / (d/(d-1) * n)
+
+    @property
+    def height_slack(self) -> int:
+        """Levels above the balanced optimum (0 = perfectly balanced)."""
+        return self.height - self.optimal_height
+
+    @property
+    def depth_spread(self) -> float:
+        """Gap between deepest and shallowest user (skew indicator)."""
+        return self.height - self.min_leaf_depth
+
+
+def measure(tree: KeyTree) -> TreeShape:
+    """Compute the shape snapshot of ``tree``."""
+    n = tree.n_users
+    if n == 0:
+        raise ValueError("cannot measure an empty tree")
+    depths: List[int] = []
+    interior_children: List[int] = []
+    for node in tree.nodes():
+        if node.is_leaf:
+            depths.append(len(node.path_to_root()))
+        else:
+            interior_children.append(len(node.children))
+    optimal = 2 if n == 1 else math.ceil(math.log(n, tree.degree)) + 1
+    ideal_keys = tree.degree / (tree.degree - 1) * n
+    return TreeShape(
+        n_users=n,
+        n_keys=tree.n_keys,
+        height=max(depths),
+        optimal_height=optimal,
+        min_leaf_depth=min(depths),
+        mean_leaf_depth=sum(depths) / len(depths),
+        interior_fill=(sum(interior_children)
+                       / (len(interior_children) * tree.degree)
+                       if interior_children else 1.0),
+        key_overhead=tree.n_keys / ideal_keys,
+    )
+
+
+def leaf_depth_histogram(tree: KeyTree) -> Dict[int, int]:
+    """Number of users at each key-path length."""
+    histogram: Dict[int, int] = {}
+    for node in tree.nodes():
+        if node.is_leaf:
+            depth = len(node.path_to_root())
+            histogram[depth] = histogram.get(depth, 0) + 1
+    return histogram
+
+
+def assert_balanced(tree: KeyTree, slack: int = 1) -> TreeShape:
+    """Raise AssertionError if the tree drifted beyond ``slack`` levels."""
+    shape = measure(tree)
+    if shape.height_slack > slack:
+        raise AssertionError(
+            f"tree drifted: height {shape.height} vs optimal "
+            f"{shape.optimal_height} (slack {slack})")
+    return shape

@@ -1,0 +1,130 @@
+"""Complete key graphs (paper §2.2): one key per nonempty user subset.
+
+With ``n`` users there are ``2**n - 1`` keys and each user holds
+``2**(n-1)`` of them — Table 1's point that completeness is practical
+only for very small groups, and Table 2's point that it trades all the
+cost onto joins: after a leave *no* rekeying is needed, because the
+remaining users already share a key unknown to the departed user.
+
+This class exists to reproduce the Table 1/2/3 rows and for the
+key-covering test corpus; it enforces a small-n guard.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Dict, FrozenSet, List, Tuple
+
+from .graph import KeyGraph
+
+MAX_USERS = 16
+
+
+class CompleteGroupError(ValueError):
+    """Raised on invalid complete-group construction or edits."""
+
+
+class CompleteGroup:
+    """A secure group with a key for every nonempty subset of users."""
+
+    def __init__(self, users: List[str], keygen: Callable[[], bytes]):
+        if not users:
+            raise CompleteGroupError("need at least one user")
+        if len(set(users)) != len(users):
+            raise CompleteGroupError("duplicate user ids")
+        if len(users) > MAX_USERS:
+            raise CompleteGroupError(
+                f"complete key graphs are exponential; {len(users)} users "
+                f"exceeds the guard of {MAX_USERS}")
+        self._keygen = keygen
+        self._users = list(users)
+        self._keys: Dict[FrozenSet[str], bytes] = {}
+        self._rebuild_missing()
+
+    def _rebuild_missing(self) -> None:
+        current = set(self._users)
+        # Drop keys referencing departed users; add keys for new subsets.
+        self._keys = {subset: key for subset, key in self._keys.items()
+                      if subset <= current}
+        for size in range(1, len(self._users) + 1):
+            for combo in combinations(sorted(current), size):
+                subset = frozenset(combo)
+                if subset not in self._keys:
+                    self._keys[subset] = self._keygen()
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    @property
+    def n_keys(self) -> int:
+        """Total keys: 2**n - 1 (Table 1)."""
+        return len(self._keys)
+
+    def users(self) -> List[str]:
+        """Current member ids."""
+        return list(self._users)
+
+    def key_for(self, subset) -> bytes:
+        """The key shared by exactly ``subset``."""
+        subset = frozenset(subset)
+        try:
+            return self._keys[subset]
+        except KeyError:
+            raise CompleteGroupError(f"no key for subset {sorted(subset)}") from None
+
+    def group_key(self) -> bytes:
+        """The key of the full-membership subset."""
+        return self._keys[frozenset(self._users)]
+
+    def keyset(self, user_id: str) -> List[FrozenSet[str]]:
+        """Subsets whose key ``user_id`` holds: 2**(n-1) of them (Table 1)."""
+        if user_id not in self._users:
+            raise CompleteGroupError(f"unknown user {user_id!r}")
+        return [subset for subset in self._keys if user_id in subset]
+
+    def userset(self, subset) -> FrozenSet[str]:
+        """The holders of a subset key: exactly that subset."""
+        subset = frozenset(subset)
+        if subset not in self._keys:
+            raise CompleteGroupError(f"no key for subset {sorted(subset)}")
+        return subset
+
+    def join(self, user_id: str) -> Tuple[int, int]:
+        """Add a user; returns (#new keys created, #keys joiner must receive).
+
+        Every subset containing the new user needs a fresh key: 2**n new
+        keys where n is the old size — Table 2's exponential join cost.
+        """
+        if user_id in self._users:
+            raise CompleteGroupError(f"user {user_id!r} is already a member")
+        if len(self._users) + 1 > MAX_USERS:
+            raise CompleteGroupError("join would exceed the small-n guard")
+        before = len(self._keys)
+        self._users.append(user_id)
+        self._rebuild_missing()
+        created = len(self._keys) - before
+        return created, len(self.keyset(user_id))
+
+    def leave(self, user_id: str) -> int:
+        """Remove a user; returns the rekeying cost — always 0.
+
+        The remaining members already share the key for their exact
+        subset, which the departed user never held (Table 2: leave cost 0).
+        """
+        if user_id not in self._users:
+            raise CompleteGroupError(f"unknown user {user_id!r}")
+        self._users.remove(user_id)
+        self._rebuild_missing()
+        return 0
+
+    def to_key_graph(self) -> KeyGraph:
+        """Export as a formal :class:`KeyGraph` for validation."""
+        graph = KeyGraph()
+        for user_id in self._users:
+            graph.add_u_node(user_id)
+        for subset in self._keys:
+            name = "k-" + "+".join(sorted(subset))
+            graph.add_k_node(name)
+            for user_id in subset:
+                graph.add_edge(user_id, name)
+        return graph

@@ -1,0 +1,152 @@
+"""The key-covering problem (paper §2.1).
+
+Given a secure group ``(U, K, R)`` and a target subset ``S`` of ``U``,
+find a minimum-size subset ``K'`` of ``K`` with ``userset(K') == S``.
+The server solves instances of this to rekey after a leave: the new key
+must reach exactly ``userset(k) - {u}``.
+
+The general problem is NP-hard (reduction from exact cover; the paper's
+technical report TR 97-23).  This module provides:
+
+* :func:`exact_cover` — optimal, by breadth-first search over subset
+  sizes; exponential, guarded for small key sets;
+* :func:`greedy_cover` — polynomial greedy heuristic in the style of
+  greedy set cover, restricted to *admissible* keys (keys whose userset
+  is contained in S, since a cover may not over-shoot S);
+* :func:`tree_cover` — the closed-form optimal cover for a key tree when
+  S is "everyone except one user", which is what the leave protocols use.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Optional, Set
+
+from .graph import SecureGroup
+from .tree import KeyTree, TreeNode
+
+
+class CoverError(ValueError):
+    """Raised when no cover exists or guards are exceeded."""
+
+
+def _admissible_keys(group: SecureGroup, target: FrozenSet) -> List:
+    """Keys whose userset is a nonempty subset of the target."""
+    keys = []
+    for key in group.keys:
+        userset = group.userset(key)
+        if userset and userset <= target:
+            keys.append(key)
+    return keys
+
+
+def is_cover(group: SecureGroup, keys: Iterable, target: Iterable) -> bool:
+    """True iff ``userset(keys) == target`` exactly."""
+    return group.userset_of_keys(keys) == frozenset(target)
+
+
+def exact_cover(group: SecureGroup, target: Iterable,
+                max_keys: int = 20) -> List:
+    """Minimum-size key cover by exhaustive search over subset sizes.
+
+    Exponential in the number of admissible keys; raises
+    :class:`CoverError` when that count exceeds ``max_keys`` or no cover
+    exists.
+    """
+    target = frozenset(target)
+    if not target <= group.users:
+        raise CoverError("target contains unknown users")
+    if not target:
+        return []
+    admissible = _admissible_keys(group, target)
+    if len(admissible) > max_keys:
+        raise CoverError(
+            f"{len(admissible)} admissible keys exceeds exact-search guard "
+            f"of {max_keys}; use greedy_cover")
+    if group.userset_of_keys(admissible) != target:
+        raise CoverError("no exact cover exists for this target")
+    for size in range(1, len(admissible) + 1):
+        for combo in combinations(admissible, size):
+            if group.userset_of_keys(combo) == target:
+                return list(combo)
+    raise CoverError("no exact cover exists for this target")  # pragma: no cover
+
+
+def greedy_cover(group: SecureGroup, target: Iterable) -> List:
+    """Greedy key cover: repeatedly take the admissible key covering the
+    most uncovered users.  Correct (covers exactly the target) but not
+    always minimal — the classic ln(n) approximation behaviour.
+    """
+    target = frozenset(target)
+    if not target <= group.users:
+        raise CoverError("target contains unknown users")
+    if not target:
+        return []
+    admissible = _admissible_keys(group, target)
+    if group.userset_of_keys(admissible) != target:
+        raise CoverError("no exact cover exists for this target")
+    uncovered: Set = set(target)
+    chosen: List = []
+    # Sort for determinism before greedy selection.
+    pool = sorted(admissible, key=repr)
+    while uncovered:
+        best = max(pool, key=lambda key: len(group.userset(key) & uncovered))
+        gain = group.userset(best) & uncovered
+        if not gain:
+            raise CoverError("greedy cover stalled")  # pragma: no cover
+        chosen.append(best)
+        uncovered -= gain
+        pool.remove(best)
+    return chosen
+
+
+def group_from_set_cover(universe: Iterable,
+                         subsets: List[Iterable]) -> SecureGroup:
+    """Encode a set-cover instance as a secure group (NP-hardness).
+
+    The paper states "the key-covering problem in general is NP-hard"
+    (with the reduction in its technical report TR 97-23).  This helper
+    makes the reduction concrete: elements become users, each candidate
+    set becomes a key held by exactly its elements, and a minimum key
+    cover of the whole universe *is* a minimum set cover — so a
+    polynomial optimal key-cover algorithm would solve set cover.
+
+    Each user also gets an individual key (as the model requires), which
+    never helps a cover of more than one element, preserving optima for
+    instances whose optimal cover is below universe size.
+    """
+    universe = list(universe)
+    if not universe:
+        raise CoverError("empty universe")
+    users = [f"e{element}" for element in universe]
+    relation = []
+    keys = []
+    for index, subset in enumerate(subsets):
+        key = f"S{index}"
+        keys.append(key)
+        for element in subset:
+            if element not in universe:
+                raise CoverError(f"subset {index} leaves the universe")
+            relation.append((f"e{element}", key))
+    for user in users:
+        keys.append(f"ind-{user}")
+        relation.append((user, f"ind-{user}"))
+    return SecureGroup(users, keys, relation)
+
+
+def tree_cover(tree: KeyTree, excluded_user: str) -> List[TreeNode]:
+    """Optimal cover of ``all users - {excluded}`` on a key tree.
+
+    This is the structure the leave protocols exploit: for every node on
+    the excluded user's path, take the keys of its *other* children.  The
+    result has at most ``(d-1) * (h-1)`` nodes and is minimal for a tree.
+    """
+    leaf = tree.leaf_of(excluded_user)
+    cover: List[TreeNode] = []
+    node = leaf
+    while node.parent is not None:
+        for sibling in node.parent.children:
+            if sibling is not node:
+                cover.append(sibling)
+        node = node.parent
+    return cover

@@ -1,0 +1,319 @@
+"""Generic key graphs and the (U, K, R) secure-group model (paper §2).
+
+A *key graph* is a directed acyclic graph with two kinds of nodes:
+u-nodes (users) and k-nodes (keys).  Each u-node has outgoing edges only;
+each k-node has at least one incoming edge.  Edges point "upward", from a
+user toward the keys it holds, and from a key toward keys held by
+strictly larger user sets.  A k-node with no outgoing edge is a *root*.
+
+The graph *specifies* a secure group ``(U, K, R)``: ``(u, k) in R`` iff
+there is a directed path from u-node ``u`` to k-node ``k``.  This module
+implements the graph, its validation rules, and the derived
+``keyset`` / ``userset`` functions.
+
+The operational tree class used by the server lives in
+:mod:`repro.keygraph.tree`; it can be exported to a :class:`KeyGraph`
+(see ``KeyTree.to_key_graph``) so that the formal model validates the
+operational structure in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+U_NODE = "u"
+K_NODE = "k"
+
+
+class KeyGraphError(ValueError):
+    """Raised when a key graph violates the structural rules of §2.1."""
+
+
+class KeyGraph:
+    """A directed acyclic graph of u-nodes and k-nodes.
+
+    Node names are arbitrary hashable labels (strings in the paper's
+    figures, e.g. ``"u1"`` and ``"k123"``).  Edges are added from lower
+    nodes to the keys above them.
+    """
+
+    def __init__(self):
+        self._kind: Dict[object, str] = {}
+        self._out: Dict[object, Set[object]] = {}
+        self._in: Dict[object, Set[object]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_u_node(self, name) -> None:
+        """Add a user node."""
+        self._add_node(name, U_NODE)
+
+    def add_k_node(self, name) -> None:
+        """Add a key node."""
+        self._add_node(name, K_NODE)
+
+    def _add_node(self, name, kind: str) -> None:
+        if name in self._kind:
+            raise KeyGraphError(f"duplicate node {name!r}")
+        self._kind[name] = kind
+        self._out[name] = set()
+        self._in[name] = set()
+
+    def add_edge(self, lower, upper) -> None:
+        """Add a directed edge ``lower -> upper``.
+
+        ``upper`` must be a k-node (u-nodes have no incoming edges); the
+        edge must not create a cycle.
+        """
+        for name in (lower, upper):
+            if name not in self._kind:
+                raise KeyGraphError(f"unknown node {name!r}")
+        if self._kind[upper] != K_NODE:
+            raise KeyGraphError("edges must terminate at a k-node")
+        if lower == upper or self._reaches(upper, lower):
+            raise KeyGraphError(f"edge {lower!r}->{upper!r} would create a cycle")
+        self._out[lower].add(upper)
+        self._in[upper].add(lower)
+
+    def remove_node(self, name) -> None:
+        """Remove a node and all its incident edges."""
+        if name not in self._kind:
+            raise KeyGraphError(f"unknown node {name!r}")
+        for upper in self._out.pop(name):
+            self._in[upper].discard(name)
+        for lower in self._in.pop(name):
+            self._out[lower].discard(name)
+        del self._kind[name]
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def u_nodes(self) -> FrozenSet:
+        """All user nodes."""
+        return frozenset(n for n, kind in self._kind.items() if kind == U_NODE)
+
+    @property
+    def k_nodes(self) -> FrozenSet:
+        """All key nodes."""
+        return frozenset(n for n, kind in self._kind.items() if kind == K_NODE)
+
+    @property
+    def roots(self) -> FrozenSet:
+        """K-nodes with incoming edges only (possibly several)."""
+        return frozenset(n for n in self.k_nodes if not self._out[n])
+
+    def children(self, name) -> FrozenSet:
+        """Nodes with an edge into ``name``."""
+        return frozenset(self._in[name])
+
+    def parents(self, name) -> FrozenSet:
+        """K-nodes that ``name`` has an edge to."""
+        return frozenset(self._out[name])
+
+    def _reaches(self, start, target) -> bool:
+        stack = [start]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._out.get(node, ()))
+        return False
+
+    def keyset(self, user) -> FrozenSet:
+        """All k-nodes reachable from u-node ``user`` (keys the user holds)."""
+        if self._kind.get(user) != U_NODE:
+            raise KeyGraphError(f"{user!r} is not a u-node")
+        found: Set[object] = set()
+        stack = list(self._out[user])
+        while stack:
+            node = stack.pop()
+            if node in found:
+                continue
+            found.add(node)
+            stack.extend(self._out[node])
+        return frozenset(found)
+
+    def userset(self, key) -> FrozenSet:
+        """All u-nodes from which k-node ``key`` is reachable."""
+        if self._kind.get(key) != K_NODE:
+            raise KeyGraphError(f"{key!r} is not a k-node")
+        found: Set[object] = set()
+        result: Set[object] = set()
+        stack = [key]
+        while stack:
+            node = stack.pop()
+            if node in found:
+                continue
+            found.add(node)
+            for lower in self._in[node]:
+                if self._kind[lower] == U_NODE:
+                    result.add(lower)
+                else:
+                    stack.append(lower)
+        return frozenset(result)
+
+    def keyset_of_users(self, users: Iterable) -> FrozenSet:
+        """Generalized keyset: keys held by at least one user in ``users``."""
+        result: Set[object] = set()
+        for user in users:
+            result |= self.keyset(user)
+        return frozenset(result)
+
+    def userset_of_keys(self, keys: Iterable) -> FrozenSet:
+        """Generalized userset: users holding at least one key in ``keys``."""
+        result: Set[object] = set()
+        for key in keys:
+            result |= self.userset(key)
+        return frozenset(result)
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural rules of §2.1; raise KeyGraphError if broken.
+
+        * each u-node has >= 1 outgoing edge and no incoming edge;
+        * each k-node has >= 1 incoming edge;
+        * the graph is acyclic (guaranteed by construction, re-checked).
+        """
+        for name, kind in self._kind.items():
+            if kind == U_NODE:
+                if not self._out[name]:
+                    raise KeyGraphError(f"u-node {name!r} has no outgoing edge")
+                if self._in[name]:
+                    raise KeyGraphError(f"u-node {name!r} has an incoming edge")
+            else:
+                if not self._in[name]:
+                    raise KeyGraphError(f"k-node {name!r} has no incoming edge")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        in_degree = {n: len(self._in[n]) for n in self._kind}
+        queue = [n for n, deg in in_degree.items() if deg == 0]
+        visited = 0
+        while queue:
+            node = queue.pop()
+            visited += 1
+            for upper in self._out[node]:
+                in_degree[upper] -= 1
+                if in_degree[upper] == 0:
+                    queue.append(upper)
+        if visited != len(self._kind):
+            raise KeyGraphError("key graph contains a cycle")
+
+    def to_dot(self, title: str = "key graph") -> str:
+        """Render as Graphviz DOT (u-nodes as boxes, k-nodes as circles).
+
+        ``dot -Tpng`` turns the output into the paper's Figure 1/3/5
+        style diagrams; the examples print it for small groups.
+        """
+        lines = [f'digraph "{title}" {{', "  rankdir=BT;"]
+        for name, kind in sorted(self._kind.items(), key=lambda kv: str(kv[0])):
+            shape = "box" if kind == U_NODE else "ellipse"
+            lines.append(f'  "{name}" [shape={shape}];')
+        for lower in sorted(self._out, key=str):
+            for upper in sorted(self._out[lower], key=str):
+                lines.append(f'  "{lower}" -> "{upper}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def secure_group(self) -> "SecureGroup":
+        """Derive the (U, K, R) triple this graph specifies."""
+        self.validate()
+        relation = set()
+        for user in self.u_nodes:
+            for key in self.keyset(user):
+                relation.add((user, key))
+        return SecureGroup(self.u_nodes, self.k_nodes, frozenset(relation))
+
+    def __len__(self) -> int:
+        return len(self._kind)
+
+
+class SecureGroup:
+    """The formal triple ``(U, K, R)`` of §2.
+
+    ``R`` is stored extensionally as a frozenset of ``(user, key)`` pairs.
+    """
+
+    def __init__(self, users: Iterable, keys: Iterable,
+                 relation: Iterable[Tuple[object, object]]):
+        self.users = frozenset(users)
+        self.keys = frozenset(keys)
+        self.relation = frozenset(relation)
+        if not self.users:
+            raise KeyGraphError("U must be nonempty")
+        if not self.keys:
+            raise KeyGraphError("K must be nonempty")
+        for user, key in self.relation:
+            if user not in self.users or key not in self.keys:
+                raise KeyGraphError(f"relation pair ({user!r}, {key!r}) "
+                                    "references unknown user or key")
+        self._keysets: Dict[object, Set[object]] = {u: set() for u in self.users}
+        self._usersets: Dict[object, Set[object]] = {k: set() for k in self.keys}
+        for user, key in self.relation:
+            self._keysets[user].add(key)
+            self._usersets[key].add(user)
+
+    def holds(self, user, key) -> bool:
+        """True iff ``(user, key)`` is in R."""
+        return (user, key) in self.relation
+
+    def keyset(self, user) -> FrozenSet:
+        """Keys held by ``user`` (the R-row)."""
+        if user not in self.users:
+            raise KeyGraphError(f"unknown user {user!r}")
+        return frozenset(self._keysets[user])
+
+    def userset(self, key) -> FrozenSet:
+        """Users holding ``key`` (the R-column)."""
+        if key not in self.keys:
+            raise KeyGraphError(f"unknown key {key!r}")
+        return frozenset(self._usersets[key])
+
+    def keyset_of_users(self, users: Iterable) -> FrozenSet:
+        """Keys held by at least one of ``users``."""
+        result: Set[object] = set()
+        for user in users:
+            result |= self._keysets[user]
+        return frozenset(result)
+
+    def userset_of_keys(self, keys: Iterable) -> FrozenSet:
+        """Users holding at least one of ``keys``."""
+        result: Set[object] = set()
+        for key in keys:
+            result |= self._usersets[key]
+        return frozenset(result)
+
+    def group_keys(self) -> FrozenSet:
+        """Keys shared by every user (candidates for the group key)."""
+        return frozenset(k for k in self.keys
+                         if self._usersets[k] == self.users)
+
+    def individual_keys(self, user) -> FrozenSet:
+        """Keys held by exactly this one user."""
+        return frozenset(k for k in self._keysets[user]
+                         if self._usersets[k] == {user})
+
+
+def figure1_example() -> KeyGraph:
+    """The key graph of the paper's Figure 1 (4 users, 2 roots)."""
+    graph = KeyGraph()
+    for i in range(1, 5):
+        graph.add_u_node(f"u{i}")
+        graph.add_k_node(f"k{i}")
+        graph.add_edge(f"u{i}", f"k{i}")
+    graph.add_k_node("k12")
+    graph.add_k_node("k234")
+    graph.add_k_node("k1234")
+    graph.add_edge("u1", "k12")
+    graph.add_edge("u2", "k12")
+    graph.add_edge("u2", "k234")
+    graph.add_edge("u3", "k234")
+    graph.add_edge("u4", "k234")
+    for lower in ("k12", "k234"):
+        graph.add_edge(lower, "k1234")
+    return graph

@@ -1,0 +1,128 @@
+"""Star key graphs (paper §2.2, §3.1–3.2): the conventional baseline.
+
+Each user holds exactly two keys — its individual key and the group key.
+Rekeying after a leave costs ``n - 1`` encryptions (one per remaining
+member), which is the scalability problem the key tree solves.
+
+Implemented standalone (rather than as a degenerate tree) so the join and
+leave protocols of Figures 2 and 4 map one-to-one onto methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from .graph import KeyGraph
+
+
+class StarError(ValueError):
+    """Raised on invalid star-group edits."""
+
+
+@dataclass
+class StarRekey:
+    """Rekey plan after a star join/leave.
+
+    ``encrypt_for`` lists ``(user_id, encrypting_key)`` pairs — the new
+    group key must be sent to each user encrypted under that key.  After
+    a join the old group key covers all prior members in one multicast
+    (``multicast_under_old_group_key`` is set); after a leave each
+    remaining member needs a unicast under its individual key.
+    """
+
+    new_group_key: bytes
+    new_version: int
+    multicast_under_old_group_key: bytes = b""
+    old_version: int = 0
+    encrypt_for: List[Tuple[str, bytes]] = field(default_factory=list)
+
+    @property
+    def n_encryptions(self) -> int:
+        """Server encryption count (Table 2c: 2 for join, n-1 for leave)."""
+        return len(self.encrypt_for) + (1 if self.multicast_under_old_group_key else 0)
+
+
+class StarGroup:
+    """A secure group specified by a star key graph."""
+
+    GROUP_NODE_ID = 0
+
+    def __init__(self, keygen: Callable[[], bytes]):
+        self._keygen = keygen
+        self._members: Dict[str, bytes] = {}
+        self.group_key = keygen()
+        self.group_key_version = 0
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def n_keys(self) -> int:
+        """Total keys held by the server: n individual keys + group key."""
+        return len(self._members) + 1
+
+    def members(self) -> List[str]:
+        """Current member ids."""
+        return list(self._members)
+
+    def has_user(self, user_id: str) -> bool:
+        """True iff ``user_id`` is a member."""
+        return user_id in self._members
+
+    def individual_key(self, user_id: str) -> bytes:
+        """The member's individual key."""
+        try:
+            return self._members[user_id]
+        except KeyError:
+            raise StarError(f"unknown user {user_id!r}") from None
+
+    def keyset(self, user_id: str) -> Tuple[bytes, bytes]:
+        """The two keys a star member holds."""
+        return (self.individual_key(user_id), self.group_key)
+
+    def _rotate_group_key(self) -> Tuple[bytes, int]:
+        old = self.group_key
+        self.group_key = self._keygen()
+        self.group_key_version += 1
+        return old, self.group_key_version
+
+    def join(self, user_id: str, individual_key: bytes) -> StarRekey:
+        """Figure 2: new group key to joiner (unicast) + old members (multicast)."""
+        if user_id in self._members:
+            raise StarError(f"user {user_id!r} is already a member")
+        had_members = bool(self._members)
+        self._members[user_id] = individual_key
+        old_group_key, version = self._rotate_group_key()
+        rekey = StarRekey(
+            new_group_key=self.group_key,
+            new_version=version,
+            encrypt_for=[(user_id, individual_key)],
+        )
+        if had_members:
+            rekey.multicast_under_old_group_key = old_group_key
+            rekey.old_version = version - 1
+        return rekey
+
+    def leave(self, user_id: str) -> StarRekey:
+        """Figure 4: new group key unicast to each remaining member."""
+        if user_id not in self._members:
+            raise StarError(f"unknown user {user_id!r}")
+        del self._members[user_id]
+        __, version = self._rotate_group_key()
+        return StarRekey(
+            new_group_key=self.group_key,
+            new_version=version,
+            encrypt_for=[(uid, key) for uid, key in self._members.items()],
+        )
+
+    def to_key_graph(self) -> KeyGraph:
+        """Export as a formal :class:`KeyGraph` for validation."""
+        graph = KeyGraph()
+        graph.add_k_node("k-group")
+        for user_id in self._members:
+            graph.add_u_node(user_id)
+            graph.add_k_node(f"k-{user_id}")
+            graph.add_edge(user_id, f"k-{user_id}")
+            graph.add_edge(user_id, "k-group")
+        return graph

@@ -1,0 +1,466 @@
+"""Operational key tree (LKH) with join/leave editing (paper §2.2, §3).
+
+The server maintains a single-root tree of k-nodes: the root holds the
+group key, leaves hold individual keys (one per user), interior nodes
+hold subgroup keys.  ``degree`` bounds the number of children of any
+k-node.  The paper's height ``h`` counts edges on the longest u-node to
+root path, so a user in a full balanced tree of ``n = d**(h-1)`` users
+holds exactly ``h`` keys.
+
+The class implements the paper's maintenance heuristic: "the server
+employs a heuristic that attempts to build and maintain a key tree that
+is full and balanced".  Joins attach at the shallowest non-full interior
+node (splitting a shallowest leaf when the tree is full); leaves splice
+out interior nodes left with a single child.
+
+Key material lives on the nodes; every node carries a stable integer id
+and a version number that increments on each key replacement, so rekey
+messages can reference keys unambiguously.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .graph import KeyGraph
+
+
+class KeyTreeError(ValueError):
+    """Raised on invalid tree edits (unknown user, duplicate join, ...)."""
+
+
+class TreeNode:
+    """A k-node of the key tree.
+
+    ``user_id`` is set exactly on leaf nodes, which hold that user's
+    individual key.
+    """
+
+    __slots__ = ("node_id", "key", "version", "parent", "children",
+                 "user_id", "size")
+
+    def __init__(self, node_id: int, key: bytes,
+                 user_id: Optional[str] = None):
+        self.node_id = node_id
+        self.key = key
+        self.version = 0
+        self.parent: Optional["TreeNode"] = None
+        self.children: List["TreeNode"] = []
+        self.user_id = user_id
+        # Number of users in this subtree, maintained incrementally so
+        # userset-size queries are O(1) (a leaf counts itself).
+        self.size = 1 if user_id is not None else 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True iff this node holds a user's individual key."""
+        return self.user_id is not None
+
+    def replace_key(self, new_key: bytes) -> None:
+        """Install fresh key material and bump the version."""
+        self.key = new_key
+        self.version += 1
+
+    def path_to_root(self) -> List["TreeNode"]:
+        """Nodes from ``self`` (inclusive) up to and including the root."""
+        path = []
+        node: Optional[TreeNode] = self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = f" user={self.user_id}" if self.user_id else ""
+        return f"<TreeNode {self.node_id} v{self.version}{tag}>"
+
+
+@dataclass
+class PathChange:
+    """One rekeyed node: its old key material and the fresh key."""
+
+    node: TreeNode
+    old_key: bytes
+    old_version: int
+    new_key: bytes
+
+
+@dataclass
+class JoinResult:
+    """Outcome of a join edit.
+
+    ``changes`` lists rekeyed nodes ordered root-first (x_0 ... x_j in the
+    paper's Figure 6 notation — x_j is the joining point).  ``leaf`` is the
+    new individual-key node of the joining user.  ``split_leaf`` is set
+    when the heuristic had to split an existing leaf to make room; the
+    displaced user's individual-key node was re-attached below the new
+    interior node.
+    """
+
+    user_id: str
+    leaf: TreeNode
+    changes: List[PathChange]
+    split_leaf: Optional[TreeNode] = None
+
+    @property
+    def joining_point(self) -> TreeNode:
+        """The k-node the new leaf was attached to."""
+        return self.changes[-1].node if self.changes else self.leaf
+
+
+@dataclass
+class LeaveResult:
+    """Outcome of a leave edit.
+
+    ``changes`` lists rekeyed nodes root-first (x_0 ... x_j, where x_j is
+    the leaving point).  ``removed_leaf`` is the departed user's
+    individual-key node (already detached).  ``spliced`` contains interior
+    nodes removed because they were left with a single child.
+    """
+
+    user_id: str
+    removed_leaf: TreeNode
+    changes: List[PathChange]
+    spliced: List[TreeNode] = field(default_factory=list)
+
+    @property
+    def leaving_point(self) -> Optional[TreeNode]:
+        """The rekeyed parent of the removed leaf."""
+        return self.changes[-1].node if self.changes else None
+
+
+class KeyTree:
+    """Single-root key tree with bounded degree and balance maintenance."""
+
+    def __init__(self, degree: int, keygen: Callable[[], bytes]):
+        if degree < 2:
+            raise KeyTreeError("tree degree must be >= 2")
+        self.degree = degree
+        self._keygen = keygen
+        self._next_id = 0
+        self.root: Optional[TreeNode] = None
+        self._leaves: Dict[str, TreeNode] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def _new_node(self, key: bytes, user_id: Optional[str] = None) -> TreeNode:
+        node = TreeNode(self._next_id, key, user_id)
+        self._next_id += 1
+        return node
+
+    @classmethod
+    def build(cls, members: Iterable[Tuple[str, bytes]], degree: int,
+              keygen: Callable[[], bytes]) -> "KeyTree":
+        """Bulk-build a full, balanced tree over ``(user, individual_key)``.
+
+        Equivalent steady-state shape to the paper's initialisation by n
+        joins, in O(n) without generating rekey traffic.  The tree is
+        divided top-down so every interior node (the root included) gets
+        its full fan-out of d children whenever n allows — when n is not
+        a power of d, bottom-up grouping would otherwise leave the root
+        under-full (e.g. two children for n = 8192, d = 4), which skews
+        the per-client key-change statistics of Figure 12.
+        """
+        tree = cls(degree, keygen)
+        leaves = [tree._new_node(key, user_id) for user_id, key in members]
+        if not leaves:
+            return tree
+        for node in leaves:
+            tree._leaves[node.user_id] = node
+
+        def attach(parent: "TreeNode", nodes: List["TreeNode"]) -> None:
+            if len(nodes) <= degree:
+                for node in nodes:
+                    node.parent = parent
+                    parent.children.append(node)
+                    parent.size += node.size
+                return
+            # Split into d nearly equal chunks; wrap multi-node chunks
+            # in a subgroup-key interior.
+            quotient, remainder = divmod(len(nodes), degree)
+            start = 0
+            for index in range(degree):
+                length = quotient + (1 if index < remainder else 0)
+                chunk = nodes[start:start + length]
+                start += length
+                if len(chunk) == 1:
+                    chunk[0].parent = parent
+                    parent.children.append(chunk[0])
+                    parent.size += chunk[0].size
+                else:
+                    interior = tree._new_node(keygen())
+                    attach(interior, chunk)
+                    interior.parent = parent
+                    parent.children.append(interior)
+                    parent.size += interior.size
+
+        root = tree._new_node(keygen())
+        attach(root, leaves)
+        tree.root = root
+        return tree
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def n_users(self) -> int:
+        """Current group size."""
+        return len(self._leaves)
+
+    def users(self) -> List[str]:
+        """Current member ids."""
+        return list(self._leaves)
+
+    def has_user(self, user_id: str) -> bool:
+        """True iff ``user_id`` is a member."""
+        return user_id in self._leaves
+
+    def leaf_of(self, user_id: str) -> TreeNode:
+        """The user's individual-key leaf node."""
+        try:
+            return self._leaves[user_id]
+        except KeyError:
+            raise KeyTreeError(f"unknown user {user_id!r}") from None
+
+    def group_key_node(self) -> TreeNode:
+        """The root (group key) node; raises if empty."""
+        if self.root is None:
+            raise KeyTreeError("tree is empty")
+        return self.root
+
+    def nodes(self) -> Iterable[TreeNode]:
+        """All k-nodes, breadth-first from the root."""
+        if self.root is None:
+            return
+        queue = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            yield node
+            queue.extend(node.children)
+
+    @property
+    def n_keys(self) -> int:
+        """Total number of keys held by the server (Table 1 'Tree' row)."""
+        return sum(1 for _ in self.nodes())
+
+    def height(self) -> int:
+        """Paper height h: edges on the longest u-node -> root path.
+
+        The u-node hangs below its leaf k-node, so h is one more than the
+        deepest leaf's k-node depth... precisely: a user's key count is
+        its leaf depth + 1 (leaf itself plus ancestors), which equals the
+        number of edges from the u-node to the root.
+        """
+        if self.root is None:
+            return 0
+        best = 0
+        for leaf in self._leaves.values():
+            depth = len(leaf.path_to_root())
+            best = max(best, depth)
+        return best
+
+    def user_key_path(self, user_id: str) -> List[TreeNode]:
+        """The keys user ``user_id`` holds, leaf (individual key) first."""
+        return self.leaf_of(user_id).path_to_root()
+
+    def userset(self, node: TreeNode) -> List[str]:
+        """Users holding the key at ``node`` (in stable subtree order)."""
+        if node is self.root:
+            # Fast path: the whole membership, straight from the registry.
+            return list(self._leaves)
+        result = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                result.append(current.user_id)
+            else:
+                stack.extend(reversed(current.children))
+        return result
+
+    def subtree_size(self, node: TreeNode) -> int:
+        """Number of users below ``node`` (O(1): maintained on the node)."""
+        return node.size
+
+    # -- joining ---------------------------------------------------------------
+
+    def _find_joining_point(self) -> Tuple[TreeNode, Optional[TreeNode]]:
+        """Pick where to attach a new leaf, keeping the tree balanced.
+
+        Returns ``(joining_point, leaf_to_split)``.  When every interior
+        node on the shallow frontier is full, the shallowest leaf is
+        split: a fresh interior node takes its place and adopts both the
+        displaced leaf and the new one.
+        """
+        assert self.root is not None
+        # Breadth-first: the first interior node with room is the
+        # shallowest one, which keeps the tree balanced.
+        queue = deque([self.root])
+        shallowest_leaf = None
+        while queue:
+            node = queue.popleft()
+            if node.is_leaf:
+                if shallowest_leaf is None:
+                    shallowest_leaf = node
+                continue
+            if len(node.children) < self.degree:
+                return node, None
+            queue.extend(node.children)
+        assert shallowest_leaf is not None
+        return shallowest_leaf, shallowest_leaf
+
+    def join(self, user_id: str, individual_key: bytes) -> JoinResult:
+        """Attach a new user and rekey the path above the joining point.
+
+        Every key from the joining point to the root is replaced (the new
+        member must not be able to read past traffic).  Returns the edit
+        record the rekeying strategies consume.
+        """
+        if user_id in self._leaves:
+            raise KeyTreeError(f"user {user_id!r} is already a member")
+        leaf = self._new_node(individual_key, user_id)
+        self._leaves[user_id] = leaf
+
+        if self.root is None:
+            # First member: root (group key) above the single leaf.
+            root = self._new_node(self._keygen())
+            leaf.parent = root
+            root.children.append(leaf)
+            root.size = 1
+            self.root = root
+            return JoinResult(user_id, leaf, changes=[
+                PathChange(root, root.key, root.version, root.key)])
+
+        joining_point, leaf_to_split = self._find_joining_point()
+        split_leaf = None
+        if leaf_to_split is not None:
+            # Split: new interior node replaces the leaf in its parent,
+            # adopting the displaced leaf and the new one.
+            parent = leaf_to_split.parent
+            interior = self._new_node(self._keygen())
+            if parent is None:
+                # Splitting the root (only when the root is a leaf —
+                # cannot happen with the group-root invariant, but kept
+                # for safety).
+                self.root = interior
+            else:
+                parent.children[parent.children.index(leaf_to_split)] = interior
+                interior.parent = parent
+            leaf_to_split.parent = interior
+            interior.children.append(leaf_to_split)
+            interior.size = leaf_to_split.size
+            joining_point = interior
+            split_leaf = leaf_to_split
+
+        leaf.parent = joining_point
+        joining_point.children.append(leaf)
+        ancestor = joining_point
+        while ancestor is not None:
+            ancestor.size += 1
+            ancestor = ancestor.parent
+
+        changes = []
+        for node in reversed(joining_point.path_to_root()):  # root first
+            old_key, old_version = node.key, node.version
+            node.replace_key(self._keygen())
+            changes.append(PathChange(node, old_key, old_version, node.key))
+        return JoinResult(user_id, leaf, changes, split_leaf=split_leaf)
+
+    # -- leaving -----------------------------------------------------------------
+
+    def leave(self, user_id: str) -> LeaveResult:
+        """Detach a user and rekey the path above the leaving point.
+
+        Every key the departed user held (other than its individual key)
+        is replaced.  Interior nodes left with a single child are spliced
+        out so the tree stays compact.
+        """
+        leaf = self.leaf_of(user_id)
+        del self._leaves[user_id]
+        parent = leaf.parent
+        if parent is None:
+            # Sole node: empty the tree.
+            self.root = None
+            return LeaveResult(user_id, leaf, changes=[])
+        parent.children.remove(leaf)
+        leaf.parent = None
+        ancestor = parent
+        while ancestor is not None:
+            ancestor.size -= 1
+            ancestor = ancestor.parent
+
+        spliced = []
+        leaving_point = parent
+        if len(leaving_point.children) == 1 and leaving_point.parent is not None:
+            # Splice out the now-redundant interior node: its single
+            # child takes its place.  (The root is kept even with one
+            # child so the group key node id stays stable.)
+            only_child = leaving_point.children[0]
+            grandparent = leaving_point.parent
+            grandparent.children[grandparent.children.index(leaving_point)] = only_child
+            only_child.parent = grandparent
+            spliced.append(leaving_point)
+            leaving_point = grandparent
+
+        if not self._leaves:
+            self.root = None
+            return LeaveResult(user_id, leaf, changes=[], spliced=spliced)
+
+        changes = []
+        for node in reversed(leaving_point.path_to_root()):  # root first
+            old_key, old_version = node.key, node.version
+            node.replace_key(self._keygen())
+            changes.append(PathChange(node, old_key, old_version, node.key))
+        return LeaveResult(user_id, leaf, changes, spliced=spliced)
+
+    # -- validation / export --------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise KeyTreeError on violation."""
+        if self.root is None:
+            if self._leaves:
+                raise KeyTreeError("empty root but users remain")
+            return
+        seen_leaves = {}
+        for node in self.nodes():
+            if len(node.children) > self.degree:
+                raise KeyTreeError(
+                    f"node {node.node_id} exceeds degree {self.degree}")
+            if node.is_leaf:
+                if node.children:
+                    raise KeyTreeError(
+                        f"leaf {node.node_id} has children")
+                seen_leaves[node.user_id] = node
+            else:
+                if not node.children:
+                    raise KeyTreeError(
+                        f"interior node {node.node_id} has no children")
+            for child in node.children:
+                if child.parent is not node:
+                    raise KeyTreeError(
+                        f"parent pointer broken at {child.node_id}")
+            expected_size = (1 if node.is_leaf
+                             else sum(child.size for child in node.children))
+            if node.size != expected_size:
+                raise KeyTreeError(
+                    f"size cache stale at {node.node_id}: "
+                    f"{node.size} != {expected_size}")
+        if seen_leaves != self._leaves:
+            raise KeyTreeError("leaf registry out of sync with tree")
+
+    def to_key_graph(self) -> KeyGraph:
+        """Export as a formal :class:`KeyGraph` (u-nodes attached to leaves)."""
+        graph = KeyGraph()
+        for node in self.nodes():
+            graph.add_k_node(node.node_id)
+        for node in self.nodes():
+            for child in node.children:
+                graph.add_edge(child.node_id, node.node_id)
+            if node.is_leaf:
+                graph.add_u_node(node.user_id)
+                graph.add_edge(node.user_id, node.node_id)
+        return graph

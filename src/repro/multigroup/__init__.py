@@ -1,0 +1,5 @@
+"""Multiple secure groups over one user population (paper §7 / Keystone)."""
+
+from .service import MultiGroupError, MultiGroupService
+
+__all__ = ["MultiGroupService", "MultiGroupError"]

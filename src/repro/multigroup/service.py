@@ -1,0 +1,152 @@
+"""Multiple secure groups over one user population (paper §7).
+
+The paper closes: "we are constructing a group key management service
+for applications that require the formation of multiple secure groups
+over a population of users and a user can join several secure groups.
+For these applications, the key trees of different group keys are merged
+to form a key graph" (the Keystone direction).
+
+:class:`MultiGroupService` manages one :class:`~repro.core.server.
+GroupKeyServer` per group while users register once and share a single
+individual key across all their groups.  :meth:`merged_key_graph`
+exports the union of the per-group key trees as one formal
+:class:`~repro.keygraph.graph.KeyGraph` — each u-node reaches the keys
+of every group it belongs to — which the model-level queries
+(``keyset`` across groups) and validation run against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.server import GroupKeyServer, RekeyOutcome, ServerConfig
+from ..crypto import drbg
+from ..crypto.suite import PAPER_SUITE, CipherSuite
+from ..keygraph.graph import KeyGraph
+
+
+class MultiGroupError(ValueError):
+    """Raised on invalid multi-group operations."""
+
+
+class MultiGroupService:
+    """A key management service hosting many secure groups."""
+
+    def __init__(self, suite: CipherSuite = PAPER_SUITE,
+                 seed: Optional[bytes] = None):
+        self.suite = suite
+        self._seed = seed
+        self._random = drbg.make_source(seed, b"multigroup")
+        self._servers: Dict[str, GroupKeyServer] = {}
+        self._individual_keys: Dict[str, bytes] = {}
+        self._memberships: Dict[str, set] = {}  # user -> group names
+
+    # -- users ---------------------------------------------------------------
+
+    def register_user(self, user_id: str) -> bytes:
+        """One authentication exchange per user; the resulting individual
+        key is reused by every group the user joins."""
+        if user_id in self._individual_keys:
+            raise MultiGroupError(f"user {user_id!r} already registered")
+        key = self._random.generate(self.suite.key_size)
+        self._individual_keys[user_id] = key
+        self._memberships[user_id] = set()
+        return key
+
+    def individual_key(self, user_id: str) -> bytes:
+        """The user's service-wide individual key."""
+        try:
+            return self._individual_keys[user_id]
+        except KeyError:
+            raise MultiGroupError(f"unknown user {user_id!r}") from None
+
+    def users(self) -> List[str]:
+        """All registered users."""
+        return list(self._individual_keys)
+
+    def groups_of(self, user_id: str) -> FrozenSet[str]:
+        """Names of the groups the user currently belongs to."""
+        if user_id not in self._memberships:
+            raise MultiGroupError(f"unknown user {user_id!r}")
+        return frozenset(self._memberships[user_id])
+
+    # -- groups ----------------------------------------------------------------
+
+    def create_group(self, name: str, degree: int = 4,
+                     strategy: str = "group",
+                     signing: str = "none") -> GroupKeyServer:
+        """Create a new secure group (its own key tree and server)."""
+        if name in self._servers:
+            raise MultiGroupError(f"group {name!r} already exists")
+        group_seed = (self._seed + b"/" + name.encode("utf-8")
+                      if self._seed is not None else None)
+        config = ServerConfig(group_id=len(self._servers) + 1,
+                              degree=degree, strategy=strategy,
+                              suite=self.suite, signing=signing,
+                              seed=group_seed)
+        server = GroupKeyServer(config)
+        self._servers[name] = server
+        return server
+
+    def group(self, name: str) -> GroupKeyServer:
+        """The named group's key server."""
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise MultiGroupError(f"unknown group {name!r}") from None
+
+    def group_names(self) -> List[str]:
+        """All group names."""
+        return list(self._servers)
+
+    # -- membership ops -----------------------------------------------------------
+
+    def join(self, group_name: str, user_id: str) -> RekeyOutcome:
+        """Join ``user_id`` into a group with its shared individual key."""
+        server = self.group(group_name)
+        key = self.individual_key(user_id)
+        outcome = server.join(user_id, key)
+        self._memberships[user_id].add(group_name)
+        return outcome
+
+    def leave(self, group_name: str, user_id: str) -> RekeyOutcome:
+        """Remove ``user_id`` from a group (rekeys that group only)."""
+        server = self.group(group_name)
+        outcome = server.leave(user_id)
+        self._memberships[user_id].discard(group_name)
+        return outcome
+
+    # -- the merged key graph ---------------------------------------------------------
+
+    def merged_key_graph(self) -> KeyGraph:
+        """Union of all group key trees as one key graph.
+
+        Each user appears as a single u-node; its individual-key k-nodes
+        from different trees are distinct k-nodes (one session key per
+        group in this implementation), all reachable from the one u-node,
+        alongside every subgroup and group key the user holds.
+        """
+        graph = KeyGraph()
+        for user_id, groups in self._memberships.items():
+            if groups:
+                graph.add_u_node(user_id)
+        for name, server in self._servers.items():
+            if server.tree is None or server.tree.root is None:
+                continue
+            prefix = f"{name}:"
+            for node in server.tree.nodes():
+                graph.add_k_node(f"{prefix}{node.node_id}")
+            for node in server.tree.nodes():
+                for child in node.children:
+                    graph.add_edge(f"{prefix}{child.node_id}",
+                                   f"{prefix}{node.node_id}")
+                if node.is_leaf:
+                    graph.add_edge(node.user_id, f"{prefix}{node.node_id}")
+        return graph
+
+    def keyset_across_groups(self, user_id: str) -> FrozenSet[str]:
+        """All key names (group-qualified) the user holds service-wide."""
+        graph = self.merged_key_graph()
+        if user_id not in graph.u_nodes:
+            return frozenset()
+        return graph.keyset(user_id)

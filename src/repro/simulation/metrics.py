@@ -1,0 +1,153 @@
+"""Aggregation of experiment measurements into the paper's table rows.
+
+The paper reports, per configuration: average/min/max rekey message
+size, number of rekey messages, server processing time (msec) per
+join/leave, and average key changes per client.  These dataclasses
+compute exactly those aggregates from per-request records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.server import RequestRecord
+
+
+@dataclass(frozen=True)
+class Summary:
+    """count / mean / min / max of a series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        """Summarize a series (count/mean/min/max)."""
+        values = list(values)
+        if not values:
+            return cls(0, 0.0, 0.0, 0.0)
+        return cls(len(values), sum(values) / len(values),
+                   min(values), max(values))
+
+
+@dataclass
+class OpMetrics:
+    """Server-side aggregates for one operation type (join or leave)."""
+
+    processing_ms: Summary
+    n_messages: Summary
+    message_bytes: Summary        # per-message size over all messages sent
+    total_bytes: Summary          # per-request total bytes
+    encryptions: Summary
+    signatures: Summary
+
+    @classmethod
+    def from_records(cls, records: Sequence[RequestRecord]) -> "OpMetrics":
+        """Aggregate per-request records of one op type."""
+        per_message_sizes: List[float] = []
+        for record in records:
+            if record.n_rekey_messages:
+                # The per-request mean message size, weighted below by
+                # message count so the aggregate is a true per-message mean.
+                per_message_sizes.extend(
+                    [record.rekey_bytes / record.n_rekey_messages]
+                    * record.n_rekey_messages)
+        return cls(
+            processing_ms=Summary.of([r.seconds * 1000 for r in records]),
+            n_messages=Summary.of([r.n_rekey_messages for r in records]),
+            message_bytes=Summary.of(per_message_sizes),
+            total_bytes=Summary.of([r.rekey_bytes for r in records]),
+            encryptions=Summary.of([r.encryptions for r in records]),
+            signatures=Summary.of([r.signatures for r in records]),
+        )
+
+
+@dataclass
+class ServerMetrics:
+    """Join/leave/overall aggregates of one experiment run."""
+
+    join: OpMetrics
+    leave: OpMetrics
+    overall_processing_ms: float
+
+    @classmethod
+    def from_records(cls, records: Sequence[RequestRecord]) -> "ServerMetrics":
+        """Split records by op and aggregate."""
+        joins = [r for r in records if r.op == "join"]
+        leaves = [r for r in records if r.op == "leave"]
+        times = [r.seconds * 1000 for r in records]
+        return cls(
+            join=OpMetrics.from_records(joins),
+            leave=OpMetrics.from_records(leaves),
+            overall_processing_ms=sum(times) / len(times) if times else 0.0,
+        )
+
+
+@dataclass
+class MessageSizeSample:
+    """One rekey message as experienced by its receivers."""
+
+    op: str
+    size: int
+    n_receivers: int
+
+
+@dataclass
+class ClientMetrics:
+    """Client-side aggregates (Table 6, Figure 12).
+
+    Built from per-message receiver counts, so it is exact whether the
+    clients were fully simulated or only accounted for.
+    """
+
+    samples: List[MessageSizeSample] = field(default_factory=list)
+    # Per-request sums of key changes over non-requesting clients and the
+    # non-requesting population size, for the Figure 12 average.
+    key_change_totals: List[int] = field(default_factory=list)
+    populations: List[int] = field(default_factory=list)
+
+    def record_message(self, op: str, size: int, n_receivers: int) -> None:
+        """Account one sent rekey message and its audience size."""
+        self.samples.append(MessageSizeSample(op, size, n_receivers))
+
+    def record_request(self, record: RequestRecord) -> None:
+        """Account one request's key-change totals."""
+        population = record.n_users_after - (1 if record.op == "join" else 0)
+        if population > 0:
+            self.key_change_totals.append(record.key_changes_total)
+            self.populations.append(population)
+
+    def received_size(self, op: Optional[str] = None) -> Summary:
+        """Rekey message size as received (receiver-weighted mean)."""
+        relevant = [s for s in self.samples
+                    if (op is None or s.op == op) and s.n_receivers > 0]
+        if not relevant:
+            return Summary(0, 0.0, 0.0, 0.0)
+        total_bytes = sum(s.size * s.n_receivers for s in relevant)
+        total_copies = sum(s.n_receivers for s in relevant)
+        return Summary(total_copies, total_bytes / total_copies,
+                       min(s.size for s in relevant),
+                       max(s.size for s in relevant))
+
+    def messages_per_client_per_request(self, n_requests: int) -> float:
+        """Average rekey messages a client receives per request."""
+        if not self.populations or not n_requests:
+            return 0.0
+        total_copies = sum(s.n_receivers for s in self.samples)
+        # Average population over the run approximates each client's view.
+        mean_population = sum(self.populations) / len(self.populations)
+        if mean_population == 0:
+            return 0.0
+        return total_copies / (n_requests * mean_population)
+
+    def key_changes_per_client(self) -> float:
+        """Figure 12's measure: mean over requests of (sum of key changes
+        over non-requesting clients) / (number of non-requesting clients)."""
+        if not self.key_change_totals:
+            return 0.0
+        ratios = [total / population for total, population
+                  in zip(self.key_change_totals, self.populations)]
+        return sum(ratios) / len(ratios)

@@ -1,0 +1,105 @@
+"""Experiment trace export (CSV / JSON lines).
+
+The paper's figures were produced from measurement logs; this module
+writes the equivalent machine-readable traces so results can be
+post-processed or plotted outside this library:
+
+* :func:`records_to_csv` — one row per request (the Figure 10/11 raw data);
+* :func:`result_to_json_lines` — full experiment result, one JSON object
+  per request plus a summary object;
+* :func:`sweep_to_csv` — one row per (configuration, aggregate) for
+  sweep experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, List, Sequence
+
+from ..core.server import RequestRecord
+from .runner import ExperimentResult
+
+RECORD_FIELDS = ("op", "user_id", "ms", "n_rekey_messages", "rekey_bytes",
+                 "max_message_bytes", "encryptions", "signatures",
+                 "key_changes_total", "n_users_after")
+
+
+def records_to_csv(records: Sequence[RequestRecord]) -> str:
+    """Per-request rows: the raw samples behind Figures 10 and 11."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(RECORD_FIELDS)
+    for record in records:
+        writer.writerow([
+            record.op, record.user_id, f"{record.seconds * 1000:.4f}",
+            record.n_rekey_messages, record.rekey_bytes,
+            record.max_message_bytes, record.encryptions,
+            record.signatures, record.key_changes_total,
+            record.n_users_after,
+        ])
+    return buffer.getvalue()
+
+
+def result_to_json_lines(result: ExperimentResult) -> str:
+    """One JSON object per request, then a summary object."""
+    lines: List[str] = []
+    config = result.config
+    for record in result.records:
+        lines.append(json.dumps({
+            "type": "request",
+            "op": record.op,
+            "ms": round(record.seconds * 1000, 4),
+            "messages": record.n_rekey_messages,
+            "bytes": record.rekey_bytes,
+            "encryptions": record.encryptions,
+            "signatures": record.signatures,
+            "n_users": record.n_users_after,
+        }))
+    lines.append(json.dumps({
+        "type": "summary",
+        "initial_size": config.initial_size,
+        "degree": config.degree,
+        "strategy": config.strategy,
+        "graph": config.graph,
+        "signing": config.signing,
+        "cipher": config.suite.cipher_name,
+        "n_requests": len(result.records),
+        "mean_ms": round(result.mean_processing_ms, 4),
+        "final_size": result.final_size,
+        "final_height": result.final_height,
+        "key_changes_per_client": round(
+            result.client_metrics.key_changes_per_client(), 4),
+        "wall_seconds": round(result.wall_seconds, 3),
+    }))
+    return "\n".join(lines) + "\n"
+
+
+def sweep_to_csv(results: Iterable[ExperimentResult]) -> str:
+    """Aggregate rows for a sweep (one per configuration)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["initial_size", "degree", "strategy", "signing",
+                     "cipher", "mean_ms", "join_ms", "leave_ms",
+                     "join_enc", "leave_enc", "final_height"])
+    for result in results:
+        config = result.config
+        metrics = result.server_metrics
+        writer.writerow([
+            config.initial_size, config.degree, config.strategy,
+            config.signing, config.suite.cipher_name,
+            f"{result.mean_processing_ms:.4f}",
+            f"{metrics.join.processing_ms.mean:.4f}",
+            f"{metrics.leave.processing_ms.mean:.4f}",
+            f"{metrics.join.encryptions.mean:.2f}",
+            f"{metrics.leave.encryptions.mean:.2f}",
+            result.final_height,
+        ])
+    return buffer.getvalue()
+
+
+def write_trace(path: str, content: str) -> None:
+    """Write a trace file (tiny helper so examples stay one-liners)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)

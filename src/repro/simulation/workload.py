@@ -1,0 +1,81 @@
+"""Join/leave workload generation (paper §5).
+
+The paper's client-simulator sends an initial burst of ``n`` joins, then
+1000 join/leave requests "generated randomly according to a given ratio"
+(1:1 in all presented experiments), with three different sequences per
+configuration and the same three sequences reused across configurations
+for fair comparison.
+
+:func:`generate_workload` reproduces that: a seeded DRBG drives the
+choice, joins bring in fresh users, leaves pick a uniformly random
+current member, and a given (seed, parameters) pair always yields the
+same sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..crypto import drbg
+
+JOIN = "join"
+LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One workload step."""
+
+    op: str       # JOIN or LEAVE
+    user_id: str
+
+
+def initial_members(n: int, prefix: str = "m") -> List[str]:
+    """User ids for the initial group ("m0000" ... )."""
+    width = max(4, len(str(max(n - 1, 0))))
+    return [f"{prefix}{i:0{width}d}" for i in range(n)]
+
+
+def generate_workload(initial: Sequence[str], n_requests: int,
+                      join_fraction: float = 0.5,
+                      seed: bytes = b"workload",
+                      joiner_prefix: str = "j") -> List[Request]:
+    """Random join/leave sequence over an evolving membership.
+
+    ``join_fraction`` is the probability of each request being a join
+    (0.5 = the paper's 1:1 ratio).  A leave drawn while the group is
+    empty becomes a join; a join is always possible (fresh user ids).
+    """
+    if not 0.0 <= join_fraction <= 1.0:
+        raise ValueError("join_fraction must be in [0, 1]")
+    source = drbg.make_source(seed, b"workload")
+    members = list(initial)
+    requests: List[Request] = []
+    next_joiner = 0
+    threshold = int(join_fraction * (1 << 20))
+    for _ in range(n_requests):
+        wants_join = source.randint_below(1 << 20) < threshold
+        if wants_join or not members:
+            user_id = f"{joiner_prefix}{next_joiner:06d}"
+            next_joiner += 1
+            members.append(user_id)
+            requests.append(Request(JOIN, user_id))
+        else:
+            index = source.randint_below(len(members))
+            user_id = members.pop(index)
+            requests.append(Request(LEAVE, user_id))
+    return requests
+
+
+def paper_sequences(initial: Sequence[str], n_requests: int = 1000,
+                    join_fraction: float = 0.5,
+                    base_seed: bytes = b"sigcomm98") -> List[List[Request]]:
+    """The paper's three independent sequences for one group size.
+
+    Reusing ``base_seed`` reproduces the same three sequences across
+    strategies/degrees, matching the paper's fair-comparison setup.
+    """
+    return [generate_workload(initial, n_requests, join_fraction,
+                              seed=base_seed + b"/%d" % i)
+            for i in range(3)]

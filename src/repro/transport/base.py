@@ -1,0 +1,60 @@
+"""Transport abstractions.
+
+The paper's prototype sends join/leave/rekey messages as UDP datagrams
+between a server and a client-simulator, with rekey messages going out
+via group or subgroup multicast.  This package models that as:
+
+* :class:`Transport` — the interface: deliver an
+  :class:`~repro.core.messages.OutboundMessage` to its receivers;
+* :mod:`repro.transport.inmemory` — deterministic in-process bus with
+  byte accounting and loss injection (default for experiments);
+* :mod:`repro.transport.reliable` — ack/retransmit reliable delivery on
+  top of a lossy transport (the paper assumes "a reliable message
+  delivery system, for both unicast and multicast");
+* :mod:`repro.transport.udp` — real loopback UDP sockets.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.messages import OutboundMessage
+
+
+@dataclass
+class TransportStats:
+    """Byte/message accounting for one transport."""
+
+    unicast_sends: int = 0
+    multicast_sends: int = 0
+    bytes_sent: int = 0
+    deliveries: int = 0
+    bytes_delivered: int = 0
+    drops: int = 0
+    retransmissions: int = 0
+
+
+class Transport(ABC):
+    """Delivers outbound messages to named receivers."""
+
+    def __init__(self):
+        self.stats = TransportStats()
+
+    @abstractmethod
+    def attach(self, user_id: str, handler: Callable[[bytes], None]) -> None:
+        """Register a receiver handler for ``user_id``."""
+
+    @abstractmethod
+    def detach(self, user_id: str) -> None:
+        """Remove a receiver."""
+
+    @abstractmethod
+    def send(self, outbound: OutboundMessage) -> None:
+        """Deliver ``outbound`` to each of its receivers."""
+
+    def send_all(self, messages: List[OutboundMessage]) -> None:
+        """Send a batch of outbound messages."""
+        for message in messages:
+            self.send(message)

@@ -1,0 +1,222 @@
+"""Forward error correction for rekey multicast.
+
+The paper assumes "a reliable message delivery system, for both unicast
+and multicast".  Ack/retransmit (``repro.transport.reliable``) provides
+that for unicast, but for a rekey multicast to 8192 receivers an ack
+implosion is exactly the scalability problem the key tree solved on the
+crypto side.  The authors' follow-up system (Keystone, ref [12]) solves
+it with *forward error correction*: the server sends the rekey payload
+as ``k`` data packets plus ``r`` parity packets, and any ``k`` of the
+``k + r`` packets reconstruct the payload — no acks, no retransmission,
+loss tolerance r/(k+r).
+
+This module implements a systematic Reed-Solomon erasure code over
+GF(256) (Vandermonde matrix construction, Gaussian-elimination decode)
+and the packetization layer on top.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# -- GF(256) arithmetic (polynomial 0x11B, generator 3) ----------------------------
+
+_EXP = [0] * 512
+_LOG = [0] * 256
+
+
+def _build_tables() -> None:
+    value = 1
+    for i in range(255):
+        _EXP[i] = value
+        _LOG[value] = i
+        # Multiply by the generator 3 (x + 1); note 2 is NOT a generator
+        # of GF(256) with the 0x11B polynomial.
+        doubled = value << 1
+        if doubled & 0x100:
+            doubled ^= 0x11B
+        value = doubled ^ value
+    for i in range(255, 512):
+        _EXP[i] = _EXP[i - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(256)."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+def _mul_row(row: Sequence[int], data_blocks: Sequence[bytes],
+             block_size: int) -> bytes:
+    """Linear combination of blocks with row coefficients."""
+    out = bytearray(block_size)
+    for coefficient, block in zip(row, data_blocks):
+        if coefficient == 0:
+            continue
+        if coefficient == 1:
+            for i in range(block_size):
+                out[i] ^= block[i]
+        else:
+            log_c = _LOG[coefficient]
+            exp = _EXP
+            log = _LOG
+            for i in range(block_size):
+                b = block[i]
+                if b:
+                    out[i] ^= exp[log_c + log[b]]
+    return bytes(out)
+
+
+class FecError(ValueError):
+    """Raised on invalid FEC parameters or unrecoverable loss."""
+
+
+class ReedSolomonCode:
+    """Systematic (k data, r parity) MDS erasure code.
+
+    Encoding rows: identity for the k data blocks, then a *Cauchy* block
+    ``row_j[i] = 1 / (x_j + y_i)`` with disjoint ``x``/``y`` supports.
+    Every square submatrix of a Cauchy matrix is invertible, so — unlike
+    the naive identity-plus-Vandermonde construction, which has singular
+    k x k submatrices — any k of the k+r rows reconstruct the data.
+    """
+
+    def __init__(self, k: int, r: int):
+        if k < 1 or r < 0 or k + r > 255:
+            raise FecError("need 1 <= k, 0 <= r, k + r <= 255")
+        self.k = k
+        self.r = r
+        # Cauchy parity rows: y_i = i for data, x_j = k + j for parity;
+        # the supports are disjoint so x_j ^ y_i is never zero.
+        self._parity_rows = [
+            [gf_inv((k + j) ^ i) for i in range(k)]
+            for j in range(r)
+        ]
+
+    def encode(self, data_blocks: Sequence[bytes]) -> List[bytes]:
+        """Return the r parity blocks for ``k`` equal-size data blocks."""
+        if len(data_blocks) != self.k:
+            raise FecError(f"expected {self.k} data blocks")
+        sizes = {len(block) for block in data_blocks}
+        if len(sizes) != 1:
+            raise FecError("data blocks must have equal size")
+        block_size = sizes.pop()
+        return [_mul_row(row, data_blocks, block_size)
+                for row in self._parity_rows]
+
+    def _row_for(self, index: int) -> List[int]:
+        if index < self.k:
+            row = [0] * self.k
+            row[index] = 1
+            return row
+        return list(self._parity_rows[index - self.k])
+
+    def decode(self, received: Dict[int, bytes]) -> List[bytes]:
+        """Reconstruct the k data blocks from any k received indices.
+
+        ``received`` maps packet index (0..k+r-1) to its block.  Raises
+        :class:`FecError` when fewer than k blocks are available.
+        """
+        if len(received) < self.k:
+            raise FecError(
+                f"need {self.k} blocks to reconstruct, have {len(received)}")
+        indices = sorted(received)[:self.k]
+        sizes = {len(received[i]) for i in indices}
+        if len(sizes) != 1:
+            raise FecError("received blocks must have equal size")
+        block_size = sizes.pop()
+        # Solve M * data = received over GF(256) by Gauss-Jordan.
+        matrix = [self._row_for(i) for i in indices]
+        blocks = [bytearray(received[i]) for i in indices]
+        for column in range(self.k):
+            # Find pivot.
+            pivot = next((row for row in range(column, self.k)
+                          if matrix[row][column]), None)
+            if pivot is None:
+                raise FecError("singular decode matrix")  # pragma: no cover
+            if pivot != column:
+                matrix[column], matrix[pivot] = matrix[pivot], matrix[column]
+                blocks[column], blocks[pivot] = blocks[pivot], blocks[column]
+            # Normalize the pivot row.
+            inverse = gf_inv(matrix[column][column])
+            if inverse != 1:
+                matrix[column] = [gf_mul(value, inverse)
+                                  for value in matrix[column]]
+                blocks[column] = bytearray(
+                    _mul_row([inverse], [bytes(blocks[column])], block_size))
+            # Eliminate the column elsewhere.
+            for row in range(self.k):
+                if row == column or not matrix[row][column]:
+                    continue
+                factor = matrix[row][column]
+                matrix[row] = [value ^ gf_mul(factor, matrix[column][i])
+                               for i, value in enumerate(matrix[row])]
+                scaled = _mul_row([factor], [bytes(blocks[column])],
+                                  block_size)
+                blocks[row] = bytearray(
+                    x ^ y for x, y in zip(blocks[row], scaled))
+        return [bytes(block) for block in blocks]
+
+
+# -- packetization -----------------------------------------------------------------
+
+_PACKET_HEADER = struct.Struct(">HBBI")  # magic, index, k+r, payload len
+
+_FEC_MAGIC = 0xFEC5
+
+
+def encode_packets(payload: bytes, k: int, r: int) -> List[bytes]:
+    """Split ``payload`` into k data + r parity packets.
+
+    Each packet is self-describing: index, total packet count and the
+    original payload length travel in a small header.
+    """
+    if k < 1:
+        raise FecError("k must be >= 1")
+    block_size = max(1, -(-len(payload) // k))
+    padded = payload.ljust(block_size * k, b"\x00")
+    data_blocks = [padded[i * block_size:(i + 1) * block_size]
+                   for i in range(k)]
+    code = ReedSolomonCode(k, r)
+    blocks = data_blocks + code.encode(data_blocks)
+    packets = []
+    for index, block in enumerate(blocks):
+        header = _PACKET_HEADER.pack(_FEC_MAGIC, index, k + r, len(payload))
+        packets.append(header + block)
+    return packets
+
+
+def decode_packets(packets: Sequence[bytes], k: int) -> bytes:
+    """Reassemble the payload from any >= k received packets."""
+    received: Dict[int, bytes] = {}
+    payload_len: Optional[int] = None
+    total: Optional[int] = None
+    for packet in packets:
+        if len(packet) < _PACKET_HEADER.size:
+            raise FecError("packet too short")
+        magic, index, packet_total, length = _PACKET_HEADER.unpack_from(
+            packet, 0)
+        if magic != _FEC_MAGIC:
+            raise FecError("bad FEC packet magic")
+        if payload_len is None:
+            payload_len, total = length, packet_total
+        elif (payload_len, total) != (length, packet_total):
+            raise FecError("inconsistent packet headers")
+        received[index] = packet[_PACKET_HEADER.size:]
+    if total is None or payload_len is None:
+        raise FecError("no packets received")
+    code = ReedSolomonCode(k, total - k)
+    data_blocks = code.decode(received)
+    return b"".join(data_blocks)[:payload_len]

@@ -1,0 +1,193 @@
+"""Loopback UDP transport: the paper's deployment shape over real sockets.
+
+The prototype in the paper ran the key server on one machine and a
+client-simulator on another, exchanging join/leave/rekey messages as UDP
+datagrams.  Here both ends live on 127.0.0.1:
+
+* :class:`UdpKeyServer` — binds a socket, serves join/leave requests in
+  a background thread by delegating to a
+  :class:`~repro.core.server.GroupKeyServer`, and "multicasts" rekey
+  messages by fanning datagrams out to each receiver's registered
+  address (subgroup multicast emulation; the paper's experiments also
+  sent each rekey message once per destination subgroup).
+* :class:`UdpGroupMember` — one socket per client; sends requests,
+  receives acks and rekey messages, feeds a
+  :class:`~repro.core.client.GroupClient`.
+
+Datagrams are single UDP packets; rekey messages are well under the
+loopback MTU for any realistic tree height.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..core.client import GroupClient
+from ..core.messages import (MSG_JOIN_ACK, MSG_JOIN_DENIED, MSG_JOIN_REQUEST,
+                             MSG_LEAVE_ACK, MSG_LEAVE_DENIED,
+                             MSG_LEAVE_REQUEST, MSG_REKEY, Message,
+                             OutboundMessage)
+from ..core.server import GroupKeyServer
+
+_BUFFER = 65535
+
+
+class UdpTransportError(RuntimeError):
+    """Raised on socket-level protocol failures."""
+
+
+class UdpKeyServer:
+    """Serves a :class:`GroupKeyServer` over a loopback UDP socket."""
+
+    def __init__(self, server: GroupKeyServer, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.server = server
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind((host, port))
+        self._sock.settimeout(0.2)
+        self.address: Tuple[str, int] = self._sock.getsockname()
+        self._members: Dict[str, Tuple[str, int]] = {}
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the serving thread."""
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop serving and close the socket."""
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._sock.close()
+
+    def __enter__(self) -> "UdpKeyServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- serving ----------------------------------------------------------------
+
+    def _serve(self) -> None:
+        while self._running:
+            try:
+                data, source = self._sock.recvfrom(_BUFFER)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                self._handle(data, source)
+            except Exception:
+                # A malformed datagram must not kill the server loop.
+                continue
+
+    def _handle(self, data: bytes, source: Tuple[str, int]) -> None:
+        message = Message.decode(data)
+        user_id = message.body.decode("utf-8", errors="replace")
+        with self._lock:
+            if message.msg_type == MSG_JOIN_REQUEST:
+                self._members[user_id] = source
+            outbound = self.server.handle_datagram(data)
+            for out in outbound:
+                self._fan_out(out)
+            if message.msg_type == MSG_LEAVE_REQUEST:
+                # Send the leave ack before dropping the address.
+                self._members.pop(user_id, None)
+
+    def _fan_out(self, out: OutboundMessage) -> None:
+        payload = out.encoded or out.message.encode()
+        for user_id in out.receivers:
+            address = self._members.get(user_id)
+            if address is not None:
+                self._sock.sendto(payload, address)
+
+    # A leave ack must still reach the departing user, so receivers of
+    # control messages are resolved before the membership update above.
+
+
+class UdpGroupMember:
+    """A client endpoint: one UDP socket plus a GroupClient state machine."""
+
+    def __init__(self, user_id: str, suite, server_address: Tuple[str, int],
+                 server_public_key=None, timeout: float = 5.0):
+        self.user_id = user_id
+        self.client = GroupClient(user_id, suite, server_public_key)
+        self._server_address = server_address
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.settimeout(timeout)
+
+    def close(self) -> None:
+        """Close the client socket."""
+        self._sock.close()
+
+    def __enter__(self) -> "UdpGroupMember":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests ---------------------------------------------------------------
+
+    def _request(self, msg_type: int) -> Message:
+        request = Message(msg_type=msg_type,
+                          body=self.user_id.encode("utf-8"))
+        self._sock.sendto(request.encode(), self._server_address)
+        return self._await_ack({MSG_JOIN_ACK, MSG_JOIN_DENIED,
+                                MSG_LEAVE_ACK, MSG_LEAVE_DENIED})
+
+    def _await_ack(self, ack_types) -> Message:
+        while True:
+            try:
+                data, _source = self._sock.recvfrom(_BUFFER)
+            except socket.timeout:
+                raise UdpTransportError(
+                    f"{self.user_id}: no ack from server") from None
+            message = Message.decode(data)
+            if message.msg_type == MSG_REKEY:
+                self.client.process_message(data)
+                continue
+            if message.msg_type in ack_types:
+                return self.client.process_control(message)
+
+    def join(self, individual_key: bytes) -> Message:
+        """Join the group (the individual key is pre-registered with the
+        server, standing in for the authentication exchange)."""
+        self.client.set_individual_key(individual_key)
+        ack = self._request(MSG_JOIN_REQUEST)
+        if ack.msg_type == MSG_JOIN_DENIED:
+            raise UdpTransportError(f"{self.user_id}: join denied")
+        return ack
+
+    def leave(self) -> Message:
+        """Send a leave request and await the ack."""
+        ack = self._request(MSG_LEAVE_REQUEST)
+        if ack.msg_type == MSG_LEAVE_DENIED:
+            raise UdpTransportError(f"{self.user_id}: leave denied")
+        return ack
+
+    def pump(self, max_messages: int = 64, timeout: float = 0.2) -> int:
+        """Drain pending rekey/data messages; returns how many arrived."""
+        self._sock.settimeout(timeout)
+        count = 0
+        try:
+            for _ in range(max_messages):
+                data, _source = self._sock.recvfrom(_BUFFER)
+                message = Message.decode(data)
+                if message.msg_type == MSG_REKEY:
+                    self.client.process_message(data)
+                    count += 1
+        except socket.timeout:
+            pass
+        return count

@@ -1,0 +1,123 @@
+"""Fuzzing the wire format and the client's input handling.
+
+A key server's clients parse datagrams from the network; malformed or
+corrupted input must fail *cleanly* (typed errors), never crash with an
+arbitrary exception or silently install wrong keys.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import ClientError, GroupClient
+from repro.core.messages import (MSG_REKEY, EncryptedItem, KeyRecord,
+                                 Message, WireError, encrypt_records)
+from repro.core.server import GroupKeyServer, ServerConfig, ServerError
+from repro.core.signing import NullSigner, SigningError
+from repro.crypto.suite import PAPER_SUITE, PAPER_SUITE_NO_SIG
+
+
+@given(data=st.binary(max_size=300))
+@settings(max_examples=200)
+def test_decode_random_bytes_raises_wire_error_only(data):
+    try:
+        Message.decode(data)
+    except WireError:
+        pass  # the only acceptable failure mode
+
+
+@given(data=st.binary(max_size=200))
+@settings(max_examples=50)
+def test_server_datagram_handler_raises_server_error_only(data):
+    server = GroupKeyServer(ServerConfig(
+        suite=PAPER_SUITE_NO_SIG, signing="none", seed=b"fuzz"))
+    server.bootstrap([("a", server.new_individual_key())])
+    try:
+        server.handle_datagram(data)
+    except ServerError:
+        pass
+
+
+def _valid_rekey_bytes():
+    item = encrypt_records(PAPER_SUITE_NO_SIG, bytes(8), bytes(8),
+                           [KeyRecord(3, 1, b"K" * 8)], 0xFFFFFFFF, 0)
+    message = Message(msg_type=MSG_REKEY, root_node_id=3, root_version=1,
+                      items=[item])
+    NullSigner(PAPER_SUITE_NO_SIG).seal([message])
+    return message.encode()
+
+
+@given(position=st.integers(min_value=0, max_value=200),
+       flip=st.integers(min_value=1, max_value=255))
+@settings(max_examples=120)
+def test_single_byte_corruption_never_crashes_client(position, flip):
+    baseline = _valid_rekey_bytes()
+    position %= len(baseline)
+    corrupted = bytearray(baseline)
+    corrupted[position] ^= flip
+    client = GroupClient("victim", PAPER_SUITE_NO_SIG, verify=True)
+    client.set_individual_key(bytes(8))
+    try:
+        client.process_message(bytes(corrupted))
+    except (WireError, ClientError, SigningError):
+        pass  # typed rejection — fine
+
+
+@given(position=st.integers(min_value=0, max_value=200),
+       flip=st.integers(min_value=1, max_value=255))
+@settings(max_examples=120)
+def test_corruption_with_digest_never_installs_keys(position, flip):
+    """With the digest on, any bit flip is detected before any key is
+    installed (the digest covers the whole signed region)."""
+    baseline = _valid_rekey_bytes()
+    position %= len(baseline)
+    corrupted = bytearray(baseline)
+    corrupted[position] ^= flip
+    client = GroupClient("victim", PAPER_SUITE_NO_SIG, verify=True)
+    client.set_individual_key(bytes(8))
+    try:
+        client.process_message(bytes(corrupted))
+    except (WireError, ClientError, SigningError):
+        assert client.keys == {}  # rejected before any install
+        return
+    # The flip landed in the auth trailer padding/len bytes in a way that
+    # still verifies -> the payload was untouched, keys are correct.
+    assert client.keys.get(3) == (1, b"K" * 8)
+
+
+@given(data=st.binary(max_size=150))
+@settings(max_examples=60)
+def test_client_control_random_bytes(data):
+    client = GroupClient("victim", PAPER_SUITE_NO_SIG, verify=True)
+    client.set_individual_key(bytes(8))
+    try:
+        client.process_control(data)
+    except (WireError, ClientError, SigningError):
+        pass
+
+
+@given(n_items=st.integers(min_value=0, max_value=6), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_arbitrary_valid_items_roundtrip(n_items, data):
+    """Arbitrary well-formed messages always decode to themselves."""
+    items = []
+    for index in range(n_items):
+        records = [KeyRecord(data.draw(st.integers(0, 2**32 - 1)),
+                             data.draw(st.integers(0, 2**32 - 1)),
+                             data.draw(st.binary(min_size=8, max_size=8)))]
+        items.append(encrypt_records(
+            PAPER_SUITE_NO_SIG,
+            data.draw(st.binary(min_size=8, max_size=8)),
+            data.draw(st.binary(min_size=8, max_size=8)),
+            records,
+            data.draw(st.integers(0, 2**32 - 1)),
+            data.draw(st.integers(0, 2**32 - 1))))
+    message = Message(msg_type=MSG_REKEY, items=items,
+                      seq=data.draw(st.integers(0, 2**63)))
+    NullSigner(PAPER_SUITE_NO_SIG).seal([message])
+    decoded = Message.decode(message.encode())
+    assert len(decoded.items) == n_items
+    assert decoded.seq == message.seq
+    for original, parsed in zip(items, decoded.items):
+        assert parsed.ciphertext == original.ciphertext
+        assert parsed.enc_node_id == original.enc_node_id

@@ -1,0 +1,163 @@
+"""Wire format: encode/decode round trips and malformed input."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_JOIN_REQUEST,
+                                 MSG_REKEY, SIG_MERKLE, SIG_NONE,
+                                 SIG_PER_MESSAGE, AuthBlock, Destination,
+                                 EncryptedItem, KeyRecord, Message, WireError,
+                                 decode_key_records, decrypt_records,
+                                 encrypt_records)
+from repro.crypto.suite import MODERN_SUITE, PAPER_SUITE
+
+
+def sample_item(enc_node=7, version=3):
+    return EncryptedItem(enc_node, version, bytes(8), bytes(16), 16)
+
+
+def test_message_roundtrip_full():
+    message = Message(
+        msg_type=MSG_REKEY, group_id=42, strategy=2, flags=1, seq=123456,
+        timestamp_us=1_700_000_000_000_000, root_node_id=99, root_version=5,
+        items=[sample_item(), sample_item(8, 1)],
+        auth=AuthBlock(digest=bytes(16), scheme=SIG_PER_MESSAGE,
+                       signature=bytes(64)))
+    decoded = Message.decode(message.encode())
+    assert decoded.msg_type == MSG_REKEY
+    assert decoded.group_id == 42
+    assert decoded.strategy == 2
+    assert decoded.flags == 1
+    assert decoded.seq == 123456
+    assert decoded.timestamp_us == 1_700_000_000_000_000
+    assert decoded.root_node_id == 99
+    assert decoded.root_version == 5
+    assert len(decoded.items) == 2
+    assert decoded.items[0].enc_node_id == 7
+    assert decoded.items[1].enc_version == 1
+    assert decoded.auth.scheme == SIG_PER_MESSAGE
+    assert decoded.auth.signature == bytes(64)
+
+
+def test_message_roundtrip_merkle_auth():
+    auth = AuthBlock(digest=b"d" * 16, scheme=SIG_MERKLE,
+                     signature=b"s" * 64, merkle_index=5,
+                     merkle_path=[b"p" * 16, b"", b"q" * 16])
+    message = Message(msg_type=MSG_REKEY, items=[sample_item()], auth=auth)
+    decoded = Message.decode(message.encode())
+    assert decoded.auth.scheme == SIG_MERKLE
+    assert decoded.auth.merkle_index == 5
+    assert decoded.auth.merkle_path == [b"p" * 16, b"", b"q" * 16]
+
+
+def test_control_message_with_body():
+    message = Message(msg_type=MSG_JOIN_REQUEST, body=b"alice")
+    decoded = Message.decode(message.encode())
+    assert decoded.msg_type == MSG_JOIN_REQUEST
+    assert decoded.body == b"alice"
+    assert decoded.items == []
+
+
+def test_signed_region_excludes_auth():
+    message = Message(msg_type=MSG_REKEY, items=[sample_item()])
+    region = message.signed_region()
+    message.auth = AuthBlock(digest=b"x" * 16)
+    assert message.signed_region() == region  # auth not covered
+    assert message.encode() != region
+
+
+def test_decode_rejects_bad_magic():
+    with pytest.raises(WireError):
+        Message.decode(b"\x00\x00" + bytes(40))
+
+
+def test_decode_rejects_truncation():
+    encoded = Message(msg_type=MSG_DATA, items=[sample_item()],
+                      body=b"payload").encode()
+    for cut in (1, 10, len(encoded) // 2, len(encoded) - 1):
+        with pytest.raises(WireError):
+            Message.decode(encoded[:cut])
+
+
+def test_decode_rejects_bad_version():
+    encoded = bytearray(Message(msg_type=MSG_DATA).encode())
+    encoded[2] = 99  # wire version byte
+    with pytest.raises(WireError):
+        Message.decode(bytes(encoded))
+
+
+@given(seq=st.integers(min_value=0, max_value=2**63),
+       group_id=st.integers(min_value=0, max_value=2**32 - 1),
+       body=st.binary(max_size=64))
+@settings(max_examples=30)
+def test_header_field_roundtrip(seq, group_id, body):
+    message = Message(msg_type=MSG_DATA, group_id=group_id, seq=seq,
+                      body=body)
+    decoded = Message.decode(message.encode())
+    assert decoded.seq == seq
+    assert decoded.group_id == group_id
+    assert decoded.body == body
+
+
+# -- key records -----------------------------------------------------------------
+
+
+def test_key_record_codec():
+    records = [KeyRecord(1, 0, bytes(8)), KeyRecord(2**32 - 2, 7, b"A" * 8)]
+    blob = b"".join(record.encode() for record in records)
+    assert decode_key_records(blob, 8) == records
+
+
+def test_key_record_codec_rejects_partial():
+    with pytest.raises(WireError):
+        decode_key_records(bytes(17), 8)
+
+
+@given(keys=st.lists(st.binary(min_size=8, max_size=8), min_size=1,
+                     max_size=5),
+       key=st.binary(min_size=8, max_size=8))
+@settings(max_examples=30)
+def test_encrypt_decrypt_records_roundtrip(keys, key):
+    records = [KeyRecord(i, i * 2, k) for i, k in enumerate(keys)]
+    item = encrypt_records(PAPER_SUITE, key, bytes(8), records, 12, 1)
+    assert item.enc_node_id == 12
+    assert item.enc_version == 1
+    assert decrypt_records(PAPER_SUITE, key, item) == records
+
+
+def test_encrypt_records_sizes_are_paper_like():
+    # One DES-encrypted key record: exactly two cipher blocks.
+    item = encrypt_records(PAPER_SUITE, bytes(8), bytes(8),
+                           [KeyRecord(1, 1, bytes(8))], 2, 0)
+    assert len(item.ciphertext) == 16
+    assert item.plaintext_len == 16
+
+
+def test_encrypt_records_aes():
+    record = KeyRecord(3, 1, bytes(16))
+    item = encrypt_records(MODERN_SUITE, bytes(16), bytes(16), [record], 9, 2)
+    assert decrypt_records(MODERN_SUITE, bytes(16), item) == [record]
+
+
+def test_decrypt_records_rejects_bad_length_claim():
+    item = encrypt_records(PAPER_SUITE, bytes(8), bytes(8),
+                           [KeyRecord(1, 1, bytes(8))], 2, 0)
+    bad = EncryptedItem(item.enc_node_id, item.enc_version, item.iv,
+                        item.ciphertext, 999)
+    with pytest.raises(WireError):
+        decrypt_records(PAPER_SUITE, bytes(8), bad)
+
+
+# -- destinations ---------------------------------------------------------------
+
+
+def test_destination_constructors():
+    assert Destination.to_all().kind == "all"
+    assert Destination.to_subgroup(5).node_id == 5
+    assert Destination.to_user("bob").user_id == "bob"
+    assert Destination.to_users(["a", "b"]).user_ids == ("a", "b")
+
+
+def test_individual_key_sentinel_reserved():
+    assert INDIVIDUAL_KEY == 0xFFFFFFFF

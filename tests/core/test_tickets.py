@@ -1,0 +1,106 @@
+"""Ticket-based authorization (paper footnote 7)."""
+
+import pytest
+
+from repro.core.server import AccessDenied, GroupKeyServer, ServerConfig
+from repro.core.tickets import Ticket, TicketAuthority, TicketError
+from repro.crypto.suite import PAPER_SUITE_NO_SIG
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return TicketAuthority(seed=b"ticket-tests")
+
+
+def ticketed_server(authority, group_id=7):
+    return GroupKeyServer(ServerConfig(
+        group_id=group_id, suite=PAPER_SUITE_NO_SIG, signing="none",
+        seed=b"ticket-server", ticket_authority=authority.public_key))
+
+
+def test_ticket_roundtrip(authority):
+    ticket = authority.issue("alice", group_id=7)
+    decoded = Ticket.decode(ticket.encode())
+    assert decoded == ticket
+    TicketAuthority.verify(authority.public_key, decoded, "alice", 7)
+
+
+def test_ticket_admits_user(authority):
+    server = ticketed_server(authority)
+    ticket = authority.issue("alice", group_id=7)
+    outcome = server.join("alice", server.new_individual_key(),
+                          ticket=ticket)
+    assert server.is_member("alice")
+    assert outcome.record.op == "join"
+
+
+def test_join_without_ticket_denied(authority):
+    server = ticketed_server(authority)
+    with pytest.raises(AccessDenied):
+        server.join("alice", server.new_individual_key())
+
+
+def test_wrong_user_or_group_denied(authority):
+    server = ticketed_server(authority)
+    mallory_using_alices_ticket = authority.issue("alice", group_id=7)
+    with pytest.raises(AccessDenied):
+        server.join("mallory", server.new_individual_key(),
+                    ticket=mallory_using_alices_ticket)
+    wrong_group = authority.issue("alice", group_id=99)
+    with pytest.raises(AccessDenied):
+        server.join("alice", server.new_individual_key(),
+                    ticket=wrong_group)
+
+
+def test_expired_ticket_denied(authority):
+    server = ticketed_server(authority)
+    stale = authority.issue("alice", group_id=7, lifetime_seconds=0.0)
+    with pytest.raises(AccessDenied):
+        server.join("alice", server.new_individual_key(), ticket=stale)
+
+
+def test_forged_ticket_denied(authority):
+    server = ticketed_server(authority)
+    impostor = TicketAuthority(seed=b"impostor")
+    forged = impostor.issue("alice", group_id=7)
+    with pytest.raises(AccessDenied):
+        server.join("alice", server.new_individual_key(), ticket=forged)
+
+
+def test_tampered_ticket_rejected(authority):
+    ticket = authority.issue("alice", group_id=7)
+    blob = bytearray(ticket.encode())
+    blob[1] ^= 0x01  # 'a' -> '`' (stays valid UTF-8, changes identity)
+    tampered = Ticket.decode(bytes(blob))
+    with pytest.raises(TicketError):
+        TicketAuthority.verify(authority.public_key, tampered,
+                               tampered.user_id, 7)
+
+
+def test_ticket_decode_garbage():
+    with pytest.raises(TicketError):
+        Ticket.decode(b"\x05ab")
+    with pytest.raises(TicketError):
+        Ticket.decode(b"")
+
+
+def test_issue_validation(authority):
+    with pytest.raises(TicketError):
+        authority.issue("", 7)
+    with pytest.raises(TicketError):
+        authority.issue("x" * 300, 7)
+
+
+def test_bootstrap_skips_ticket_check(authority):
+    server = ticketed_server(authority)
+    server.bootstrap([("op-admitted", server.new_individual_key())])
+    assert server.is_member("op-admitted")
+
+
+def test_ticket_expiry_with_explicit_clock(authority):
+    ticket = authority.issue("bob", 7, lifetime_seconds=10.0, now_us=1_000)
+    TicketAuthority.verify(authority.public_key, ticket, "bob", 7,
+                           now_us=5_000_000)
+    with pytest.raises(TicketError):
+        TicketAuthority.verify(authority.public_key, ticket, "bob", 7,
+                               now_us=20_000_000)

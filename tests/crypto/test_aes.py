@@ -1,0 +1,81 @@
+"""AES: FIPS-197 appendix vectors, NIST ECB vectors, properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+FIPS_197 = [
+    (16, "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    (24, "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    (32, "8ea2b7ca516745bfeafc49904b496089"),
+]
+
+# NIST SP 800-38A ECB-AES128 vectors (key 2b7e...).
+NIST_ECB_128_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+NIST_ECB_128 = [
+    ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+    ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+    ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+    ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+]
+
+
+@pytest.mark.parametrize("key_len,expected", FIPS_197)
+def test_fips197_vectors(key_len, expected):
+    cipher = AES(bytes(range(key_len)))
+    assert cipher.encrypt_block(PLAINTEXT).hex() == expected
+    assert cipher.decrypt_block(bytes.fromhex(expected)) == PLAINTEXT
+
+
+@pytest.mark.parametrize("pt,ct", NIST_ECB_128)
+def test_nist_ecb_vectors(pt, ct):
+    cipher = AES(NIST_ECB_128_KEY)
+    assert cipher.encrypt_block(bytes.fromhex(pt)).hex() == ct
+    assert cipher.decrypt_block(bytes.fromhex(ct)).hex() == pt
+
+
+@given(key=st.binary(min_size=16, max_size=16),
+       block=st.binary(min_size=16, max_size=16))
+def test_roundtrip_128(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@given(key=st.binary(min_size=32, max_size=32),
+       block=st.binary(min_size=16, max_size=16))
+def test_roundtrip_256(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_avalanche():
+    cipher = AES(bytes(range(16)))
+    base = cipher.encrypt_block(bytes(16))
+    flipped = cipher.encrypt_block(bytes([1] + [0] * 15))
+    differing = sum(bin(a ^ b).count("1") for a, b in zip(base, flipped))
+    assert differing >= 32
+
+
+def test_key_size_validation():
+    with pytest.raises(ValueError):
+        AES(bytes(15))
+    with pytest.raises(ValueError):
+        AES(bytes(33))
+
+
+def test_block_size_validation():
+    cipher = AES(bytes(16))
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(bytes(8))
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(bytes(17))
+
+
+def test_round_counts():
+    assert AES(bytes(16))._rounds == 10
+    assert AES(bytes(24))._rounds == 12
+    assert AES(bytes(32))._rounds == 14

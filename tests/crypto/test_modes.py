@@ -1,0 +1,132 @@
+"""Padding and chaining modes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import modes
+from repro.crypto.aes import AES
+from repro.crypto.des import DES
+
+
+@given(data=st.binary(max_size=200),
+       block_size=st.integers(min_value=1, max_value=32))
+def test_pad_unpad_roundtrip(data, block_size):
+    padded = modes.pad(data, block_size)
+    assert len(padded) % block_size == 0
+    assert len(padded) > len(data)  # PKCS#7 always adds at least one byte
+    assert modes.unpad(padded, block_size) == data
+
+
+def test_pad_block_size_validation():
+    with pytest.raises(ValueError):
+        modes.pad(b"x", 0)
+    with pytest.raises(ValueError):
+        modes.pad(b"x", 256)
+
+
+@pytest.mark.parametrize("bad", [
+    b"",                        # empty
+    b"\x00" * 8,                # zero pad byte
+    b"\x09" * 8,                # pad length > block
+    b"1234567\x03",             # inconsistent padding bytes
+    b"123456789",               # not a block multiple
+])
+def test_unpad_rejects_garbage(bad):
+    with pytest.raises(modes.PaddingError):
+        modes.unpad(bad, 8)
+
+
+@given(key=st.binary(min_size=8, max_size=8), data=st.binary(max_size=100),
+       iv=st.binary(min_size=8, max_size=8))
+def test_cbc_roundtrip_des(key, data, iv):
+    cipher = DES(key)
+    ciphertext = modes.cbc_encrypt(cipher, data, iv)
+    assert modes.cbc_decrypt(cipher, ciphertext, iv) == data
+
+
+@given(key=st.binary(min_size=16, max_size=16), data=st.binary(max_size=64),
+       iv=st.binary(min_size=16, max_size=16))
+def test_cbc_roundtrip_aes(key, data, iv):
+    cipher = AES(key)
+    ciphertext = modes.cbc_encrypt(cipher, data, iv)
+    assert modes.cbc_decrypt(cipher, ciphertext, iv) == data
+
+
+def test_cbc_iv_matters():
+    cipher = DES(bytes(8))
+    a = modes.cbc_encrypt(cipher, b"hello world", bytes(8))
+    b = modes.cbc_encrypt(cipher, b"hello world", b"\x01" * 8)
+    assert a != b
+
+
+def test_cbc_identical_blocks_differ():
+    # The whole point of CBC vs ECB.
+    cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+    ciphertext = modes.cbc_encrypt(cipher, b"A" * 16, bytes(8))
+    assert ciphertext[:8] != ciphertext[8:16]
+    ecb = modes.ecb_encrypt(cipher, b"A" * 16)
+    assert ecb[:8] == ecb[8:16]
+
+
+def test_cbc_validation():
+    cipher = DES(bytes(8))
+    with pytest.raises(ValueError):
+        modes.cbc_encrypt(cipher, b"data", b"shortiv")
+    with pytest.raises(ValueError):
+        modes.cbc_decrypt(cipher, b"123456789", bytes(8))  # not aligned
+
+
+@given(key=st.binary(min_size=8, max_size=8), data=st.binary(max_size=120))
+def test_ecb_roundtrip(key, data):
+    cipher = DES(key)
+    assert modes.ecb_decrypt(cipher, modes.ecb_encrypt(cipher, data)) == data
+
+
+@given(key=st.binary(min_size=8, max_size=8),
+       n_blocks=st.integers(min_value=0, max_value=6),
+       iv=st.binary(min_size=8, max_size=8))
+def test_cbc_nopad_roundtrip(key, n_blocks, iv):
+    data = bytes(range(8)) * n_blocks
+    cipher = DES(key)
+    ciphertext = modes.cbc_encrypt_nopad(cipher, data, iv)
+    assert len(ciphertext) == len(data)
+    assert modes.cbc_decrypt_nopad(cipher, ciphertext, iv) == data
+
+
+def test_cbc_nopad_requires_alignment():
+    cipher = DES(bytes(8))
+    with pytest.raises(ValueError):
+        modes.cbc_encrypt_nopad(cipher, b"not aligned", bytes(8))
+    with pytest.raises(ValueError):
+        modes.cbc_decrypt_nopad(cipher, b"not aligned", bytes(8))
+    with pytest.raises(ValueError):
+        modes.cbc_encrypt_nopad(cipher, bytes(8), b"badiv")
+
+
+def test_wrong_key_garbles_cbc():
+    right = DES(bytes.fromhex("133457799BBCDFF1"))
+    wrong = DES(bytes.fromhex("FEDCBA9876543210"))
+    ciphertext = modes.cbc_encrypt(right, b"secret key material", bytes(8))
+    try:
+        recovered = modes.cbc_decrypt(wrong, ciphertext, bytes(8))
+    except modes.PaddingError:
+        return  # padding check caught it — fine
+    assert recovered != b"secret key material"
+
+
+def test_cbc_is_malleable_without_integrity():
+    """CBC alone is malleable: flipping ciphertext block i garbles block
+    i's plaintext but applies a controlled XOR to block i+1.  This is
+    exactly why rekey messages carry digests/signatures (paper §4) and
+    data frames carry HMACs — documented here as an executable fact."""
+    cipher = DES(bytes.fromhex("133457799BBCDFF1"))
+    plaintext = b"AAAAAAAA" + b"BBBBBBBB"
+    iv = bytes(8)
+    ciphertext = bytearray(modes.cbc_encrypt_nopad(cipher, plaintext, iv))
+    flip = 0x01
+    ciphertext[0] ^= flip  # first byte of block 0
+    tampered = modes.cbc_decrypt_nopad(cipher, bytes(ciphertext), iv)
+    # Block 1's first byte XORs predictably; block 0 is garbage.
+    assert tampered[8] == plaintext[8] ^ flip
+    assert tampered[:8] != plaintext[:8]

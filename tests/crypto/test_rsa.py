@@ -1,0 +1,131 @@
+"""RSA key generation and PKCS#1 v1.5 signatures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import rsa
+from repro.crypto.drbg import HmacDrbg
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rsa.generate_keypair(512, seed=b"test-keypair")
+
+
+def test_keypair_structure(keypair):
+    assert keypair.n == keypair.p * keypair.q
+    assert keypair.p != keypair.q
+    phi = (keypair.p - 1) * (keypair.q - 1)
+    assert (keypair.e * keypair.d) % phi == 1
+    assert keypair.n.bit_length() == 512
+    assert keypair.byte_size == 64
+    assert keypair.public_key.n == keypair.n
+
+
+def test_keygen_deterministic_with_seed():
+    a = rsa.generate_keypair(512, seed=b"fixed")
+    b = rsa.generate_keypair(512, seed=b"fixed")
+    assert (a.n, a.d) == (b.n, b.d)
+    c = rsa.generate_keypair(512, seed=b"other")
+    assert c.n != a.n
+
+
+def test_keygen_size_guard():
+    with pytest.raises(ValueError):
+        rsa.generate_keypair(128)
+
+
+def test_crt_matches_plain_exponentiation(keypair):
+    message = 0x1234567890ABCDEF
+    assert keypair.raw_sign(message) == pow(message, keypair.d, keypair.n)
+
+
+def test_sign_verify_roundtrip(keypair):
+    digest = bytes(range(16))
+    for algorithm in ("md5", "sha1", "sha256"):
+        d = digest if algorithm == "md5" else bytes(
+            {"sha1": 20, "sha256": 32}[algorithm])
+        signature = rsa.sign_digest(keypair, d, algorithm)
+        assert len(signature) == keypair.byte_size
+        rsa.verify_digest(keypair.public_key, d, signature, algorithm)
+
+
+def test_verify_rejects_tampered_digest(keypair):
+    signature = rsa.sign_digest(keypair, bytes(16), "md5")
+    with pytest.raises(rsa.SignatureError):
+        rsa.verify_digest(keypair.public_key, b"\x01" + bytes(15),
+                          signature, "md5")
+
+
+def test_verify_rejects_tampered_signature(keypair):
+    signature = bytearray(rsa.sign_digest(keypair, bytes(16), "md5"))
+    signature[10] ^= 0x40
+    with pytest.raises(rsa.SignatureError):
+        rsa.verify_digest(keypair.public_key, bytes(16), bytes(signature),
+                          "md5")
+
+
+def test_verify_rejects_wrong_key(keypair):
+    other = rsa.generate_keypair(512, seed=b"other-key")
+    signature = rsa.sign_digest(keypair, bytes(16), "md5")
+    with pytest.raises(rsa.SignatureError):
+        rsa.verify_digest(other.public_key, bytes(16), signature, "md5")
+
+
+def test_verify_rejects_wrong_length(keypair):
+    signature = rsa.sign_digest(keypair, bytes(16), "md5")
+    with pytest.raises(rsa.SignatureError):
+        rsa.verify_digest(keypair.public_key, bytes(16), signature[:-1],
+                          "md5")
+
+
+def test_wrong_algorithm_mismatch(keypair):
+    signature = rsa.sign_digest(keypair, bytes(20), "sha1")
+    with pytest.raises(rsa.SignatureError):
+        rsa.verify_digest(keypair.public_key, bytes(20), signature, "md5")
+
+
+def test_unknown_algorithm(keypair):
+    with pytest.raises(ValueError):
+        rsa.sign_digest(keypair, bytes(16), "sha3")
+
+
+def test_modulus_too_small_for_digestinfo():
+    small = rsa.generate_keypair(256, seed=b"small")
+    with pytest.raises(ValueError):
+        rsa.sign_digest(small, bytes(32), "sha256")  # 256-bit n too short
+
+
+@given(digest=st.binary(min_size=16, max_size=16))
+@settings(max_examples=10, deadline=None)
+def test_signature_binds_digest(keypair, digest):
+    signature = rsa.sign_digest(keypair, digest, "md5")
+    rsa.verify_digest(keypair.public_key, digest, signature, "md5")
+
+
+def test_miller_rabin_classifies_known_numbers():
+    source = HmacDrbg(b"mr")
+    primes = [3, 5, 7, 97, 65537, 2**61 - 1]
+    composites = [1, 4, 9, 91, 561, 41041, 2**61 + 1]
+    for p in primes:
+        assert rsa._is_probable_prime(p, source), p
+    for c in composites:
+        assert not rsa._is_probable_prime(c, source), c
+
+
+def test_generated_prime_has_exact_bit_length():
+    source = HmacDrbg(b"prime")
+    for bits in (32, 64, 128):
+        prime = rsa._generate_prime(bits, source)
+        assert prime.bit_length() == bits
+        assert rsa._is_probable_prime(prime, source)
+
+
+def test_digest_info_prefixes_are_wellformed():
+    # Each prefix is DER: SEQUENCE { SEQUENCE { OID, NULL }, OCTET STRING }
+    for name, prefix in rsa.DIGEST_INFO_PREFIX.items():
+        assert prefix[0] == 0x30  # SEQUENCE
+        assert prefix[-2] == 0x04  # OCTET STRING tag
+        expected_len = {"md5": 16, "sha1": 20, "sha256": 32}[name]
+        assert prefix[-1] == expected_len

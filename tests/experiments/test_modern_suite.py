@@ -1,0 +1,60 @@
+"""The paper's conclusions are cipher-independent.
+
+EXPERIMENTS.md claims the shape results repeat under the modern suite
+(AES-128 + SHA-256 + RSA-1024); this test backs that claim for the three
+load-bearing shapes: log-n scaling, strategy ranking, and the d/(d-1)
+client cost.
+"""
+
+import pytest
+
+from repro.crypto.suite import MODERN_SUITE, CipherSuite
+from repro.simulation.runner import ExperimentConfig, run_experiment
+
+AES_ENC_ONLY = CipherSuite("aes128", None, None)
+
+
+def run(strategy, n, degree=4, suite=AES_ENC_ONLY, signing="none",
+        client_mode="accounting", n_requests=30):
+    return run_experiment(ExperimentConfig(
+        initial_size=n, n_requests=n_requests, degree=degree,
+        strategy=strategy, suite=suite, signing=signing,
+        client_mode=client_mode, seed=b"modern"))
+
+
+def test_log_n_scaling_under_aes():
+    small = run("group", 32).mean_processing_ms
+    large = run("group", 2048).mean_processing_ms
+    assert large / small < 64 / 4  # 64x users, far less than 16x time
+
+
+def test_strategy_ranking_under_aes():
+    costs = {}
+    for strategy in ("user", "key", "group"):
+        result = run(strategy, 256)
+        costs[strategy] = sum(r.encryptions for r in result.records)
+    assert costs["group"] <= costs["key"] <= costs["user"]
+
+
+def test_client_cost_bound_under_aes():
+    result = run("group", 256, client_mode="full", n_requests=40)
+    assert result.client_metrics.key_changes_per_client() == pytest.approx(
+        4 / 3, rel=0.25)
+
+
+def test_full_protocol_under_modern_suite():
+    """End-to-end with AES + SHA-256 + RSA-1024 signatures verified."""
+    result = run_experiment(ExperimentConfig(
+        initial_size=32, n_requests=16, degree=4, strategy="key",
+        suite=MODERN_SUITE, signing="merkle", client_mode="full",
+        seed=b"modern-full"))
+    assert len(result.records) == 16  # synchronization asserted inside
+
+
+def test_optimal_degree_holds_under_aes():
+    by_degree = {}
+    for degree in (2, 4, 16):
+        result = run("group", 256, degree=degree)
+        by_degree[degree] = sum(r.encryptions for r in result.records)
+    assert by_degree[4] < by_degree[2]
+    assert by_degree[4] < by_degree[16]

@@ -1,0 +1,115 @@
+"""Iolus baseline (paper §6): structure, local rekeying, data relay."""
+
+import pytest
+
+from repro.iolus.system import IolusError, IolusSystem
+
+
+def populated(fanout=3, levels=2, clients=12, seed=b"iolus-tests"):
+    system = IolusSystem(agent_fanout=fanout, agent_levels=levels, seed=seed)
+    for i in range(clients):
+        system.join(f"c{i}")
+    return system
+
+
+def test_hierarchy_shape():
+    system = IolusSystem(agent_fanout=3, agent_levels=3, seed=b"shape")
+    # 1 GSC + 3 + 9 agents.
+    assert system.trusted_entities() == 13
+    assert len(system.leaf_agents) == 9
+    system2 = IolusSystem(agent_fanout=4, agent_levels=1, seed=b"flat")
+    assert system2.trusted_entities() == 1
+    assert system2.leaf_agents == [system2.gsc]
+
+
+def test_parameter_validation():
+    with pytest.raises(IolusError):
+        IolusSystem(agent_fanout=0)
+    with pytest.raises(IolusError):
+        IolusSystem(agent_levels=0)
+
+
+def test_join_is_local_and_cheap():
+    system = populated()
+    keys_before = {agent.agent_id: agent.subgroup_key
+                   for agent in system.agents()}
+    record = system.join("newcomer")
+    assert record.encryptions <= 2  # the Iolus advantage
+    changed = [agent_id for agent_id, key in keys_before.items()
+               if system_agent(system, agent_id).subgroup_key != key]
+    assert len(changed) == 1  # only the home subgroup rekeyed
+
+
+def system_agent(system, agent_id):
+    return next(agent for agent in system.agents()
+                if agent.agent_id == agent_id)
+
+
+def test_leave_cost_is_subgroup_size():
+    system = populated(clients=12)
+    home = system._client_home["c0"]
+    expected = home.subgroup_size() - 1
+    record = system.leave("c0")
+    assert record.encryptions == expected
+
+
+def test_join_balances_leaf_agents():
+    system = populated(fanout=3, levels=2, clients=12)
+    loads = [len(agent.clients) for agent in system.leaf_agents]
+    assert max(loads) - min(loads) <= 1
+
+
+def test_duplicate_and_unknown_clients():
+    system = populated()
+    with pytest.raises(IolusError):
+        system.join("c0")
+    with pytest.raises(IolusError):
+        system.leave("ghost")
+    with pytest.raises(IolusError):
+        system.multicast("ghost", b"data")
+
+
+def test_data_relay_reaches_everyone_correctly():
+    system = populated(fanout=3, levels=3, clients=30)
+    record, received = system.multicast("c7", b"the secret announcement")
+    assert set(received) == {f"c{i}" for i in range(30)}
+    assert all(v == b"the secret announcement" for v in received.values())
+    # Every agent decrypts exactly once.
+    assert record.decryptions == system.trusted_entities()
+
+
+def test_data_relay_cost_scales_with_agents_not_clients():
+    few_agents = populated(fanout=2, levels=2, clients=24,
+                           seed=b"few")
+    many_agents = populated(fanout=4, levels=3, clients=24,
+                            seed=b"many")
+    few_record, _ = few_agents.multicast("c0", b"x")
+    many_record, _ = many_agents.multicast("c0", b"x")
+    assert many_record.crypto_ops > few_record.crypto_ops
+    # LKH equivalent: one encryption, always.
+    assert few_record.encryptions > 1
+
+
+def test_data_relay_after_rekey():
+    system = populated(clients=9)
+    system.leave("c4")
+    system.join("c99")
+    record, received = system.multicast("c1", b"post-churn")
+    expected = {f"c{i}" for i in range(9) if i != 4} | {"c99"}
+    assert set(received) == expected
+    assert all(v == b"post-churn" for v in received.values())
+
+
+def test_departed_client_excluded_from_delivery():
+    system = populated(clients=9)
+    system.leave("c2")
+    _record, received = system.multicast("c0", b"secret")
+    assert "c2" not in received
+
+
+def test_history_accumulates():
+    system = populated(clients=4)
+    system.history.clear()
+    system.leave("c0")
+    system.multicast("c1", b"d")
+    assert [r.op for r in system.history] == ["leave", "data"]

@@ -1,0 +1,99 @@
+"""Tree shape analysis and the balance-heuristic drift ablation."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.keygraph.analysis import (TreeShape, assert_balanced,
+                                     leaf_depth_histogram, measure)
+from repro.keygraph.tree import KeyTree
+
+
+def make_tree(n, degree=4, seed=b"analysis"):
+    source = HmacDrbg(seed)
+    keygen = lambda: source.generate(8)
+    return KeyTree.build([(f"u{i}", keygen()) for i in range(n)],
+                         degree, keygen), keygen
+
+
+def test_perfect_tree_shape():
+    tree, _ = make_tree(64, 4)
+    shape = measure(tree)
+    assert shape.n_users == 64
+    assert shape.height == shape.optimal_height == 4
+    assert shape.height_slack == 0
+    assert shape.min_leaf_depth == 4
+    assert shape.mean_leaf_depth == 4.0
+    assert shape.interior_fill == 1.0
+    assert shape.key_overhead == pytest.approx(85 / (4 / 3 * 64))
+
+
+def test_single_user_shape():
+    tree, _ = make_tree(1)
+    shape = measure(tree)
+    assert shape.height == shape.optimal_height == 2
+
+
+def test_empty_tree_rejected():
+    tree = KeyTree(3, lambda: bytes(8))
+    with pytest.raises(ValueError):
+        measure(tree)
+
+
+def test_leaf_depth_histogram():
+    tree, _ = make_tree(64, 4)
+    assert leaf_depth_histogram(tree) == {4: 64}
+    tree2, _ = make_tree(10, 3)
+    histogram = leaf_depth_histogram(tree2)
+    assert sum(histogram.values()) == 10
+    assert set(histogram) <= {3, 4}
+
+
+def test_assert_balanced_passes_and_fails():
+    tree, keygen = make_tree(27, 3)
+    assert_balanced(tree, slack=0)
+    # Degenerate tree: chain joins into a 2-ary tree built by splits.
+    skewed, keygen = make_tree(2, 2, seed=b"skew")
+    # Force artificial depth by splitting the same branch repeatedly:
+    # manual surgery (analysis must catch what edits would never make).
+    leaf = skewed.leaf_of("u0")
+    from repro.keygraph.tree import TreeNode
+    for extra in range(4):
+        interior = TreeNode(1000 + extra, bytes(8))
+        parent = leaf.parent
+        parent.children[parent.children.index(leaf)] = interior
+        interior.parent = parent
+        leaf.parent = interior
+        interior.children.append(leaf)
+        interior.size = 1
+    with pytest.raises(AssertionError):
+        assert_balanced(skewed, slack=1)
+
+
+def test_heuristic_keeps_balance_under_churn():
+    tree, keygen = make_tree(100, 4, seed=b"churn")
+    source = HmacDrbg(b"churn-ops")
+    alive = [f"u{i}" for i in range(100)]
+    for step in range(300):
+        if source.randint_below(2) or len(alive) < 2:
+            name = f"x{step}"
+            tree.join(name, keygen())
+            alive.append(name)
+        else:
+            index = source.randint_below(len(alive))
+            tree.leave(alive.pop(index))
+        shape = assert_balanced(tree, slack=1)
+        assert shape.interior_fill > 0.5
+
+
+def test_drift_ablation_table():
+    from repro.experiments.ablations import tree_drift
+    from repro.experiments.common import Scale
+    tiny = Scale(name="drift-test", initial_size=64, n_requests=0,
+                 group_sizes=(), degrees=(), n_sequences=1)
+    table = tree_drift(tiny, n_operations=400, checkpoints=4)
+    assert len(table.rows) >= 4
+    for row in table.rows:
+        _ops, _users, _height, _optimal, slack, fill, overhead = row
+        assert slack <= 1
+        assert fill > 0.5
+        assert overhead < 1.5

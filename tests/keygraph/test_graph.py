@@ -1,0 +1,154 @@
+"""Generic key graphs and the (U, K, R) model (paper §2)."""
+
+import pytest
+
+from repro.keygraph.graph import (KeyGraph, KeyGraphError, SecureGroup,
+                                  figure1_example)
+
+
+@pytest.fixture()
+def figure1():
+    return figure1_example()
+
+
+def test_figure1_matches_paper(figure1):
+    """The exact secure group of the paper's Figure 1."""
+    figure1.validate()
+    assert figure1.keyset("u1") == {"k1", "k12", "k1234"}
+    assert figure1.keyset("u2") == {"k2", "k12", "k234", "k1234"}
+    assert figure1.keyset("u3") == {"k3", "k234", "k1234"}
+    assert figure1.keyset("u4") == {"k4", "k234", "k1234"}
+    assert figure1.userset("k234") == {"u2", "u3", "u4"}
+    assert figure1.userset("k1234") == {"u1", "u2", "u3", "u4"}
+    assert figure1.userset("k12") == {"u1", "u2"}
+    assert figure1.userset("k3") == {"u3"}
+
+
+def test_generalized_keyset_userset(figure1):
+    assert figure1.keyset_of_users(["u1", "u3"]) == (
+        {"k1", "k12", "k1234", "k3", "k234"})
+    assert figure1.userset_of_keys(["k12", "k3"]) == {"u1", "u2", "u3"}
+    assert figure1.keyset_of_users([]) == frozenset()
+    assert figure1.userset_of_keys([]) == frozenset()
+
+
+def test_secure_group_derivation(figure1):
+    group = figure1.secure_group()
+    assert group.users == {"u1", "u2", "u3", "u4"}
+    assert len(group.keys) == 7
+    assert group.holds("u1", "k12")
+    assert not group.holds("u3", "k12")
+    assert group.group_keys() == {"k1234"}
+    assert group.individual_keys("u1") == {"k1"}
+    assert group.keyset("u4") == figure1.keyset("u4")
+    assert group.userset("k234") == figure1.userset("k234")
+
+
+def test_individual_keys_only_counts_exclusive(figure1):
+    group = figure1.secure_group()
+    # k12 is held by u1 and u2, so it is individual to neither.
+    assert "k12" not in group.individual_keys("u1")
+
+
+def test_multiple_roots_allowed():
+    graph = KeyGraph()
+    graph.add_u_node("u")
+    graph.add_k_node("k1")
+    graph.add_k_node("k2")
+    graph.add_edge("u", "k1")
+    graph.add_edge("u", "k2")
+    graph.validate()
+    assert graph.roots == {"k1", "k2"}
+
+
+def test_duplicate_node_rejected():
+    graph = KeyGraph()
+    graph.add_u_node("x")
+    with pytest.raises(KeyGraphError):
+        graph.add_k_node("x")
+    with pytest.raises(KeyGraphError):
+        graph.add_u_node("x")
+
+
+def test_edge_validation():
+    graph = KeyGraph()
+    graph.add_u_node("u")
+    graph.add_k_node("k")
+    with pytest.raises(KeyGraphError):
+        graph.add_edge("u", "missing")
+    with pytest.raises(KeyGraphError):
+        graph.add_edge("k", "u")  # edges must end at k-nodes
+    with pytest.raises(KeyGraphError):
+        graph.add_edge("k", "k")  # self loop
+
+
+def test_cycle_rejected():
+    graph = KeyGraph()
+    graph.add_k_node("a")
+    graph.add_k_node("b")
+    graph.add_u_node("u")
+    graph.add_edge("u", "a")
+    graph.add_edge("a", "b")
+    with pytest.raises(KeyGraphError):
+        graph.add_edge("b", "a")
+
+
+def test_validate_catches_rule_violations():
+    # u-node without outgoing edge.
+    graph = KeyGraph()
+    graph.add_u_node("u")
+    graph.add_k_node("k")
+    with pytest.raises(KeyGraphError):
+        graph.validate()
+    # k-node without incoming edge (the same graph: k has no incoming).
+    graph.add_edge("u", "k")
+    graph.validate()
+    graph2 = KeyGraph()
+    graph2.add_u_node("u")
+    graph2.add_k_node("k")
+    graph2.add_k_node("orphan")
+    graph2.add_edge("u", "k")
+    with pytest.raises(KeyGraphError):
+        graph2.validate()
+
+
+def test_remove_node(figure1):
+    figure1.remove_node("u1")
+    # k1 loses its only incoming edge -> invalid.
+    with pytest.raises(KeyGraphError):
+        figure1.validate()
+    figure1.remove_node("k1")
+    figure1.validate()
+    assert figure1.userset("k12") == {"u2"}
+
+
+def test_remove_unknown_node():
+    with pytest.raises(KeyGraphError):
+        KeyGraph().remove_node("ghost")
+
+
+def test_keyset_userset_type_checks(figure1):
+    with pytest.raises(KeyGraphError):
+        figure1.keyset("k12")       # not a u-node
+    with pytest.raises(KeyGraphError):
+        figure1.userset("u1")       # not a k-node
+    with pytest.raises(KeyGraphError):
+        figure1.keyset("missing")
+
+
+def test_secure_group_consistency_checks():
+    with pytest.raises(KeyGraphError):
+        SecureGroup([], ["k"], [])
+    with pytest.raises(KeyGraphError):
+        SecureGroup(["u"], [], [])
+    with pytest.raises(KeyGraphError):
+        SecureGroup(["u"], ["k"], [("u", "ghost")])
+    group = SecureGroup(["u"], ["k"], [("u", "k")])
+    with pytest.raises(KeyGraphError):
+        group.keyset("ghost")
+    with pytest.raises(KeyGraphError):
+        group.userset("ghost")
+
+
+def test_len(figure1):
+    assert len(figure1) == 11  # 4 u-nodes + 7 k-nodes

@@ -1,0 +1,144 @@
+"""Star and complete key graph classes (paper §2.2, Tables 1-2)."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.keygraph.complete import CompleteGroup, CompleteGroupError
+from repro.keygraph.star import StarGroup, StarError
+
+
+def make_keygen(seed=b"star"):
+    source = HmacDrbg(seed)
+    return lambda: source.generate(8)
+
+
+# -- star ----------------------------------------------------------------------
+
+
+def test_star_key_counts():
+    star = StarGroup(make_keygen())
+    for i in range(10):
+        star.join(f"u{i}", bytes([i]) * 8)
+    assert len(star) == 10
+    assert star.n_keys == 11  # Table 1: n + 1
+    assert len(star.keyset("u3")) == 2  # Table 1: 2 per user
+
+
+def test_star_join_cost_and_rekey_plan():
+    star = StarGroup(make_keygen())
+    first = star.join("a", b"indiv-a-k")
+    # First member: no old group to multicast to.
+    assert first.n_encryptions == 1
+    old_group_key = star.group_key
+    second = star.join("b", b"indiv-b-k")
+    # Table 2c: join costs 2 encryptions.
+    assert second.n_encryptions == 2
+    assert second.multicast_under_old_group_key == old_group_key
+    assert second.encrypt_for == [("b", b"indiv-b-k")]
+    assert star.group_key != old_group_key
+
+
+def test_star_leave_cost():
+    star = StarGroup(make_keygen())
+    for i in range(8):
+        star.join(f"u{i}", bytes([i]) * 8)
+    rekey = star.leave("u0")
+    # Table 2c: leave costs n - 1 encryptions, one per remaining member.
+    assert rekey.n_encryptions == 7
+    assert {uid for uid, _key in rekey.encrypt_for} == {
+        f"u{i}" for i in range(1, 8)}
+    assert not rekey.multicast_under_old_group_key
+
+
+def test_star_group_key_rotates_every_operation():
+    star = StarGroup(make_keygen())
+    versions = [star.group_key_version]
+    star.join("a", b"a-indiv-k")
+    versions.append(star.group_key_version)
+    star.join("b", b"b-indiv-k")
+    versions.append(star.group_key_version)
+    star.leave("a")
+    versions.append(star.group_key_version)
+    assert versions == [0, 1, 2, 3]
+
+
+def test_star_errors():
+    star = StarGroup(make_keygen())
+    star.join("a", b"a-indiv-k")
+    with pytest.raises(StarError):
+        star.join("a", b"again-key")
+    with pytest.raises(StarError):
+        star.leave("ghost")
+    with pytest.raises(StarError):
+        star.individual_key("ghost")
+
+
+def test_star_key_graph_export():
+    star = StarGroup(make_keygen())
+    for name in ("a", "b", "c"):
+        star.join(name, name.encode() * 8)
+    graph = star.to_key_graph()
+    graph.validate()
+    group = graph.secure_group()
+    assert group.userset("k-group") == {"a", "b", "c"}
+    assert group.keyset("a") == {"k-a", "k-group"}
+
+
+# -- complete -----------------------------------------------------------------
+
+
+def test_complete_key_counts():
+    group = CompleteGroup([f"u{i}" for i in range(5)], make_keygen())
+    assert group.n_keys == 2**5 - 1          # Table 1
+    assert len(group.keyset("u0")) == 2**4   # Table 1
+
+
+def test_complete_group_key_shared_by_all():
+    users = ["a", "b", "c"]
+    group = CompleteGroup(users, make_keygen())
+    assert group.key_for(users) == group.group_key()
+    assert group.userset(["a", "b"]) == {"a", "b"}
+
+
+def test_complete_leave_costs_nothing_and_preserves_subset_keys():
+    group = CompleteGroup(["a", "b", "c", "d"], make_keygen())
+    survivors_key = group.key_for(["a", "b", "c"])
+    assert group.leave("d") == 0             # Table 2: leave cost 0
+    # The remaining members' group key already existed — unchanged.
+    assert group.group_key() == survivors_key
+    assert group.n_keys == 2**3 - 1
+
+
+def test_complete_join_cost_is_exponential():
+    group = CompleteGroup(["a", "b", "c"], make_keygen())
+    created, joiner_keys = group.join("d")
+    assert created == 2**3                   # Table 2: join creates 2^n keys
+    assert joiner_keys == 2**3
+    assert group.n_keys == 2**4 - 1
+
+
+def test_complete_guards():
+    with pytest.raises(CompleteGroupError):
+        CompleteGroup([], make_keygen())
+    with pytest.raises(CompleteGroupError):
+        CompleteGroup(["a", "a"], make_keygen())
+    with pytest.raises(CompleteGroupError):
+        CompleteGroup([f"u{i}" for i in range(17)], make_keygen())
+    group = CompleteGroup(["a"], make_keygen())
+    with pytest.raises(CompleteGroupError):
+        group.join("a")
+    with pytest.raises(CompleteGroupError):
+        group.leave("ghost")
+    with pytest.raises(CompleteGroupError):
+        group.keyset("ghost")
+    with pytest.raises(CompleteGroupError):
+        group.key_for(["ghost"])
+
+
+def test_complete_key_graph_export():
+    group = CompleteGroup(["a", "b", "c"], make_keygen())
+    graph = group.to_key_graph()
+    graph.validate()
+    derived = graph.secure_group()
+    assert len(derived.keys) == 7
+    assert len(derived.keyset("a")) == 4

@@ -1,0 +1,249 @@
+"""Key tree structure, balance heuristic and edit semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.keygraph.tree import KeyTree, KeyTreeError
+
+
+def make_keygen(seed=b"tree-test"):
+    source = HmacDrbg(seed)
+    return lambda: source.generate(8)
+
+
+def build(n, degree=3, seed=b"tree-test"):
+    keygen = make_keygen(seed)
+    return KeyTree.build([(f"u{i}", keygen()) for i in range(n)],
+                         degree, keygen)
+
+
+def expected_height(n, d):
+    if n <= 1:
+        return 2
+    return math.ceil(math.log(n, d)) + 1
+
+
+@pytest.mark.parametrize("n,degree", [
+    (1, 2), (2, 2), (3, 2), (9, 3), (10, 3), (27, 3), (64, 4), (100, 4),
+    (256, 4), (8, 8), (17, 4),
+])
+def test_build_shapes(n, degree):
+    tree = build(n, degree)
+    tree.validate()
+    assert tree.n_users == n
+    assert len(tree) == n
+    assert tree.height() <= expected_height(n, degree) + 1
+    assert set(tree.users()) == {f"u{i}" for i in range(n)}
+
+
+def test_build_full_balanced_counts():
+    # n = d^(h-1): Table 1's ~d/(d-1) n keys, h keys per user.
+    tree = build(27, 3)
+    assert tree.n_keys == 27 + 9 + 3 + 1
+    assert tree.height() == 4
+    for i in range(27):
+        assert len(tree.user_key_path(f"u{i}")) == 4
+
+
+def test_empty_build():
+    tree = KeyTree.build([], 3, make_keygen())
+    assert tree.root is None
+    assert tree.n_users == 0
+    with pytest.raises(KeyTreeError):
+        tree.group_key_node()
+
+
+def test_single_user_has_distinct_group_key():
+    tree = build(1)
+    assert tree.height() == 2
+    leaf = tree.leaf_of("u0")
+    assert tree.root is not leaf
+    assert tree.root.key != leaf.key
+
+
+def test_degree_validation():
+    with pytest.raises(KeyTreeError):
+        KeyTree(1, make_keygen())
+
+
+def test_join_rekeys_path_to_root():
+    tree = build(9, 3)
+    root_key_before = tree.root.key
+    result = tree.join("新user", b"indivkey")
+    tree.validate()
+    assert tree.has_user("新user")
+    # Every changed node got a fresh key and bumped version.
+    assert result.changes[0].node is tree.root
+    assert tree.root.key != root_key_before
+    for change in result.changes:
+        assert change.new_key == change.node.key
+        assert change.old_key != change.new_key
+        assert change.node.version == change.old_version + 1
+    # The changes list is exactly the joiner's path above its leaf.
+    path = tree.user_key_path("新user")
+    assert [c.node for c in result.changes] == list(reversed(path[1:]))
+
+
+def test_join_prefers_non_full_interior():
+    tree = build(8, 3)  # root full? 8 users, d=3 -> some interior has room
+    result = tree.join("u8", b"someindiv")
+    assert result.split_leaf is None
+    tree.validate()
+
+
+def test_join_splits_leaf_when_full():
+    tree = build(9, 3)  # perfect 3-ary tree: every interior full
+    height_before = tree.height()
+    result = tree.join("u9", b"newindivk")
+    assert result.split_leaf is not None
+    displaced = result.split_leaf
+    # The displaced leaf now hangs under the fresh interior with the joiner.
+    assert displaced.parent is result.joining_point
+    assert result.leaf.parent is result.joining_point
+    assert tree.height() == height_before + 1
+    tree.validate()
+
+
+def test_join_duplicate_rejected():
+    tree = build(4)
+    with pytest.raises(KeyTreeError):
+        tree.join("u0", b"whatever")
+
+
+def test_join_into_empty_tree():
+    tree = KeyTree(3, make_keygen())
+    result = tree.join("first", b"indiv-key")
+    tree.validate()
+    assert tree.n_users == 1
+    assert result.changes[0].node is tree.root
+
+
+def test_leave_rekeys_path():
+    tree = build(27, 3)
+    victim_path = tree.user_key_path("u5")
+    result = tree.leave("u5")
+    tree.validate()
+    assert not tree.has_user("u5")
+    assert result.removed_leaf is victim_path[0]
+    # Every non-leaf node of the old path was either rekeyed or spliced.
+    changed = {c.node.node_id for c in result.changes}
+    spliced = {s.node_id for s in result.spliced}
+    for node in victim_path[1:]:
+        assert node.node_id in changed | spliced
+
+
+def test_leave_splices_single_child_interior():
+    tree = build(4, 2)  # perfect binary tree of 4
+    result = tree.leave("u0")  # u1's parent now has one child
+    assert len(result.spliced) == 1
+    tree.validate()
+    # u1's path shortened by one.
+    assert len(tree.user_key_path("u1")) == 2
+
+
+def test_leave_unknown_user():
+    tree = build(4)
+    with pytest.raises(KeyTreeError):
+        tree.leave("ghost")
+
+
+def test_leave_last_user_empties_tree():
+    tree = build(1)
+    result = tree.leave("u0")
+    assert tree.root is None
+    assert tree.n_users == 0
+    assert result.changes == []
+
+
+def test_leave_to_single_user_keeps_root():
+    tree = build(2, 2)
+    tree.leave("u0")
+    tree.validate()
+    assert tree.n_users == 1
+    # Root retained (group key node id stable) even with one child.
+    assert tree.root is not None
+    assert not tree.root.is_leaf
+
+
+def test_userset_and_sizes():
+    tree = build(27, 3)
+    assert sorted(tree.userset(tree.root)) == sorted(tree.users())
+    for child in tree.root.children:
+        assert len(tree.userset(child)) == tree.subtree_size(child) == 9
+    leaf = tree.leaf_of("u13")
+    assert tree.userset(leaf) == ["u13"]
+    assert tree.subtree_size(tree.root) == 27
+
+
+def test_to_key_graph_equivalence():
+    tree = build(10, 3)
+    graph = tree.to_key_graph()
+    graph.validate()
+    group = graph.secure_group()
+    # Graph keyset == path nodes for every user.
+    for user in tree.users():
+        path_ids = {node.node_id for node in tree.user_key_path(user)}
+        assert group.keyset(user) == path_ids
+    # Root userset is everyone.
+    assert group.userset(tree.root.node_id) == set(tree.users())
+
+
+def test_node_ids_are_unique_and_stable():
+    tree = build(20, 4)
+    ids = [node.node_id for node in tree.nodes()]
+    assert len(ids) == len(set(ids))
+    root_id = tree.root.node_id
+    tree.join("newbie", b"newbie-k")
+    tree.leave("u3")
+    assert tree.root.node_id == root_id  # rekeyed, not replaced
+
+
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_random_churn_invariants(data):
+    """Property: any join/leave sequence keeps the tree valid, balanced
+    within one level of optimal, and consistent with its key graph."""
+    degree = data.draw(st.integers(min_value=2, max_value=5))
+    n_initial = data.draw(st.integers(min_value=1, max_value=40))
+    tree = build(n_initial, degree, seed=b"churn")
+    keygen = make_keygen(b"churn-ops")
+    alive = [f"u{i}" for i in range(n_initial)]
+    counter = 0
+    ops = data.draw(st.lists(st.booleans(), max_size=30))
+    for is_join in ops:
+        if is_join or not alive:
+            name = f"x{counter}"
+            counter += 1
+            tree.join(name, keygen())
+            alive.append(name)
+        else:
+            index = data.draw(st.integers(min_value=0, max_value=len(alive) - 1))
+            tree.leave(alive.pop(index))
+        tree.validate()
+        if alive:
+            n = len(alive)
+            assert tree.n_users == n
+            # Balance: within one level of the ideal height.
+            assert tree.height() <= expected_height(n, degree) + 1
+            # Every user can still reach the root.
+            for user in alive[:3]:
+                assert tree.user_key_path(user)[-1] is tree.root
+        else:
+            assert tree.root is None
+
+
+def test_version_monotonicity_under_churn():
+    tree = build(16, 4)
+    root = tree.root
+    versions = [root.version]
+    for i in range(6):
+        tree.join(f"j{i}", bytes([i]) * 8)
+        versions.append(root.version)
+        tree.leave(f"j{i}")
+        versions.append(root.version)
+    assert versions == sorted(versions)
+    assert versions[-1] == versions[0] + 12  # one bump per operation

@@ -1,0 +1,100 @@
+"""Multiple secure groups over one user population (paper §7)."""
+
+import pytest
+
+from repro.multigroup.service import MultiGroupError, MultiGroupService
+
+
+@pytest.fixture()
+def service():
+    svc = MultiGroupService(seed=b"mg-tests")
+    for user in ("alice", "bob", "carol", "dave"):
+        svc.register_user(user)
+    svc.create_group("video", degree=3)
+    svc.create_group("chat", degree=3)
+    return svc
+
+
+def test_registration(service):
+    assert sorted(service.users()) == ["alice", "bob", "carol", "dave"]
+    key = service.individual_key("alice")
+    assert len(key) == 8
+    with pytest.raises(MultiGroupError):
+        service.register_user("alice")
+    with pytest.raises(MultiGroupError):
+        service.individual_key("ghost")
+
+
+def test_group_management(service):
+    assert sorted(service.group_names()) == ["chat", "video"]
+    with pytest.raises(MultiGroupError):
+        service.create_group("video")
+    with pytest.raises(MultiGroupError):
+        service.group("ghost")
+
+
+def test_one_individual_key_across_groups(service):
+    service.join("video", "bob")
+    service.join("chat", "bob")
+    video_leaf = service.group("video").tree.leaf_of("bob")
+    chat_leaf = service.group("chat").tree.leaf_of("bob")
+    assert video_leaf.key == chat_leaf.key == service.individual_key("bob")
+
+
+def test_membership_tracking(service):
+    service.join("video", "alice")
+    service.join("chat", "alice")
+    assert service.groups_of("alice") == {"video", "chat"}
+    service.leave("video", "alice")
+    assert service.groups_of("alice") == {"chat"}
+    with pytest.raises(MultiGroupError):
+        service.groups_of("ghost")
+
+
+def test_groups_rekey_independently(service):
+    service.join("video", "alice")
+    service.join("video", "bob")
+    service.join("chat", "carol")
+    video_key = service.group("video").group_key()
+    chat_key = service.group("chat").group_key()
+    assert video_key != chat_key
+    service.join("chat", "dave")  # chat rekeys...
+    assert service.group("video").group_key() == video_key  # ...video doesn't
+    assert service.group("chat").group_key() != chat_key
+
+
+def test_merged_key_graph_semantics(service):
+    for user in ("alice", "bob", "carol"):
+        service.join("video", user)
+    for user in ("bob", "carol", "dave"):
+        service.join("chat", user)
+    graph = service.merged_key_graph()
+    graph.validate()
+    group = graph.secure_group()
+    # bob reaches keys in both trees; alice only video's.
+    bob_keys = group.keyset("bob")
+    assert any(key.startswith("video:") for key in bob_keys)
+    assert any(key.startswith("chat:") for key in bob_keys)
+    alice_keys = group.keyset("alice")
+    assert all(key.startswith("video:") for key in alice_keys)
+    # The video group key's userset is the video membership.
+    video_root = service.group("video").tree.root
+    assert group.userset(f"video:{video_root.node_id}") == {
+        "alice", "bob", "carol"}
+
+
+def test_keyset_across_groups(service):
+    assert service.keyset_across_groups("alice") == frozenset()
+    service.join("video", "alice")
+    keys = service.keyset_across_groups("alice")
+    assert len(keys) >= 2  # individual-key leaf + group key
+    assert all(key.startswith("video:") for key in keys)
+
+
+def test_rekey_outcomes_are_real(service):
+    service.join("video", "alice")
+    outcome = service.join("video", "bob")
+    assert outcome.record.op == "join"
+    assert outcome.rekey_messages
+    outcome = service.leave("video", "alice")
+    assert outcome.record.op == "leave"

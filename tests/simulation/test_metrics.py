@@ -1,0 +1,82 @@
+"""Metrics aggregation."""
+
+import pytest
+
+from repro.core.server import RequestRecord
+from repro.simulation.metrics import (ClientMetrics, OpMetrics,
+                                      ServerMetrics, Summary)
+
+
+def record(op="join", seconds=0.001, msgs=2, total_bytes=400, enc=6,
+           sigs=1, key_changes=10, n_after=9):
+    return RequestRecord(op=op, user_id="u", seconds=seconds,
+                         n_rekey_messages=msgs, rekey_bytes=total_bytes,
+                         max_message_bytes=total_bytes // max(msgs, 1),
+                         encryptions=enc, signatures=sigs,
+                         key_changes_total=key_changes,
+                         n_users_after=n_after)
+
+
+def test_summary_of():
+    s = Summary.of([1.0, 2.0, 3.0])
+    assert (s.count, s.mean, s.minimum, s.maximum) == (3, 2.0, 1.0, 3.0)
+    empty = Summary.of([])
+    assert empty.count == 0 and empty.mean == 0.0
+
+
+def test_op_metrics_per_message_sizes_are_message_weighted():
+    records = [record(msgs=1, total_bytes=100),
+               record(msgs=3, total_bytes=600)]
+    metrics = OpMetrics.from_records(records)
+    # 4 messages total: one of 100, three of 200 -> mean 175.
+    assert metrics.message_bytes.count == 4
+    assert metrics.message_bytes.mean == pytest.approx(175.0)
+    assert metrics.total_bytes.mean == pytest.approx(350.0)
+
+
+def test_op_metrics_skips_messageless_requests():
+    metrics = OpMetrics.from_records([record(msgs=0, total_bytes=0)])
+    assert metrics.message_bytes.count == 0
+
+
+def test_server_metrics_split_by_op():
+    records = [record("join", seconds=0.002), record("leave", seconds=0.004)]
+    metrics = ServerMetrics.from_records(records)
+    assert metrics.join.processing_ms.mean == pytest.approx(2.0)
+    assert metrics.leave.processing_ms.mean == pytest.approx(4.0)
+    assert metrics.overall_processing_ms == pytest.approx(3.0)
+
+
+def test_client_metrics_received_size_is_receiver_weighted():
+    metrics = ClientMetrics()
+    metrics.record_message("join", size=100, n_receivers=9)
+    metrics.record_message("join", size=1000, n_receivers=1)
+    s = metrics.received_size("join")
+    # 10 copies: 9 x 100 + 1 x 1000 -> mean 190 (clients mostly saw 100).
+    assert s.mean == pytest.approx(190.0)
+    assert s.minimum == 100 and s.maximum == 1000
+    assert metrics.received_size("leave").count == 0
+
+
+def test_client_metrics_key_changes_per_client():
+    metrics = ClientMetrics()
+    metrics.record_request(record("join", key_changes=12, n_after=10))
+    # join: population excludes the joiner -> 9 non-requesting users.
+    metrics.record_request(record("leave", key_changes=8, n_after=8))
+    assert metrics.key_changes_per_client() == pytest.approx(
+        ((12 / 9) + (8 / 8)) / 2)
+
+
+def test_client_metrics_messages_per_client_per_request():
+    metrics = ClientMetrics()
+    metrics.record_message("join", size=100, n_receivers=10)
+    metrics.record_request(record("join", n_after=11))
+    per_request = metrics.messages_per_client_per_request(1)
+    assert per_request == pytest.approx(1.0)
+
+
+def test_empty_client_metrics():
+    metrics = ClientMetrics()
+    assert metrics.key_changes_per_client() == 0.0
+    assert metrics.messages_per_client_per_request(10) == 0.0
+    assert metrics.received_size().count == 0

@@ -1,0 +1,58 @@
+"""Trace export."""
+
+import csv
+import io
+import json
+
+from repro.simulation.runner import ExperimentConfig, run_experiment
+from repro.simulation.trace import (RECORD_FIELDS, records_to_csv,
+                                    result_to_json_lines, sweep_to_csv,
+                                    write_trace)
+from repro.crypto.suite import PAPER_SUITE_NO_SIG
+
+
+def small_result(**overrides):
+    defaults = dict(initial_size=16, n_requests=10, degree=3,
+                    strategy="group", suite=PAPER_SUITE_NO_SIG,
+                    signing="none", seed=b"trace", client_mode="accounting")
+    defaults.update(overrides)
+    return run_experiment(ExperimentConfig(**defaults))
+
+
+def test_records_csv_shape():
+    result = small_result()
+    text = records_to_csv(result.records)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == list(RECORD_FIELDS)
+    assert len(rows) == 1 + len(result.records)
+    for row in rows[1:]:
+        assert row[0] in ("join", "leave")
+        assert float(row[2]) >= 0          # ms
+        assert int(row[6]) >= 0            # encryptions
+
+
+def test_json_lines_roundtrip():
+    result = small_result()
+    lines = result_to_json_lines(result).strip().splitlines()
+    objects = [json.loads(line) for line in lines]
+    requests = [o for o in objects if o["type"] == "request"]
+    summaries = [o for o in objects if o["type"] == "summary"]
+    assert len(requests) == len(result.records)
+    assert len(summaries) == 1
+    summary = summaries[0]
+    assert summary["strategy"] == "group"
+    assert summary["final_size"] == result.final_size
+    assert summary["mean_ms"] > 0
+
+
+def test_sweep_csv():
+    results = [small_result(degree=d) for d in (2, 3, 4)]
+    rows = list(csv.reader(io.StringIO(sweep_to_csv(results))))
+    assert len(rows) == 4
+    assert [row[1] for row in rows[1:]] == ["2", "3", "4"]
+
+
+def test_write_trace(tmp_path):
+    path = tmp_path / "trace.csv"
+    write_trace(str(path), "a,b\n1,2\n")
+    assert path.read_text() == "a,b\n1,2\n"

@@ -1,0 +1,91 @@
+"""Workload generation (paper §5 experimental setup)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.workload import (JOIN, LEAVE, Request,
+                                       generate_workload, initial_members,
+                                       paper_sequences)
+
+
+def test_initial_members_format():
+    members = initial_members(3)
+    assert members == ["m0000", "m0001", "m0002"]
+    assert len(initial_members(20000)) == 20000
+    assert initial_members(0) == []
+
+
+def test_workload_is_deterministic():
+    initial = initial_members(16)
+    a = generate_workload(initial, 100, seed=b"w")
+    b = generate_workload(initial, 100, seed=b"w")
+    assert a == b
+    c = generate_workload(initial, 100, seed=b"different")
+    assert a != c
+
+
+def test_workload_validity():
+    """Leaves always name current members; joins always fresh users."""
+    initial = initial_members(10)
+    requests = generate_workload(initial, 300, seed=b"validity")
+    members = set(initial)
+    for request in requests:
+        if request.op == JOIN:
+            assert request.user_id not in members
+            members.add(request.user_id)
+        else:
+            assert request.user_id in members
+            members.discard(request.user_id)
+
+
+def test_ratio_roughly_respected():
+    requests = generate_workload(initial_members(50), 1000,
+                                 join_fraction=0.5, seed=b"ratio")
+    joins = sum(1 for r in requests if r.op == JOIN)
+    assert 400 <= joins <= 600
+
+
+def test_extreme_ratios():
+    all_joins = generate_workload(initial_members(5), 50,
+                                  join_fraction=1.0, seed=b"j")
+    assert all(r.op == JOIN for r in all_joins)
+    all_leaves = generate_workload(initial_members(100), 50,
+                                   join_fraction=0.0, seed=b"l")
+    assert all(r.op == LEAVE for r in all_leaves)
+
+
+def test_leave_from_empty_group_becomes_join():
+    requests = generate_workload([], 10, join_fraction=0.0, seed=b"empty")
+    assert requests[0].op == JOIN  # nothing to leave
+
+
+def test_ratio_validation():
+    with pytest.raises(ValueError):
+        generate_workload([], 10, join_fraction=1.5)
+
+
+def test_paper_sequences_are_three_distinct_but_reproducible():
+    initial = initial_members(32)
+    first = paper_sequences(initial, n_requests=50)
+    second = paper_sequences(initial, n_requests=50)
+    assert len(first) == 3
+    assert first == second
+    assert first[0] != first[1] != first[2]
+
+
+@given(n_initial=st.integers(min_value=0, max_value=50),
+       n_requests=st.integers(min_value=0, max_value=120),
+       fraction=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=25, deadline=None)
+def test_workload_property(n_initial, n_requests, fraction):
+    initial = initial_members(n_initial)
+    requests = generate_workload(initial, n_requests, fraction, seed=b"p")
+    assert len(requests) == n_requests
+    members = set(initial)
+    for request in requests:
+        if request.op == JOIN:
+            assert request.user_id not in members
+            members.add(request.user_id)
+        else:
+            members.remove(request.user_id)  # KeyError would fail the test

@@ -1,0 +1,29 @@
+"""Run the doctests embedded in public docstrings.
+
+The examples in the docstrings are part of the documented contract;
+this harness keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.crypto.aes
+import repro.crypto.des
+import repro.crypto.des3
+import repro.experiments.plot
+
+MODULES = [
+    repro.crypto.des,
+    repro.crypto.aes,
+    repro.crypto.des3,
+    repro.experiments.plot,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[module.__name__ for module in MODULES])
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

@@ -1,0 +1,68 @@
+"""Bounded multicast address pool (paper §7)."""
+
+import pytest
+
+from repro.core.messages import (MSG_REKEY, Destination, Message,
+                                 OutboundMessage)
+from repro.transport.addressing import (AddressedTransport,
+                                        MulticastAddressPool)
+from repro.transport.inmemory import InMemoryNetwork
+
+
+def outbound(destination, receivers):
+    return OutboundMessage(destination, Message(msg_type=MSG_REKEY),
+                           tuple(receivers), b"payload")
+
+
+def test_pool_assignment_and_exhaustion():
+    pool = MulticastAddressPool(2)
+    assert pool.address_for(10) is not None
+    assert pool.address_for(10) == pool.address_for(10)  # stable
+    assert pool.address_for(20) is not None
+    assert pool.address_for(30) is None                  # exhausted
+    assert pool.requested == 3
+    assert pool.assigned == 2
+    pool.release(10)
+    assert pool.address_for(30) is not None              # recycled
+
+
+def test_pool_validation():
+    with pytest.raises(ValueError):
+        MulticastAddressPool(-1)
+
+
+def test_group_address_is_free():
+    network = InMemoryNetwork(strict=False)
+    transport = AddressedTransport(network, MulticastAddressPool(0))
+    transport.send(outbound(Destination.to_all(), ["a", "b", "c"]))
+    assert transport.addressing.multicast_sends == 1
+    assert transport.addressing.copies_sent == 1
+    assert transport.addressing.unicast_fallbacks == 0
+
+
+def test_subgroup_fallback_to_unicast():
+    network = InMemoryNetwork(strict=False)
+    transport = AddressedTransport(network, MulticastAddressPool(1))
+    transport.send(outbound(Destination.to_subgroup(1), ["a", "b"]))
+    transport.send(outbound(Destination.to_subgroup(2), ["c", "d", "e"]))
+    stats = transport.addressing
+    assert stats.multicast_sends == 1      # subgroup 1 got the address
+    assert stats.unicast_fallbacks == 1    # subgroup 2 degraded
+    assert stats.copies_sent == 1 + 3
+
+
+def test_unicast_counts_per_copy():
+    network = InMemoryNetwork(strict=False)
+    transport = AddressedTransport(network, MulticastAddressPool(4))
+    transport.send(outbound(Destination.to_user("a"), ["a"]))
+    assert transport.addressing.copies_sent == 1
+
+
+def test_delivery_still_happens():
+    network = InMemoryNetwork()
+    inbox = []
+    transport = AddressedTransport(network, MulticastAddressPool(0))
+    transport.attach("a", inbox.append)
+    transport.send(outbound(Destination.to_subgroup(9), ["a"]))
+    assert inbox == [b"payload"]
+    transport.detach("a")

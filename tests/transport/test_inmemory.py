@@ -1,0 +1,93 @@
+"""In-memory bus: delivery, accounting, loss injection."""
+
+import pytest
+
+from repro.core.messages import (MSG_REKEY, Destination, Message,
+                                 OutboundMessage)
+from repro.transport.inmemory import InMemoryNetwork, UnknownReceiverError
+
+
+def outbound(receivers, payload=b"x" * 40, kind="subgroup"):
+    message = Message(msg_type=MSG_REKEY)
+    if kind == "user":
+        destination = Destination.to_user(receivers[0])
+    else:
+        destination = Destination.to_subgroup(1)
+    return OutboundMessage(destination, message, tuple(receivers), payload)
+
+
+def test_delivery_and_stats():
+    network = InMemoryNetwork()
+    inboxes = {u: [] for u in "abc"}
+    for user in inboxes:
+        network.attach(user, inboxes[user].append)
+    network.send(outbound(("a", "b", "c")))
+    assert all(len(box) == 1 for box in inboxes.values())
+    assert network.stats.multicast_sends == 1
+    assert network.stats.bytes_sent == 40        # one multicast, one count
+    assert network.stats.deliveries == 3
+    assert network.stats.bytes_delivered == 120  # fan-out counted per copy
+
+
+def test_unicast_counted_separately():
+    network = InMemoryNetwork()
+    network.attach("a", lambda _data: None)
+    network.send(outbound(("a",), kind="user"))
+    assert network.stats.unicast_sends == 1
+    assert network.stats.multicast_sends == 0
+
+
+def test_detach_and_strictness():
+    network = InMemoryNetwork()
+    network.attach("a", lambda _data: None)
+    network.detach("a")
+    with pytest.raises(UnknownReceiverError):
+        network.send(outbound(("a",)))
+
+
+def test_non_strict_counts_undeliverable():
+    network = InMemoryNetwork(strict=False)
+    network.send(outbound(("ghost",)))
+    assert network.undeliverable == 1
+    assert network.stats.deliveries == 0
+
+
+def test_loss_injection_is_deterministic_and_partial():
+    def run():
+        network = InMemoryNetwork(drop_rate=0.5, seed=b"loss")
+        delivered = []
+        network.attach("a", delivered.append)
+        for _ in range(200):
+            network.send(outbound(("a",)))
+        return len(delivered), network.stats.drops
+
+    first, second = run(), run()
+    assert first == second               # seeded determinism
+    delivered, drops = first
+    assert delivered + drops == 200
+    assert 40 <= delivered <= 160        # roughly half, not all-or-nothing
+
+
+def test_drop_rate_validation():
+    with pytest.raises(ValueError):
+        InMemoryNetwork(drop_rate=1.0)
+    with pytest.raises(ValueError):
+        InMemoryNetwork(drop_rate=-0.1)
+
+
+def test_send_all():
+    network = InMemoryNetwork()
+    got = []
+    network.attach("a", got.append)
+    network.send_all([outbound(("a",)), outbound(("a",))])
+    assert len(got) == 2
+
+
+def test_encodes_message_when_no_cached_bytes():
+    network = InMemoryNetwork()
+    got = []
+    network.attach("a", got.append)
+    message = Message(msg_type=MSG_REKEY, seq=7)
+    network.send(OutboundMessage(Destination.to_user("a"), message,
+                                 ("a",), b""))
+    assert Message.decode(got[0]).seq == 7

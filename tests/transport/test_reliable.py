@@ -1,0 +1,77 @@
+"""Reliable delivery over a lossy bus."""
+
+import pytest
+
+from repro.core.messages import (MSG_REKEY, Destination, Message,
+                                 OutboundMessage)
+from repro.transport.inmemory import InMemoryNetwork
+from repro.transport.reliable import DeliveryFailure, ReliableDelivery
+
+
+def outbound(receivers, payload=b"payload-bytes"):
+    return OutboundMessage(Destination.to_subgroup(1),
+                           Message(msg_type=MSG_REKEY), tuple(receivers),
+                           payload)
+
+
+def test_lossless_passthrough():
+    network = InMemoryNetwork()
+    reliable = ReliableDelivery(network)
+    got = []
+    reliable.attach("a", got.append)
+    reliable.send(outbound(("a",)))
+    assert got == [b"payload-bytes"]
+    assert reliable.stats.retransmissions == 0
+
+
+def test_delivers_despite_heavy_loss():
+    network = InMemoryNetwork(drop_rate=0.6, seed=b"retry")
+    reliable = ReliableDelivery(network, max_attempts=64)
+    inboxes = {u: [] for u in ("a", "b", "c")}
+    for user, box in inboxes.items():
+        reliable.attach(user, box.append)
+    for i in range(30):
+        reliable.send(outbound(("a", "b", "c"), payload=bytes([i]) * 10))
+    # Every copy eventually arrived, exactly once, in order.
+    for box in inboxes.values():
+        assert len(box) == 30
+        assert box == sorted(box)
+    assert reliable.stats.retransmissions > 0
+
+
+def test_gives_up_after_max_attempts():
+    network = InMemoryNetwork(drop_rate=0.97, seed=b"hopeless")
+    reliable = ReliableDelivery(network, max_attempts=2)
+    reliable.attach("a", lambda _data: None)
+    with pytest.raises(DeliveryFailure):
+        for _ in range(50):
+            reliable.send(outbound(("a",)))
+
+
+def test_duplicate_suppression():
+    network = InMemoryNetwork()
+    reliable = ReliableDelivery(network)
+    got = []
+    reliable.attach("a", got.append)
+    reliable.send(outbound(("a",)))
+    # Replay the same enveloped bytes directly (simulating a duplicate
+    # datagram): the dedup layer must swallow it.
+    import struct
+    envelope = struct.pack(">QI", 1, 0) + b"payload-bytes"
+    network.deliver_to("a", envelope)
+    assert len(got) == 1
+
+
+def test_detach():
+    network = InMemoryNetwork(strict=False)
+    reliable = ReliableDelivery(network)
+    reliable.attach("a", lambda _data: None)
+    reliable.detach("a")
+    # Now undeliverable (non-strict network counts it).
+    with pytest.raises(DeliveryFailure):
+        reliable.send(outbound(("a",)))
+
+
+def test_max_attempts_validation():
+    with pytest.raises(ValueError):
+        ReliableDelivery(InMemoryNetwork(), max_attempts=0)

@@ -1,0 +1,80 @@
+"""Loopback UDP transport: real sockets end to end."""
+
+import pytest
+
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.crypto.suite import PAPER_SUITE_NO_SIG
+from repro.transport.udp import (UdpGroupMember, UdpKeyServer,
+                                 UdpTransportError)
+
+
+@pytest.fixture()
+def udp_server():
+    server = GroupKeyServer(ServerConfig(
+        strategy="group", degree=3, suite=PAPER_SUITE_NO_SIG,
+        signing="none", seed=b"udp-tests"))
+    with UdpKeyServer(server) as endpoint:
+        yield endpoint
+
+
+def test_join_leave_over_udp(udp_server):
+    members = []
+    try:
+        for i in range(5):
+            key = udp_server.server.new_individual_key()
+            udp_server.server.register_individual_key(f"c{i}", key)
+            member = UdpGroupMember(f"c{i}", PAPER_SUITE_NO_SIG,
+                                    udp_server.address, timeout=10.0)
+            member.join(key)
+            members.append(member)
+        # Let earlier members drain the rekey messages later joins caused.
+        for member in members:
+            member.pump()
+        group_key = udp_server.server.group_key()
+        for member in members:
+            assert member.client.group_key() == group_key, member.user_id
+
+        # One member leaves; the rest converge on the new key.
+        members[2].leave()
+        for index, member in enumerate(members):
+            if index != 2:
+                member.pump()
+        new_key = udp_server.server.group_key()
+        assert new_key != group_key
+        for index, member in enumerate(members):
+            if index != 2:
+                assert member.client.group_key() == new_key
+        assert not udp_server.server.is_member("c2")
+    finally:
+        for member in members:
+            member.close()
+
+
+def test_join_denied_over_udp(udp_server):
+    # No registered individual key -> the server denies the join.
+    member = UdpGroupMember("outsider", PAPER_SUITE_NO_SIG,
+                            udp_server.address, timeout=10.0)
+    try:
+        with pytest.raises(UdpTransportError):
+            member.join(bytes(8))
+    finally:
+        member.close()
+
+
+def test_malformed_datagram_does_not_kill_server(udp_server):
+    import socket
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        probe.sendto(b"garbage", udp_server.address)
+        # Server still serves a real client afterwards.
+        key = udp_server.server.new_individual_key()
+        udp_server.server.register_individual_key("after", key)
+        member = UdpGroupMember("after", PAPER_SUITE_NO_SIG,
+                                udp_server.address, timeout=10.0)
+        try:
+            member.join(key)
+            assert udp_server.server.is_member("after")
+        finally:
+            member.close()
+    finally:
+        probe.close()
