@@ -14,6 +14,13 @@ requests arriving in an interval and rekeys once:
   new key encrypted under each child of its node (new child keys for
   changed children), plus one unicast bundle per joiner.
 
+The flush runs through the shared staged pipeline
+(:class:`~repro.core.pipeline.RekeyPipeline`): the batch edit and
+message planning are the plan stage, and encryption, signing and
+dispatch are the pipeline's.  Key/IV sourcing and signer construction
+come from the same :class:`~repro.core.pipeline.KeyMaterialSource` /
+:func:`~repro.core.pipeline.make_signer` the immediate server uses.
+
 :class:`BatchRekeyServer` measures the saving:
 ``individual_cost_estimate`` is what processing the same requests one at
 a time would have cost (computed with the same formulas the per-request
@@ -23,17 +30,16 @@ count.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..core.messages import (INDIVIDUAL_KEY, MSG_REKEY,
-                             STRATEGY_GROUP_ORIENTED, Destination, KeyRecord,
-                             Message, OutboundMessage, encrypt_records)
-from ..core.signing import MerkleSigner, NullSigner
-from ..crypto import drbg
+from ..core.messages import (INDIVIDUAL_KEY, STRATEGY_GROUP_ORIENTED,
+                             Destination, KeyRecord, OutboundMessage)
+from ..core.pipeline import (KeyMaterialSource, RekeyPipeline, make_signer)
+from ..core.strategies.base import PlannedMessage, RekeyContext
 from ..crypto.suite import PAPER_SUITE, CipherSuite
 from ..keygraph.tree import KeyTree, TreeNode
+from ..observability import Instrumentation
 
 
 class BatchError(ValueError):
@@ -51,6 +57,8 @@ class BatchResult:
     rekey_message: Optional[OutboundMessage]
     joiner_messages: List[OutboundMessage]
     seconds: float
+    # Per-stage breakdown of ``seconds`` from the pipeline's StageClock.
+    stage_seconds: Optional[Dict[str, float]] = None
 
     @property
     def saving(self) -> float:
@@ -64,33 +72,32 @@ class BatchRekeyServer:
     """A key-tree server that rekeys once per interval."""
 
     def __init__(self, degree: int = 4, suite: CipherSuite = PAPER_SUITE,
-                 signing: str = "none", seed: Optional[bytes] = None):
+                 signing: str = "none", seed: Optional[bytes] = None,
+                 instrumentation: Optional[Instrumentation] = None):
         self.suite = suite
-        self._random = drbg.make_source(seed, b"batch-rekey")
+        self.material = KeyMaterialSource(suite, seed, b"batch-rekey")
         self.tree = KeyTree(degree, self._new_key)
         self._pending_joins: Dict[str, bytes] = {}
         self._pending_leaves: Set[str] = set()
-        self._seq = 0
         self.flushes: List[BatchResult] = []
-        if signing == "none":
-            self._signer = NullSigner(suite)
-            self.signing_keypair = None
-        elif signing == "merkle":
-            self.signing_keypair = suite.generate_signing_keypair(
-                seed=(seed + b"/sign") if seed else None)
-            self._signer = MerkleSigner(suite, self.signing_keypair)
-        else:
-            raise BatchError(f"unknown signing mode {signing!r}")
+        self._signer, self.signing_keypair = make_signer(
+            suite, signing, seed, error=BatchError)
+        self.instrumentation = (instrumentation if instrumentation is not None
+                                else Instrumentation("batch-rekey"))
+        self.pipeline = RekeyPipeline(
+            suite, self.material, signer=self._signer,
+            seal_individually=True, group_id=1,
+            instrumentation=self.instrumentation)
 
     def _new_key(self) -> bytes:
-        return self.suite.safe_key(self._random)
+        return self.material.new_key()
 
     def _new_iv(self) -> bytes:
-        return self._random.generate(self.suite.block_size)
+        return self.material.new_iv()
 
     def new_individual_key(self) -> bytes:
         """Generate an individual key (stands in for the auth exchange)."""
-        return self._new_key()
+        return self.material.new_individual_key()
 
     # -- request intake ----------------------------------------------------
 
@@ -132,15 +139,45 @@ class BatchRekeyServer:
 
     def flush(self) -> BatchResult:
         """Apply all pending requests with a single rekeying pass."""
-        start = time.perf_counter()
         joins = list(self._pending_joins.items())
-        leaves = list(self._pending_leaves)
+        # Sorted so the flush is deterministic regardless of the set's
+        # hash-seed-dependent iteration order (reproducible byte output).
+        leaves = sorted(self._pending_leaves)
         self._pending_joins.clear()
         self._pending_leaves.clear()
 
         individual_estimate = self._individual_cost_estimate(
             len(joins), len(leaves))
+        state: Dict[str, object] = {}
 
+        def planner(ctx: RekeyContext) -> List[PlannedMessage]:
+            return self._plan_flush(ctx, joins, leaves, state)
+
+        run = self.pipeline.run(
+            "flush", planner, strategy_code=STRATEGY_GROUP_ORIENTED,
+            root_ref=lambda: (self.tree.root.node_id,
+                              self.tree.root.version))
+
+        rekey_message: Optional[OutboundMessage] = None
+        joiner_messages = list(run.messages)
+        if state["has_multicast"] and joiner_messages:
+            rekey_message = joiner_messages.pop(0)
+
+        result = BatchResult(
+            n_joins=len(joins), n_leaves=len(leaves),
+            encryptions=run.encryptions,
+            individual_cost_estimate=individual_estimate,
+            rekey_message=rekey_message,
+            joiner_messages=joiner_messages,
+            seconds=run.seconds,
+            stage_seconds=run.stage_seconds,
+        )
+        self.flushes.append(result)
+        return result
+
+    def _plan_flush(self, ctx: RekeyContext, joins, leaves,
+                    state: Dict[str, object]) -> List[PlannedMessage]:
+        """The plan stage: apply the batch edit, schedule all encryptions."""
         # 1. Detach departing leaves, remembering vacated parents.
         dirty: Set[int] = set()
         dirty_nodes: Dict[int, TreeNode] = {}
@@ -212,56 +249,34 @@ class BatchRekeyServer:
         # 3. Replace every dirty key once, root last (top-down order for
         #    message assembly; parents referenced by new child keys).
         ordered = self._dirty_top_down(dirty_nodes)
-        old_versions: Dict[int, int] = {}
         for node in ordered:
-            old_versions[node.node_id] = node.version
             node.replace_key(self._new_key())
 
         # 4. One group-oriented style message: each dirty node's new key
         #    under each of its children's current keys.
-        encryptions = 0
+        plans: List[PlannedMessage] = []
         items = []
-        dirty_ids = {node.node_id for node in ordered}
         for node in ordered:
             record = KeyRecord(node.node_id, node.version, node.key)
             for child in node.children:
-                items.append(encrypt_records(
-                    self.suite, child.key, self._new_iv(), [record],
-                    child.node_id, child.version))
-                encryptions += 1
-        rekey_message = None
-        outbound_joiners: List[OutboundMessage] = []
-        if items and self.tree.root is not None:
-            message = self._wire_message(items)
-            self._signer.seal([message])
-            rekey_message = OutboundMessage(
-                Destination.to_all(), message,
-                tuple(self.tree.users()), message.encode())
+                items.append(ctx.encrypt(child.key, [record],
+                                         child.node_id, child.version))
+        state["has_multicast"] = bool(items and self.tree.root is not None)
+        if state["has_multicast"]:
+            plans.append(PlannedMessage(
+                Destination.to_all(), items,
+                lambda: tuple(self.tree.users())))
         # 5. Unicast each joiner its full path.
         for user_id, leaf in new_leaves.items():
             if user_id not in self.tree._leaves:
                 continue
             path = leaf.path_to_root()[1:]
             records = [KeyRecord(n.node_id, n.version, n.key) for n in path]
-            item = encrypt_records(self.suite, leaf.key, self._new_iv(),
-                                   records, INDIVIDUAL_KEY, 0)
-            encryptions += len(records)
-            message = self._wire_message([item])
-            self._signer.seal([message])
-            outbound_joiners.append(OutboundMessage(
-                Destination.to_user(user_id), message, (user_id,),
-                message.encode()))
-
-        result = BatchResult(
-            n_joins=len(joins), n_leaves=len(leaves),
-            encryptions=encryptions,
-            individual_cost_estimate=individual_estimate,
-            rekey_message=rekey_message,
-            joiner_messages=outbound_joiners,
-            seconds=time.perf_counter() - start,
-        )
-        self.flushes.append(result)
-        return result
+            item = ctx.encrypt(leaf.key, records, INDIVIDUAL_KEY, 0)
+            plans.append(PlannedMessage(
+                Destination.to_user(user_id), [item],
+                (lambda uid=user_id: (uid,))))
+        return plans
 
     # -- helpers ------------------------------------------------------------------
 
@@ -316,17 +331,6 @@ class BatchRekeyServer:
                 ordered.append(node)
             stack.extend(node.children)
         return ordered
-
-    def _wire_message(self, items) -> Message:
-        self._seq += 1
-        root = self.tree.root
-        return Message(msg_type=MSG_REKEY,
-                       strategy=STRATEGY_GROUP_ORIENTED,
-                       group_id=1, seq=self._seq,
-                       timestamp_us=time.time_ns() // 1000,
-                       root_node_id=root.node_id,
-                       root_version=root.version,
-                       items=items)
 
     def _individual_cost_estimate(self, n_joins: int, n_leaves: int) -> int:
         """Per-request group-oriented cost for the same request counts."""

@@ -14,11 +14,11 @@ report.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..crypto.modes import PaddingError
+from ..observability import Stopwatch
 from .messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_JOIN_ACK,
                        MSG_LEAVE_ACK, MSG_REKEY, Message, WireError,
                        decrypt_records)
@@ -132,7 +132,7 @@ class GroupClient:
         Raises :class:`SigningError` when verification is enabled and the
         message fails its digest or signature check.
         """
-        start = time.perf_counter()
+        watch = Stopwatch()
         if isinstance(data, Message):
             message = data
             size = len(data.encode())
@@ -153,7 +153,7 @@ class GroupClient:
         changed = self._install_items(message.items)
         self.root_ref = (message.root_node_id, message.root_version)
         self.stats.keys_changed += changed
-        self.stats.processing_seconds += time.perf_counter() - start
+        self.stats.processing_seconds += watch.elapsed()
         return changed
 
     def _install_items(self, items) -> int:

@@ -1,0 +1,318 @@
+"""The staged rekey pipeline shared by every rekey path.
+
+The paper's server (§3, §5) is *one* rekey engine measured three ways;
+this module is that engine's single implementation.  A rekey operation
+— an immediate join/leave/refresh (:class:`~repro.core.server.
+GroupKeyServer`), an interval batch flush (:class:`~repro.batch.
+rekeying.BatchRekeyServer`), or a covering-based key-graph edit
+(:class:`~repro.keygraph.materialized.MaterializedKeyGraph`) — runs
+through four explicit stages:
+
+``plan``
+    The path-specific planner edits the key graph and schedules
+    encryptions, returning :class:`~repro.core.strategies.base.
+    PlannedMessage` objects whose items are deferred
+    :class:`~repro.core.strategies.base.PendingItem` entries.  IVs are
+    drawn here so the DRBG stream matches immediate encryption.
+``encrypt``
+    Every scheduled encryption executes (the CPU-heavy CBC passes).
+``sign``
+    Plans become wire :class:`~repro.core.messages.Message` objects
+    (sequence numbers, timestamps, the current root reference) and the
+    signer seals them — one signature over the whole batch (Merkle),
+    one per message, or none.
+``dispatch``
+    Messages are encoded and wrapped in :class:`~repro.core.messages.
+    OutboundMessage`; receiver lists are resolved *after* the
+    processing clock stops (a real server multicasts to group
+    addresses without enumerating members).
+
+Each stage has a hook point (:meth:`RekeyPipeline.add_hook`) so future
+optimisations — key caches, parallel signing, async dispatch — plug
+into one pipeline instead of three copies.  Per-stage timings flow into
+the shared :mod:`repro.observability` core; ``PipelineRun.seconds`` is
+the timed region the paper reports as server processing time.
+
+The module also centralises what the three paths used to copy-paste:
+:class:`KeyMaterialSource` (key/IV sourcing from one seeded DRBG),
+:func:`make_signer` (signer selection + keypair construction) and
+:func:`validate_signing` (the signing-mode validation previously
+duplicated between ``ServerConfig.validate`` and ``BatchRekeyServer``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from ..crypto import drbg
+from ..observability import NULL_INSTRUMENTATION, StageClock
+from .messages import MSG_REKEY, Message, OutboundMessage, STRATEGY_NONE
+from .signing import MerkleSigner, NullSigner, PerMessageSigner
+from .strategies.base import PlannedMessage, RekeyContext, resolve_item
+
+STAGE_PLAN = "plan"
+STAGE_ENCRYPT = "encrypt"
+STAGE_SIGN = "sign"
+STAGE_DISPATCH = "dispatch"
+STAGES = (STAGE_PLAN, STAGE_ENCRYPT, STAGE_SIGN, STAGE_DISPATCH)
+
+SIGNING_MODES = ("none", "per-message", "merkle")
+
+
+class PipelineError(ValueError):
+    """Raised on invalid pipeline configuration."""
+
+
+def validate_signing(signing: str, suite,
+                     error: Type[Exception] = PipelineError) -> None:
+    """Shared signing-mode validation for every rekey path.
+
+    Raises ``error`` (so each server surfaces its own exception type)
+    when the mode is unknown or needs signatures the suite lacks.
+    """
+    if signing not in SIGNING_MODES:
+        raise error(f"unknown signing mode {signing!r}")
+    if signing != "none" and not suite.signs:
+        raise error(f"signing mode {signing!r} needs a suite with signatures")
+
+
+class KeyMaterialSource:
+    """Key and IV sourcing for one server, from one seeded DRBG.
+
+    Replaces the ``_new_key``/``_new_iv`` pairs previously copy-pasted
+    across the rekey paths.  ``personalization`` keeps the historic
+    per-path DRBG domain separation (so seeded outputs are unchanged).
+    Custom ``key_source``/``iv_source`` callables bypass the DRBG —
+    used by :class:`~repro.keygraph.materialized.MaterializedKeyGraph`,
+    whose caller supplies the generators.
+    """
+
+    __slots__ = ("suite", "_key_source", "_iv_source")
+
+    def __init__(self, suite, seed: Optional[bytes] = None,
+                 personalization: bytes = b"key-material",
+                 key_source: Optional[Callable[[], bytes]] = None,
+                 iv_source: Optional[Callable[[], bytes]] = None):
+        self.suite = suite
+        if key_source is None or iv_source is None:
+            random = drbg.make_source(seed, personalization)
+        self._key_source = key_source or (lambda: suite.safe_key(random))
+        self._iv_source = iv_source or (
+            lambda: random.generate(suite.block_size))
+
+    def new_key(self) -> bytes:
+        """Fresh key material sized for the suite."""
+        return self._key_source()
+
+    def new_iv(self) -> bytes:
+        """Fresh IV of one cipher block."""
+        return self._iv_source()
+
+    def new_individual_key(self) -> bytes:
+        """An individual key (stands in for the auth exchange)."""
+        return self.new_key()
+
+
+def make_signer(suite, signing: str, seed: Optional[bytes] = None,
+                error: Type[Exception] = PipelineError):
+    """Build (signer, signing_keypair) for a signing mode.
+
+    The shared signer factory: validates the mode via
+    :func:`validate_signing`, derives the keypair seed the same way
+    every path historically did (``seed + b"/sign"``), and returns a
+    ``(signer, keypair)`` pair — ``keypair`` is ``None`` for mode
+    ``"none"``.
+    """
+    validate_signing(signing, suite, error)
+    if signing == "none":
+        return NullSigner(suite), None
+    keypair = suite.generate_signing_keypair(
+        seed=(seed + b"/sign") if seed else None)
+    if signing == "per-message":
+        return PerMessageSigner(suite, keypair), keypair
+    return MerkleSigner(suite, keypair), keypair
+
+
+class Sequencer:
+    """A shared message sequence counter (survives snapshot/restore)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0):
+        self.value = start
+
+    def next(self) -> int:
+        """The next sequence number (first call returns start + 1)."""
+        self.value += 1
+        return self.value
+
+
+@dataclass
+class PipelineRun:
+    """Everything one pipeline run produced, stage by stage."""
+
+    op: str
+    user_id: str
+    strategy_code: int
+    context: RekeyContext
+    plans: List[PlannedMessage] = field(default_factory=list)
+    wire_messages: List[Message] = field(default_factory=list)
+    messages: List[OutboundMessage] = field(default_factory=list)
+    signatures: int = 0
+    seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def encryptions(self) -> int:
+        """Keys encrypted during the run (the Table 2 cost measure)."""
+        return self.context.encryptions
+
+    @property
+    def total_bytes(self) -> int:
+        """Total encoded bytes over all produced messages."""
+        return sum(message.size for message in self.messages)
+
+    @property
+    def max_message_bytes(self) -> int:
+        """Largest single encoded message (0 when none)."""
+        return max((message.size for message in self.messages), default=0)
+
+
+PipelineHook = Callable[[PipelineRun], None]
+
+
+class RekeyPipeline:
+    """plan -> encrypt -> sign -> dispatch, with per-stage hook points.
+
+    One instance per server; :meth:`run` executes one rekey operation.
+    ``seal_individually`` selects the batch path's historic behaviour
+    (each message sealed on its own) over the immediate server's (one
+    seal over the whole batch — amortised for Merkle signing).
+    ``signer=None`` skips sealing entirely (messages carry no auth
+    block), which is what the materialized key-graph path ships.
+    """
+
+    def __init__(self, suite, material: KeyMaterialSource, *,
+                 signer=None, sequencer: Optional[Sequencer] = None,
+                 group_id: int = 1, msg_type: int = MSG_REKEY,
+                 seal_individually: bool = False, instrumentation=None):
+        self.suite = suite
+        self.material = material
+        self.signer = signer
+        self.sequencer = sequencer if sequencer is not None else Sequencer()
+        self.group_id = group_id
+        self.msg_type = msg_type
+        self.seal_individually = seal_individually
+        self.instrumentation = (instrumentation if instrumentation is not None
+                                else NULL_INSTRUMENTATION)
+        self._hooks: Dict[str, List[PipelineHook]] = {
+            stage: [] for stage in STAGES}
+
+    # -- hooks -------------------------------------------------------------
+
+    def add_hook(self, stage: str, hook: PipelineHook) -> None:
+        """Register ``hook(run)`` to fire after ``stage`` completes."""
+        if stage not in self._hooks:
+            raise PipelineError(f"unknown stage {stage!r}; "
+                                f"expected one of {STAGES}")
+        self._hooks[stage].append(hook)
+
+    def _fire(self, stage: str, run: PipelineRun) -> None:
+        for hook in self._hooks[stage]:
+            hook(run)
+
+    # -- the staged run ----------------------------------------------------
+
+    def new_context(self) -> RekeyContext:
+        """A deferred-mode context wired to this pipeline's IV source."""
+        return RekeyContext(self.suite, self.material.new_iv, defer=True)
+
+    def run(self, op: str,
+            planner: Callable[[RekeyContext], List[PlannedMessage]], *,
+            strategy_code: int = STRATEGY_NONE,
+            root_ref: Optional[Callable[[], Tuple[int, int]]] = None,
+            user_id: str = "") -> PipelineRun:
+        """Execute one rekey operation through the four stages.
+
+        ``planner`` performs the path-specific graph edit and returns
+        the planned messages (with deferred items).  ``root_ref`` is
+        called once, after the edit, for the (root id, version) header
+        fields — only when there is at least one plan, mirroring the
+        legacy paths (an empty outcome never touches the root).
+
+        The returned run's ``seconds`` covers plan through dispatch
+        encoding; receiver resolution runs after the clock stops, as
+        the paper's server excludes membership enumeration from its
+        processing time.
+        """
+        clock = StageClock()
+        ctx = self.new_context()
+        run = PipelineRun(op=op, user_id=user_id,
+                          strategy_code=strategy_code, context=ctx)
+
+        with clock.stage(STAGE_PLAN):
+            run.plans = list(planner(ctx))
+        self._fire(STAGE_PLAN, run)
+
+        with clock.stage(STAGE_ENCRYPT):
+            ctx.materialize()
+        self._fire(STAGE_ENCRYPT, run)
+
+        with clock.stage(STAGE_SIGN):
+            run.wire_messages = self._assemble(run, root_ref)
+            run.signatures = self._seal(run.wire_messages)
+        self._fire(STAGE_SIGN, run)
+
+        with clock.stage(STAGE_DISPATCH):
+            run.messages = [
+                OutboundMessage(plan.destination, message, (),
+                                message.encode())
+                for plan, message in zip(run.plans, run.wire_messages)]
+        run.seconds = clock.stop()
+
+        # Simulation accounting, outside the timed region: enumerate
+        # each message's receivers via the plan's lazy resolver.
+        for outbound, plan in zip(run.messages, run.plans):
+            outbound.receivers = plan.resolve_receivers()
+        self._fire(STAGE_DISPATCH, run)
+
+        run.stage_seconds = dict(clock.stages)
+        self.instrumentation.record_run(op, clock)
+        return run
+
+    # -- stage internals ---------------------------------------------------
+
+    def _assemble(self, run: PipelineRun,
+                  root_ref: Optional[Callable[[], Tuple[int, int]]]
+                  ) -> List[Message]:
+        """Wrap each plan's (materialized) items in a wire message."""
+        if not run.plans:
+            return []
+        root_id, root_version = root_ref() if root_ref is not None else (0, 0)
+        messages = []
+        for plan in run.plans:
+            messages.append(Message(
+                msg_type=self.msg_type,
+                group_id=self.group_id,
+                strategy=run.strategy_code,
+                seq=self.sequencer.next(),
+                timestamp_us=time.time_ns() // 1000,
+                root_node_id=root_id,
+                root_version=root_version,
+                items=[resolve_item(item) for item in plan.items],
+            ))
+        return messages
+
+    def _seal(self, messages: List[Message]) -> int:
+        """Sign the batch; returns the number of signatures performed."""
+        if self.signer is None or not messages:
+            return 0
+        before = self.signer.signatures_performed
+        if self.seal_individually:
+            for message in messages:
+                self.signer.seal([message])
+        else:
+            self.signer.seal(messages)
+        return self.signer.signatures_performed - before

@@ -6,6 +6,13 @@ strategy, signs rekey messages, and records the per-request statistics
 the paper's experiments report (processing time, encryption counts,
 message counts and sizes).
 
+All rekey operations run through the shared staged pipeline
+(:class:`~repro.core.pipeline.RekeyPipeline`): the server contributes
+the *planner* for each operation (the key-graph edit plus the strategy's
+planned messages) and the pipeline performs the encrypt, sign and
+dispatch stages, feeding stage timings into the server's
+:class:`~repro.observability.Instrumentation`.
+
 The server is transport-agnostic: :meth:`GroupKeyServer.join` /
 :meth:`~GroupKeyServer.leave` return :class:`~repro.core.messages.
 OutboundMessage` batches that a transport (in-memory bus, UDP, ...)
@@ -19,16 +26,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..crypto import drbg
 from ..crypto.suite import PAPER_SUITE, CipherSuite
 from ..keygraph.star import StarGroup
 from ..keygraph.tree import KeyTree
+from ..observability import Instrumentation
 from .messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_JOIN_ACK,
                        MSG_JOIN_DENIED, MSG_JOIN_REQUEST, MSG_LEAVE_ACK,
                        MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST, MSG_REKEY,
                        STRATEGY_STAR, Destination, EncryptedItem, KeyRecord,
-                       Message, OutboundMessage, WireError, encrypt_records)
-from .signing import MerkleSigner, NullSigner, PerMessageSigner
+                       Message, OutboundMessage, WireError)
+from .pipeline import (KeyMaterialSource, RekeyPipeline, Sequencer,
+                       make_signer, validate_signing)
 from .strategies import STRATEGIES
 from .strategies.base import PlannedMessage, RekeyContext
 
@@ -66,11 +74,7 @@ class ServerConfig:
             raise ServerError(f"unknown graph class {self.graph!r}")
         if self.graph == "tree" and self.strategy not in STRATEGIES:
             raise ServerError(f"unknown strategy {self.strategy!r}")
-        if self.signing not in ("none", "per-message", "merkle"):
-            raise ServerError(f"unknown signing mode {self.signing!r}")
-        if self.signing != "none" and not self.suite.signs:
-            raise ServerError(
-                f"signing mode {self.signing!r} needs a suite with signatures")
+        validate_signing(self.signing, self.suite, error=ServerError)
 
 
 @dataclass
@@ -87,6 +91,9 @@ class RequestRecord:
     signatures: int
     key_changes_total: int         # sum over non-requesting clients
     n_users_after: int
+    # Per-stage breakdown of ``seconds`` (plan/encrypt/sign/dispatch),
+    # from the pipeline's StageClock; None for hand-built records.
+    stage_seconds: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -106,48 +113,51 @@ class RekeyOutcome:
 class GroupKeyServer:
     """Trusted key server for one secure group."""
 
-    def __init__(self, config: ServerConfig):
+    def __init__(self, config: ServerConfig,
+                 instrumentation: Optional[Instrumentation] = None):
         config.validate()
         self.config = config
         self.suite = config.suite
-        self._random = drbg.make_source(config.seed, b"group-key-server")
-        self._seq = 0
+        self.material = KeyMaterialSource(config.suite, config.seed,
+                                          b"group-key-server")
         self.history: List[RequestRecord] = []
         # Individual keys registered by the (out-of-band) authentication
         # exchange, for users not yet members.
         self._registered_keys: Dict[str, bytes] = {}
 
         if config.graph == "tree":
-            self.tree: Optional[KeyTree] = KeyTree(config.degree, self._new_key)
+            self.tree: Optional[KeyTree] = KeyTree(config.degree,
+                                                   self._new_key)
             self.star: Optional[StarGroup] = None
             self._strategy = STRATEGIES[config.strategy]()
+            self._strategy_code = self._strategy.wire_code
         else:
             self.tree = None
             self.star = StarGroup(self._new_key)
             self._strategy = None
+            self._strategy_code = STRATEGY_STAR
 
-        if config.signing == "none":
-            self.signing_keypair = None
-            self._signer = NullSigner(self.suite)
-        else:
-            self.signing_keypair = self.suite.generate_signing_keypair(
-                seed=(config.seed + b"/sign") if config.seed else None)
-            if config.signing == "per-message":
-                self._signer = PerMessageSigner(self.suite, self.signing_keypair)
-            else:
-                self._signer = MerkleSigner(self.suite, self.signing_keypair)
+        self._signer, self.signing_keypair = make_signer(
+            config.suite, config.signing, config.seed, error=ServerError)
+        self.instrumentation = (instrumentation if instrumentation is not None
+                                else Instrumentation("group-key-server"))
+        self._sequencer = Sequencer()
+        self.pipeline = RekeyPipeline(
+            config.suite, self.material, signer=self._signer,
+            sequencer=self._sequencer, group_id=config.group_id,
+            instrumentation=self.instrumentation)
 
     # -- key material -------------------------------------------------------
 
     def _new_key(self) -> bytes:
-        return self.suite.safe_key(self._random)
+        return self.material.new_key()
 
     def _new_iv(self) -> bytes:
-        return self._random.generate(self.suite.block_size)
+        return self.material.new_iv()
 
     def new_individual_key(self) -> bytes:
         """Generate an individual key (stands in for the auth exchange)."""
-        return self._new_key()
+        return self.material.new_individual_key()
 
     def register_individual_key(self, user_id: str, key: bytes) -> None:
         """Record the session key from the authentication exchange."""
@@ -161,6 +171,19 @@ class GroupKeyServer:
         """The server's signature-verification key (None when unsigned)."""
         return (self.signing_keypair.public_key
                 if self.signing_keypair is not None else None)
+
+    # -- sequence counter (snapshot/restore keeps it) -----------------------
+
+    @property
+    def _seq(self) -> int:
+        return self._sequencer.value
+
+    @_seq.setter
+    def _seq(self, value: int) -> None:
+        self._sequencer.value = value
+
+    def _next_seq(self) -> int:
+        return self._sequencer.next()
 
     # -- group state -----------------------------------------------------------
 
@@ -239,10 +262,6 @@ class GroupKeyServer:
 
     # -- message assembly ---------------------------------------------------------
 
-    def _next_seq(self) -> int:
-        self._seq += 1
-        return self._seq
-
     def _base_message(self, msg_type: int, strategy_code: int) -> Message:
         root_id, root_version = self.group_key_ref()
         return Message(
@@ -254,36 +273,6 @@ class GroupKeyServer:
             root_node_id=root_id,
             root_version=root_version,
         )
-
-    def _finalize(self, plans: Sequence[PlannedMessage],
-                  strategy_code: int) -> Tuple[List[OutboundMessage], int]:
-        """Wrap plans in wire messages, sign the batch, encode.
-
-        This runs inside the timed region; receiver lists stay
-        unresolved (a real server multicasts to group addresses without
-        enumerating members) and are filled in by
-        :meth:`_resolve_receivers` after the clock stops.
-        """
-        signatures_before = self._signer.signatures_performed
-        wire_messages = []
-        for plan in plans:
-            message = self._base_message(MSG_REKEY, strategy_code)
-            message.items = list(plan.items)
-            wire_messages.append(message)
-        self._signer.seal(wire_messages)
-        outbound = []
-        for plan, message in zip(plans, wire_messages):
-            encoded = message.encode()
-            outbound.append(OutboundMessage(plan.destination, message,
-                                            (), encoded))
-        return outbound, self._signer.signatures_performed - signatures_before
-
-    @staticmethod
-    def _resolve_receivers(outbound: Sequence[OutboundMessage],
-                           plans: Sequence[PlannedMessage]) -> None:
-        """Simulation accounting: enumerate each message's receivers."""
-        for message, plan in zip(outbound, plans):
-            message.receivers = plan.resolve_receivers()
 
     def _key_changes_total(self, changes, requester: str) -> int:
         """Sum over non-requesting users of path keys changed (Fig. 12)."""
@@ -301,6 +290,21 @@ class GroupKeyServer:
                 total -= 1
         return total
 
+    def _record_from_run(self, run, key_changes_total: int) -> RequestRecord:
+        """Derive the paper-facing request record from a pipeline run."""
+        record = RequestRecord(
+            op=run.op, user_id=run.user_id, seconds=run.seconds,
+            n_rekey_messages=len(run.messages),
+            rekey_bytes=run.total_bytes,
+            max_message_bytes=run.max_message_bytes,
+            encryptions=run.encryptions, signatures=run.signatures,
+            key_changes_total=key_changes_total,
+            n_users_after=self.n_users,
+            stage_seconds=run.stage_seconds,
+        )
+        self.history.append(record)
+        return record
+
     # -- join -------------------------------------------------------------------
 
     def join(self, user_id: str, individual_key: Optional[bytes] = None,
@@ -312,62 +316,49 @@ class GroupKeyServer:
         :class:`~repro.core.tickets.Ticket`) is required when the server
         is configured with a ticket authority (footnote 7).
         """
-        start = time.perf_counter()
-        self._check_acl(user_id, ticket)
-        if individual_key is None:
-            individual_key = self._registered_keys.pop(user_id, None)
-            if individual_key is None:
-                raise ServerError(f"no individual key for {user_id!r}")
-        if self.is_member(user_id):
-            raise ServerError(f"user {user_id!r} is already a member")
+        state: Dict[str, object] = {}
 
-        if self.tree is not None:
-            result = self.tree.join(user_id, individual_key)
-            ctx = RekeyContext(self.suite, self._new_iv)
-            plans = self._strategy.rekey_join(self.tree, result, ctx)
-            strategy_code = self._strategy.wire_code
-            changes = result.changes
-            leaf_id = result.leaf.node_id
-        else:
-            plans, ctx = self._star_join_plans(user_id, individual_key)
-            strategy_code = STRATEGY_STAR
-            changes = None
+        def planner(ctx: RekeyContext) -> List[PlannedMessage]:
+            self._check_acl(user_id, ticket)
+            key = individual_key
+            if key is None:
+                key = self._registered_keys.pop(user_id, None)
+                if key is None:
+                    raise ServerError(f"no individual key for {user_id!r}")
+            if self.is_member(user_id):
+                raise ServerError(f"user {user_id!r} is already a member")
+            if self.tree is not None:
+                result = self.tree.join(user_id, key)
+                state["changes"] = result.changes
+                state["leaf_id"] = result.leaf.node_id
+                return self._strategy.rekey_join(self.tree, result, ctx)
+            state["changes"] = None
             # Star members have no tree leaf; the ack carries the
             # individual-key sentinel (it must NOT collide with the star
             # group-key node id 0).
-            leaf_id = INDIVIDUAL_KEY
+            state["leaf_id"] = INDIVIDUAL_KEY
+            return self._star_join_plans(user_id, key, ctx)
 
-        rekey_messages, signatures = self._finalize(plans, strategy_code)
-        elapsed = time.perf_counter() - start
-
-        # Everything below is simulation accounting, outside the paper's
-        # measured server processing (which multicasts to addresses
-        # rather than enumerating group members).
-        self._resolve_receivers(rekey_messages, plans)
-        ack = self._control_message(MSG_JOIN_ACK, user_id,
-                                    body=leaf_id.to_bytes(4, "big"))
-
-        record = RequestRecord(
-            op="join", user_id=user_id, seconds=elapsed,
-            n_rekey_messages=len(rekey_messages),
-            rekey_bytes=sum(m.size for m in rekey_messages),
-            max_message_bytes=max((m.size for m in rekey_messages), default=0),
-            encryptions=ctx.encryptions, signatures=signatures,
-            key_changes_total=self._key_changes_total(
-                changes if changes is not None else (), user_id)
-            if self.tree is not None else self._star_key_changes(user_id),
-            n_users_after=self.n_users,
-        )
-        self.history.append(record)
-        return RekeyOutcome(record, rekey_messages, [ack])
+        run = self.pipeline.run("join", planner,
+                                strategy_code=self._strategy_code,
+                                root_ref=self.group_key_ref,
+                                user_id=user_id)
+        ack = self._control_message(
+            MSG_JOIN_ACK, user_id,
+            body=int(state["leaf_id"]).to_bytes(4, "big"))
+        key_changes = (self._key_changes_total(state["changes"], user_id)
+                       if self.tree is not None
+                       else self._star_key_changes(user_id))
+        record = self._record_from_run(run, key_changes)
+        return RekeyOutcome(record, run.messages, [ack])
 
     def _star_key_changes(self, requester: str) -> int:
         return len(self.star) - (1 if self.star.has_user(requester) else 0)
 
-    def _star_join_plans(self, user_id: str, individual_key: bytes):
+    def _star_join_plans(self, user_id: str, individual_key: bytes,
+                         ctx: RekeyContext) -> List[PlannedMessage]:
         """Figure 2: multicast under the old group key + unicast to joiner."""
         rekey = self.star.join(user_id, individual_key)
-        ctx = RekeyContext(self.suite, self._new_iv)
         record = KeyRecord(STAR_GROUP_NODE, rekey.new_version,
                            rekey.new_group_key)
         plans = []
@@ -381,51 +372,39 @@ class GroupKeyServer:
         item = ctx.encrypt(individual_key, [record], INDIVIDUAL_KEY, 0)
         plans.append(PlannedMessage(Destination.to_user(user_id), [item],
                                     lambda: (user_id,)))
-        return plans, ctx
+        return plans
 
     # -- leave -------------------------------------------------------------------
 
     def leave(self, user_id: str) -> RekeyOutcome:
         """Expel/release a user and rekey (Figures 4, 8, 9)."""
-        start = time.perf_counter()
-        if not self.is_member(user_id):
-            raise ServerError(f"user {user_id!r} is not a member")
+        state: Dict[str, object] = {}
 
-        if self.tree is not None:
-            result = self.tree.leave(user_id)
-            ctx = RekeyContext(self.suite, self._new_iv)
-            plans = self._strategy.rekey_leave(self.tree, result, ctx)
-            strategy_code = self._strategy.wire_code
-            changes = result.changes
-        else:
-            plans, ctx = self._star_leave_plans(user_id)
-            strategy_code = STRATEGY_STAR
-            changes = None
+        def planner(ctx: RekeyContext) -> List[PlannedMessage]:
+            if not self.is_member(user_id):
+                raise ServerError(f"user {user_id!r} is not a member")
+            if self.tree is not None:
+                result = self.tree.leave(user_id)
+                state["changes"] = result.changes
+                return self._strategy.rekey_leave(self.tree, result, ctx)
+            state["changes"] = None
+            return self._star_leave_plans(user_id, ctx)
 
-        rekey_messages, signatures = self._finalize(plans, strategy_code)
-        elapsed = time.perf_counter() - start
-
-        self._resolve_receivers(rekey_messages, plans)
+        run = self.pipeline.run("leave", planner,
+                                strategy_code=self._strategy_code,
+                                root_ref=self.group_key_ref,
+                                user_id=user_id)
         ack = self._control_message(MSG_LEAVE_ACK, user_id)
+        key_changes = (self._key_changes_total(state["changes"], user_id)
+                       if self.tree is not None
+                       else self._star_key_changes(user_id))
+        record = self._record_from_run(run, key_changes)
+        return RekeyOutcome(record, run.messages, [ack])
 
-        record = RequestRecord(
-            op="leave", user_id=user_id, seconds=elapsed,
-            n_rekey_messages=len(rekey_messages),
-            rekey_bytes=sum(m.size for m in rekey_messages),
-            max_message_bytes=max((m.size for m in rekey_messages), default=0),
-            encryptions=ctx.encryptions, signatures=signatures,
-            key_changes_total=self._key_changes_total(
-                changes if changes is not None else (), user_id)
-            if self.tree is not None else self._star_key_changes(user_id),
-            n_users_after=self.n_users,
-        )
-        self.history.append(record)
-        return RekeyOutcome(record, rekey_messages, [ack])
-
-    def _star_leave_plans(self, user_id: str):
+    def _star_leave_plans(self, user_id: str,
+                          ctx: RekeyContext) -> List[PlannedMessage]:
         """Figure 4: the new group key unicast to each remaining member."""
         rekey = self.star.leave(user_id)
-        ctx = RekeyContext(self.suite, self._new_iv)
         record = KeyRecord(STAR_GROUP_NODE, rekey.new_version,
                            rekey.new_group_key)
         plans = []
@@ -434,7 +413,7 @@ class GroupKeyServer:
             plans.append(PlannedMessage(
                 Destination.to_user(member_id), [item],
                 (lambda mid=member_id: (mid,))))
-        return plans, ctx
+        return plans
 
     # -- periodic refresh ------------------------------------------------------
 
@@ -448,22 +427,20 @@ class GroupKeyServer:
         encrypted under the old one (everyone currently entitled to the
         old key is entitled to the new one).
         """
-        start = time.perf_counter()
-        if self.n_users == 0:
-            raise ServerError("cannot refresh an empty group")
-        ctx = RekeyContext(self.suite, self._new_iv)
-        if self.tree is not None:
-            root = self.tree.root
-            old_key, old_version = root.key, root.version
-            root.replace_key(self._new_key())
-            record_key = KeyRecord(root.node_id, root.version, root.key)
-            item = ctx.encrypt(old_key, [record_key], root.node_id,
-                               old_version)
-            plans = [PlannedMessage(
-                Destination.to_all(), [item],
-                lambda: tuple(self.tree.users()))]
-            strategy_code = self._strategy.wire_code
-        else:
+
+        def planner(ctx: RekeyContext) -> List[PlannedMessage]:
+            if self.n_users == 0:
+                raise ServerError("cannot refresh an empty group")
+            if self.tree is not None:
+                root = self.tree.root
+                old_key, old_version = root.key, root.version
+                root.replace_key(self._new_key())
+                record_key = KeyRecord(root.node_id, root.version, root.key)
+                item = ctx.encrypt(old_key, [record_key], root.node_id,
+                                   old_version)
+                return [PlannedMessage(
+                    Destination.to_all(), [item],
+                    lambda: tuple(self.tree.users()))]
             old_key = self.star.group_key
             old_version = self.star.group_key_version
             self.star.group_key = self._new_key()
@@ -473,25 +450,15 @@ class GroupKeyServer:
                                    self.star.group_key)
             item = ctx.encrypt(old_key, [record_key], STAR_GROUP_NODE,
                                old_version)
-            plans = [PlannedMessage(
+            return [PlannedMessage(
                 Destination.to_all(), [item],
                 lambda: tuple(self.star.members()))]
-            strategy_code = STRATEGY_STAR
-        rekey_messages, signatures = self._finalize(plans, strategy_code)
-        elapsed = time.perf_counter() - start
-        self._resolve_receivers(rekey_messages, plans)
-        record = RequestRecord(
-            op="refresh", user_id="", seconds=elapsed,
-            n_rekey_messages=len(rekey_messages),
-            rekey_bytes=sum(m.size for m in rekey_messages),
-            max_message_bytes=max((m.size for m in rekey_messages),
-                                  default=0),
-            encryptions=ctx.encryptions, signatures=signatures,
-            key_changes_total=self.n_users,
-            n_users_after=self.n_users,
-        )
-        self.history.append(record)
-        return RekeyOutcome(record, rekey_messages, [])
+
+        run = self.pipeline.run("refresh", planner,
+                                strategy_code=self._strategy_code,
+                                root_ref=self.group_key_ref)
+        record = self._record_from_run(run, key_changes_total=self.n_users)
+        return RekeyOutcome(record, run.messages, [])
 
     def _control_message(self, msg_type: int, user_id: str,
                          body: bytes = b"") -> OutboundMessage:

@@ -21,23 +21,81 @@ from ..messages import (INDIVIDUAL_KEY, Destination, EncryptedItem,
 
 
 @dataclass
+class PendingItem:
+    """A deferred encryption: everything needed to build the item later.
+
+    The pipeline's plan stage captures the inputs (including the IV, so
+    the DRBG stream order is identical to immediate encryption) and the
+    encrypt stage materializes :attr:`value`.  Until then the pending
+    item stands in for the :class:`EncryptedItem` inside a plan's item
+    list.
+    """
+
+    key: bytes
+    iv: bytes
+    records: List[KeyRecord]
+    enc_node_id: int
+    enc_version: int
+    value: Optional[EncryptedItem] = None
+
+    def materialize(self, suite) -> EncryptedItem:
+        """Perform the captured encryption (idempotent)."""
+        if self.value is None:
+            self.value = encrypt_records(suite, self.key, self.iv,
+                                         self.records, self.enc_node_id,
+                                         self.enc_version)
+        return self.value
+
+
+def resolve_item(item) -> EncryptedItem:
+    """An item as wire-ready: a materialized pending item or itself."""
+    if isinstance(item, PendingItem):
+        if item.value is None:
+            raise ValueError("pending item not yet materialized")
+        return item.value
+    return item
+
+
+@dataclass
 class RekeyContext:
-    """Per-request state handed to a strategy."""
+    """Per-request state handed to a strategy.
+
+    With ``defer=False`` (the default), :meth:`encrypt` performs the
+    encryption immediately.  The staged pipeline passes ``defer=True``:
+    the plan stage then only *schedules* encryptions (capturing key, IV
+    and payload) and the pipeline's encrypt stage executes them all via
+    :meth:`materialize`.  Either way the DRBG is consumed in the same
+    order, so both modes produce identical bytes.
+    """
 
     suite: object
     make_iv: Callable[[], bytes]
     encryptions: int = 0
+    defer: bool = False
+    pending: List[PendingItem] = field(default_factory=list)
 
     def encrypt(self, key: bytes, records: Sequence[KeyRecord],
-                enc_node_id: int, enc_version: int) -> EncryptedItem:
+                enc_node_id: int, enc_version: int):
         """Encrypt ``records`` under ``key``; counts one encryption per record.
 
         The paper's cost measure is the number of *keys encrypted*
         (Table 2); a bundle of m keys in one CBC pass counts m.
+        Returns an :class:`EncryptedItem`, or a :class:`PendingItem` in
+        deferred mode.
         """
         self.encryptions += len(records)
+        if self.defer:
+            item = PendingItem(key, self.make_iv(), list(records),
+                               enc_node_id, enc_version)
+            self.pending.append(item)
+            return item
         return encrypt_records(self.suite, key, self.make_iv(), records,
                                enc_node_id, enc_version)
+
+    def materialize(self) -> None:
+        """Execute every deferred encryption (the pipeline encrypt stage)."""
+        for item in self.pending:
+            item.materialize(self.suite)
 
 
 @dataclass

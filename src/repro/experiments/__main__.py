@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
+from ..observability import Stopwatch
 from . import ALL_EXPERIMENTS, PAPER, QUICK
 
 
@@ -44,9 +44,9 @@ def main(argv=None) -> int:
 
     sink = open(args.output, "a", encoding="utf-8") if args.output else None
     for title, runner in selected:
-        started = time.perf_counter()
+        watch = Stopwatch()
         table = runner(scale)
-        elapsed = time.perf_counter() - started
+        elapsed = watch.elapsed()
         print(table.format())
         if sink is not None:
             sink.write(table.format() + "\n\n")

@@ -16,6 +16,9 @@ covering machinery of :mod:`repro.keygraph.covering` rather than tree
 structure.  Rekey payloads reuse the tree protocols' wire format
 (:class:`~repro.core.messages.EncryptedItem`), so the ordinary
 :class:`~repro.core.client.GroupClient` processes them unchanged.
+Join/leave run through the shared staged pipeline
+(:class:`~repro.core.pipeline.RekeyPipeline`); the covering logic is
+the plan stage, and this path ships unsigned messages (no sealing).
 
 Rekeying policy on a leave of user ``u``:
 
@@ -34,13 +37,14 @@ its individual key.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from ..core.messages import (INDIVIDUAL_KEY, MSG_REKEY, Destination,
-                             EncryptedItem, KeyRecord, Message,
-                             OutboundMessage, encrypt_records)
+from ..core.messages import (INDIVIDUAL_KEY, Destination, KeyRecord,
+                             OutboundMessage)
+from ..core.pipeline import KeyMaterialSource, RekeyPipeline
+from ..core.strategies.base import PlannedMessage, RekeyContext
+from ..observability import Instrumentation
 from .covering import CoverError, greedy_cover
 from .graph import KeyGraph, KeyGraphError
 
@@ -59,6 +63,8 @@ class GraphRekeyOutcome:
     encryptions: int
     messages: List[OutboundMessage]
     seconds: float
+    # Per-stage breakdown of ``seconds`` from the pipeline's StageClock.
+    stage_seconds: Optional[Dict[str, float]] = None
 
 
 class MaterializedKeyGraph:
@@ -66,7 +72,8 @@ class MaterializedKeyGraph:
 
     def __init__(self, suite, keygen: Callable[[], bytes],
                  iv_source: Optional[Callable[[], bytes]] = None,
-                 group_id: int = 1):
+                 group_id: int = 1,
+                 instrumentation: Optional[Instrumentation] = None):
         self.suite = suite
         self._keygen = keygen
         if iv_source is None:
@@ -75,12 +82,19 @@ class MaterializedKeyGraph:
         self._iv = iv_source
         self.graph = KeyGraph()
         self.group_id = group_id
-        self._seq = 0
         # k-node name -> (integer wire id, version, key bytes)
         self._material: Dict[str, Tuple[int, int, bytes]] = {}
         self._next_wire_id = 1
         # user -> individual key (the leaf-equivalent, outside the graph)
         self._individual: Dict[str, bytes] = {}
+        self.instrumentation = (instrumentation if instrumentation is not None
+                                else Instrumentation("materialized-graph"))
+        # Unsigned path: signer=None ships messages without auth blocks.
+        self.pipeline = RekeyPipeline(
+            suite,
+            KeyMaterialSource(suite, key_source=keygen, iv_source=iv_source),
+            signer=None, group_id=group_id,
+            instrumentation=self.instrumentation)
 
     # -- construction ------------------------------------------------------
 
@@ -156,15 +170,10 @@ class MaterializedKeyGraph:
         return sorted(names,
                       key=lambda name: (len(self.graph.userset(name)), name))
 
-    def _wire_message(self, items: List[EncryptedItem],
-                      group_key_name: Optional[str]) -> Message:
-        self._seq += 1
-        root_id, root_version = (self.wire_ref(group_key_name)
-                                 if group_key_name else (0, 0))
-        return Message(msg_type=MSG_REKEY, group_id=self.group_id,
-                       seq=self._seq, timestamp_us=time.time_ns() // 1000,
-                       root_node_id=root_id, root_version=root_version,
-                       items=items)
+    def _root_ref(self) -> Tuple[int, int]:
+        """Wire reference of the group key (0, 0 when the graph has none)."""
+        group_key = self.group_key_name()
+        return self.wire_ref(group_key) if group_key else (0, 0)
 
     def group_key_name(self) -> Optional[str]:
         """A k-node held by every user (None if the graph has none)."""
@@ -178,57 +187,63 @@ class MaterializedKeyGraph:
 
     def leave(self, user: str) -> GraphRekeyOutcome:
         """Remove ``user`` and rekey every key it shared, via covering."""
-        start = time.perf_counter()
-        if user not in self.graph.u_nodes:
-            raise MaterializedGraphError(f"unknown user {user!r}")
-        old_keyset = set(self.graph.keyset(user))
-        self.graph.remove_node(user)
-        self._individual.pop(user, None)
+        state: Dict[str, object] = {}
 
-        # Keys nobody holds any more disappear; shared ones are replaced.
-        compromised: List[str] = []
-        for name in sorted(old_keyset):
-            if not self.graph.userset(name):
-                self.graph.remove_node(name)
-                del self._material[name]
-            else:
-                compromised.append(name)
+        def planner(ctx: RekeyContext) -> List[PlannedMessage]:
+            if user not in self.graph.u_nodes:
+                raise MaterializedGraphError(f"unknown user {user!r}")
+            old_keyset = set(self.graph.keyset(user))
+            self.graph.remove_node(user)
+            self._individual.pop(user, None)
 
-        secure = (self.graph.secure_group()
-                  if self.graph.u_nodes else None)
-        encryptions = 0
-        items: List[EncryptedItem] = []
-        replaced: List[str] = []
-        replaced_set = set()
-        for name in self._topological_k_order(compromised):
-            target = self.graph.userset(name)
-            wire_id, version, _old, new_key = self._replace(name)
-            replaced.append(name)
-            replaced_set.add(name)
-            # Cover the target with keys the leaver never held, plus keys
-            # already replaced this round (their new versions are clean
-            # and, by the topological order, already delivered to their
-            # holders) — but never the key currently being replaced.
-            safe = [k for k in self.graph.k_nodes
-                    if (k not in old_keyset or k in replaced_set)
-                    and k != name]
-            cover = self._cover(secure, target, safe)
-            for cover_name in cover:
-                cover_id, cover_version, cover_key = self._material[cover_name]
-                items.append(encrypt_records(
-                    self.suite, cover_key, self._iv(),
-                    [KeyRecord(wire_id, version, new_key)],
-                    cover_id, cover_version))
-                encryptions += 1
-        messages = []
-        if items:
-            message = self._wire_message(items, self.group_key_name())
-            messages.append(OutboundMessage(
-                Destination.to_all(), message,
-                tuple(sorted(self.graph.u_nodes)), message.encode()))
+            # Keys nobody holds any more disappear; shared ones are
+            # replaced.
+            compromised: List[str] = []
+            for name in sorted(old_keyset):
+                if not self.graph.userset(name):
+                    self.graph.remove_node(name)
+                    del self._material[name]
+                else:
+                    compromised.append(name)
+
+            secure = (self.graph.secure_group()
+                      if self.graph.u_nodes else None)
+            items = []
+            replaced: List[str] = []
+            replaced_set = set()
+            for name in self._topological_k_order(compromised):
+                target = self.graph.userset(name)
+                wire_id, version, _old, new_key = self._replace(name)
+                replaced.append(name)
+                replaced_set.add(name)
+                # Cover the target with keys the leaver never held, plus
+                # keys already replaced this round (their new versions
+                # are clean and, by the topological order, already
+                # delivered to their holders) — but never the key
+                # currently being replaced.
+                safe = [k for k in self.graph.k_nodes
+                        if (k not in old_keyset or k in replaced_set)
+                        and k != name]
+                cover = self._cover(secure, target, safe)
+                for cover_name in cover:
+                    cover_id, cover_version, cover_key = \
+                        self._material[cover_name]
+                    items.append(ctx.encrypt(
+                        cover_key, [KeyRecord(wire_id, version, new_key)],
+                        cover_id, cover_version))
+            state["replaced"] = replaced
+            if not items:
+                return []
+            return [PlannedMessage(
+                Destination.to_all(), items,
+                lambda: tuple(sorted(self.graph.u_nodes)))]
+
+        run = self.pipeline.run("leave", planner, root_ref=self._root_ref,
+                                user_id=user)
         self.validate()
-        return GraphRekeyOutcome("leave", user, replaced, encryptions,
-                                 messages, time.perf_counter() - start)
+        return GraphRekeyOutcome("leave", user, state["replaced"],
+                                 run.encryptions, run.messages, run.seconds,
+                                 run.stage_seconds)
 
     def _cover(self, secure, target, safe_names) -> List[str]:
         """Greedy cover of ``target`` restricted to ``safe_names``.
@@ -261,44 +276,43 @@ class MaterializedKeyGraph:
         key (one encryption each); the joiner gets its whole closure in
         one bundle under its individual key.
         """
-        start = time.perf_counter()
         keys = list(keys)
-        self.add_user(user, individual_key, keys)
-        gained = self.graph.keyset(user)
-        encryptions = 0
-        items: List[EncryptedItem] = []
-        replaced: List[str] = []
-        for name in self._topological_k_order(gained):
-            holders = self.graph.userset(name)
-            wire_id, version, old_key, new_key = self._replace(name)
-            replaced.append(name)
-            if holders - {user}:
-                items.append(encrypt_records(
-                    self.suite, old_key, self._iv(),
-                    [KeyRecord(wire_id, version, new_key)],
-                    wire_id, version - 1))
-                encryptions += 1
-        messages = []
-        group_key = self.group_key_name()
-        if items:
-            message = self._wire_message(items, group_key)
-            receivers = tuple(sorted(self.graph.u_nodes - {user}))
-            if receivers:
-                messages.append(OutboundMessage(
-                    Destination.to_all(), message, receivers,
-                    message.encode()))
-        # Joiner bundle: the new keys of its entire closure.
-        bundle = encrypt_records(
-            self.suite, individual_key, self._iv(),
-            self.key_records(sorted(gained)), INDIVIDUAL_KEY, 0)
-        encryptions += len(gained)
-        joiner_message = self._wire_message([bundle], group_key)
-        messages.append(OutboundMessage(
-            Destination.to_user(user), joiner_message, (user,),
-            joiner_message.encode()))
+        state: Dict[str, object] = {}
+
+        def planner(ctx: RekeyContext) -> List[PlannedMessage]:
+            self.add_user(user, individual_key, keys)
+            gained = self.graph.keyset(user)
+            items = []
+            replaced: List[str] = []
+            for name in self._topological_k_order(gained):
+                holders = self.graph.userset(name)
+                wire_id, version, old_key, new_key = self._replace(name)
+                replaced.append(name)
+                if holders - {user}:
+                    items.append(ctx.encrypt(
+                        old_key, [KeyRecord(wire_id, version, new_key)],
+                        wire_id, version - 1))
+            state["replaced"] = replaced
+            plans = []
+            if items:
+                plans.append(PlannedMessage(
+                    Destination.to_all(), items,
+                    lambda: tuple(sorted(self.graph.u_nodes - {user}))))
+            # Joiner bundle: the new keys of its entire closure.
+            bundle = ctx.encrypt(individual_key,
+                                 self.key_records(sorted(gained)),
+                                 INDIVIDUAL_KEY, 0)
+            plans.append(PlannedMessage(
+                Destination.to_user(user), [bundle],
+                lambda: (user,)))
+            return plans
+
+        run = self.pipeline.run("join", planner, root_ref=self._root_ref,
+                                user_id=user)
         self.validate()
-        return GraphRekeyOutcome("join", user, replaced, encryptions,
-                                 messages, time.perf_counter() - start)
+        return GraphRekeyOutcome("join", user, state["replaced"],
+                                 run.encryptions, run.messages, run.seconds,
+                                 run.stage_seconds)
 
     # -- factories -------------------------------------------------------------------
 

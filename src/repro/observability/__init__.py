@@ -1,0 +1,40 @@
+"""Shared observability core: counters, stage timers, trace events.
+
+The repo's rekey paths all report through this package so that every
+paper-facing number (processing time, encryption counts, message
+counts/sizes) derives from one instrumentation source:
+
+* :class:`~repro.observability.counters.Counters` — named monotonic
+  counters;
+* :class:`~repro.observability.timers.StageClock` /
+  :class:`~repro.observability.timers.StageTimers` — per-run and
+  aggregate stage timings (``RequestRecord.seconds`` and
+  ``BatchResult.seconds`` are StageClock totals);
+* :class:`~repro.observability.tracing.TraceBuffer` — an optional
+  trace-event ring buffer, with :data:`NULL_TRACE` as the
+  zero-overhead default;
+* :class:`~repro.observability.instrumentation.Instrumentation` — the
+  facade components take, with :data:`NULL_INSTRUMENTATION` for
+  callers that want no accounting at all.
+"""
+
+from .counters import Counters
+from .instrumentation import (NULL_INSTRUMENTATION, Instrumentation,
+                              NullInstrumentation)
+from .timers import StageClock, StageTimers, Stopwatch, TimerStat
+from .tracing import NULL_TRACE, NullTraceBuffer, TraceBuffer, TraceEvent
+
+__all__ = [
+    "Counters",
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
+    "StageClock",
+    "StageTimers",
+    "Stopwatch",
+    "TimerStat",
+    "TraceBuffer",
+    "NullTraceBuffer",
+    "TraceEvent",
+    "NULL_TRACE",
+]

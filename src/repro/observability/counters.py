@@ -1,0 +1,60 @@
+"""Structured named counters.
+
+One :class:`Counters` instance replaces the hand-rolled integer fields
+(`encryptions`, `signatures_performed`, ...) that used to be scattered
+over the rekey paths: a flat namespace of monotonically increasing
+integers, cheap to update on the hot path (one dict operation) and
+snapshottable for reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """A flat namespace of named monotonic counters."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> int:
+        """Increment ``name`` by ``amount``; returns the new value."""
+        value = self._values.get(name, 0) + amount
+        self._values[name] = value
+        return value
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._values.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._values.items()))
+
+    def snapshot(self) -> Dict[str, int]:
+        """An independent copy of all counter values."""
+        return dict(self._values)
+
+    def merge(self, other: "Counters") -> None:
+        """Fold another instance's values into this one."""
+        for name, value in other._values.items():
+            self.add(name, value)
+
+    def clear(self) -> None:
+        """Reset every counter."""
+        self._values.clear()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"Counters({inner})"

@@ -1,0 +1,107 @@
+"""The instrumentation facade bundling counters, timers and tracing.
+
+Every instrumented component (the rekey pipeline, the experiment
+runner) takes an :class:`Instrumentation` and reports through it; the
+component never touches ``time.perf_counter`` or ad-hoc integer fields
+directly.  :data:`NULL_INSTRUMENTATION` swallows everything at
+near-zero cost for callers that want raw speed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .counters import Counters
+from .timers import StageClock, StageTimers, _TimerSpan
+from .tracing import NULL_TRACE, NullTraceBuffer, TraceBuffer
+
+
+class Instrumentation:
+    """Counters + aggregate stage timers + an optional trace buffer."""
+
+    __slots__ = ("name", "counters", "timers", "trace")
+
+    def __init__(self, name: str = "",
+                 trace: Optional[Union[TraceBuffer, NullTraceBuffer]] = None):
+        self.name = name
+        self.counters = Counters()
+        self.timers = StageTimers()
+        self.trace = trace if trace is not None else NULL_TRACE
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        """Increment a named counter."""
+        self.counters.add(counter, amount)
+
+    def stage(self, stage_name: str) -> _TimerSpan:
+        """Time a region into the aggregate timers."""
+        return self.timers.time(stage_name)
+
+    def record_run(self, op: str, clock: StageClock) -> None:
+        """Fold one pipeline run's :class:`StageClock` into the aggregates.
+
+        Timings are keyed ``<op>.<stage>`` plus ``<op>.total``; the run
+        count lands in the ``<op>.runs`` counter.
+        """
+        for stage_name, seconds in clock.stages.items():
+            self.timers.add(f"{op}.{stage_name}", seconds)
+        self.timers.add(f"{op}.total", clock.total)
+        self.counters.add(f"{op}.runs")
+        if self.trace.enabled:
+            self.trace.emit(f"{op}.run", total=clock.total,
+                            stages=dict(clock.stages))
+
+    def snapshot(self) -> dict:
+        """Copyable view of counters and timers."""
+        return {"name": self.name,
+                "counters": self.counters.snapshot(),
+                "timers": self.timers.snapshot()}
+
+    def clear(self) -> None:
+        """Reset counters, timers and the trace buffer."""
+        self.counters.clear()
+        self.timers.clear()
+        self.trace.clear()
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullInstrumentation:
+    """Drops everything: for hot paths that want zero accounting."""
+
+    __slots__ = ()
+
+    name = ""
+    trace = NULL_TRACE
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        """Discard."""
+
+    def stage(self, stage_name: str) -> _NullSpan:
+        """A shared no-op context manager."""
+        return _NULL_SPAN
+
+    def record_run(self, op: str, clock: StageClock) -> None:
+        """Discard."""
+
+    def snapshot(self) -> dict:
+        """Always empty."""
+        return {"name": "", "counters": {}, "timers": {}}
+
+    def clear(self) -> None:
+        """Nothing to clear."""
+
+
+NULL_INSTRUMENTATION = NullInstrumentation()

@@ -1,0 +1,94 @@
+"""Optional trace-event ring buffer.
+
+A :class:`TraceBuffer` keeps the last N structured events (timestamp,
+name, fields) for post-mortem inspection of a rekey pipeline — which
+stages ran, how many plans each produced, where time went.  The default
+everywhere is :data:`NULL_TRACE`, a :class:`NullTraceBuffer` whose
+``emit`` is a constant no-op, so tracing costs nothing unless a caller
+opts in by passing a real buffer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, NamedTuple
+
+
+class TraceEvent(NamedTuple):
+    """One recorded event."""
+
+    timestamp_ns: int
+    name: str
+    fields: Dict[str, Any]
+
+
+class TraceBuffer:
+    """Fixed-capacity ring buffer of :class:`TraceEvent`."""
+
+    __slots__ = ("capacity", "_events", "_next", "_total")
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._next = 0          # ring write position once full
+        self._total = 0         # events ever emitted (incl. overwritten)
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Record an event, overwriting the oldest once at capacity."""
+        event = TraceEvent(time.perf_counter_ns(), name, fields)
+        if len(self._events) < self.capacity:
+            self._events.append(event)
+        else:
+            self._events[self._next] = event
+            self._next = (self._next + 1) % self.capacity
+        self._total += 1
+
+    def events(self) -> List[TraceEvent]:
+        """Retained events, oldest first."""
+        if len(self._events) < self.capacity:
+            return list(self._events)
+        return self._events[self._next:] + self._events[:self._next]
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by the ring since the last clear."""
+        return self._total - len(self._events)
+
+    def clear(self) -> None:
+        """Empty the buffer."""
+        self._events.clear()
+        self._next = 0
+        self._total = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class NullTraceBuffer:
+    """Zero-overhead stand-in: every operation is a no-op."""
+
+    __slots__ = ()
+
+    enabled = False
+    capacity = 0
+    dropped = 0
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Discard the event."""
+
+    def events(self) -> List[TraceEvent]:
+        """Always empty."""
+        return []
+
+    def clear(self) -> None:
+        """Nothing to clear."""
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACE = NullTraceBuffer()

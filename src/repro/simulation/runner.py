@@ -18,13 +18,13 @@ and client-side statistics.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..core.client import ClientStats
 from ..core.server import GroupKeyServer, RequestRecord, ServerConfig
 from ..crypto.suite import PAPER_SUITE, CipherSuite
+from ..observability import Instrumentation, Stopwatch
 from .clients import ClientSimulator
 from .metrics import ClientMetrics, ServerMetrics
 from .workload import JOIN, Request, generate_workload, initial_members
@@ -68,6 +68,9 @@ class ExperimentResult:
     final_height: int
     # Aggregated real-client counters; None outside "full" client mode.
     client_totals: Optional["ClientStats"] = None
+    # The server's observability core: per-stage timer aggregates and
+    # operation counters accumulated across the whole run.
+    instrumentation: Optional[Instrumentation] = None
 
     @property
     def mean_processing_ms(self) -> float:
@@ -80,7 +83,7 @@ def run_experiment(config: ExperimentConfig,
     """Run one configuration; deterministic for a given config/seed."""
     if config.client_mode not in CLIENT_MODES:
         raise ValueError(f"unknown client mode {config.client_mode!r}")
-    started = time.perf_counter()
+    watch = Stopwatch()
 
     server = GroupKeyServer(config.server_config())
     members = initial_members(config.initial_size)
@@ -135,10 +138,11 @@ def run_experiment(config: ExperimentConfig,
         records=records,
         server_metrics=ServerMetrics.from_records(records),
         client_metrics=client_metrics,
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=watch.elapsed(),
         final_size=server.n_users,
         final_height=final_height,
         client_totals=client_totals,
+        instrumentation=server.instrumentation,
     )
 
 

@@ -1,0 +1,152 @@
+"""Error-path coverage: ``handle_datagram`` and ``ServerConfig.validate``.
+
+The happy paths live in ``test_server.py``; this module pins down every
+rejection branch — malformed wire data, unexpected message types, access
+control denials — and checks that denials leave the group state intact.
+"""
+
+import pytest
+
+from repro.core.messages import (MSG_DATA, MSG_JOIN_ACK, MSG_JOIN_DENIED,
+                                 MSG_JOIN_REQUEST, MSG_LEAVE_DENIED,
+                                 MSG_LEAVE_REQUEST, MSG_REKEY, Message)
+from repro.core.server import (GroupKeyServer, ServerConfig, ServerError)
+from repro.crypto.suite import (PAPER_SUITE, PAPER_SUITE_ENC_ONLY,
+                                PAPER_SUITE_NO_SIG)
+
+
+def make_server(**overrides):
+    config = ServerConfig(**{"signing": "none", "seed": b"datagram-tests",
+                             **overrides})
+    return GroupKeyServer(config)
+
+
+def populated(n=4, **overrides):
+    server = make_server(**overrides)
+    members = [(f"u{i}", server.new_individual_key()) for i in range(n)]
+    server.bootstrap(members)
+    return server
+
+
+def datagram(msg_type, user_id):
+    return Message(msg_type=msg_type, body=user_id.encode()).encode()
+
+
+class TestMalformedDatagrams:
+    def test_empty_datagram(self):
+        server = populated()
+        with pytest.raises(ServerError, match="malformed"):
+            server.handle_datagram(b"")
+
+    def test_garbage_datagram(self):
+        server = populated()
+        with pytest.raises(ServerError, match="malformed"):
+            server.handle_datagram(b"\xff" * 40)
+
+    def test_truncated_valid_prefix(self):
+        server = populated()
+        valid = datagram(MSG_JOIN_REQUEST, "u9")
+        with pytest.raises(ServerError, match="malformed"):
+            server.handle_datagram(valid[:len(valid) - 3])
+
+    @pytest.mark.parametrize("msg_type", [MSG_DATA, MSG_REKEY, MSG_JOIN_ACK])
+    def test_unexpected_message_type(self, msg_type):
+        server = populated()
+        with pytest.raises(ServerError, match="unexpected message type"):
+            server.handle_datagram(datagram(msg_type, "u0"))
+
+    def test_malformed_datagram_changes_nothing(self):
+        server = populated()
+        before = sorted(server.members())
+        for bad in (b"", b"junk", datagram(MSG_DATA, "u0")):
+            with pytest.raises(ServerError):
+                server.handle_datagram(bad)
+        assert sorted(server.members()) == before
+
+
+class TestJoinDenials:
+    def test_unregistered_user_denied(self):
+        server = populated()
+        replies = server.handle_datagram(datagram(MSG_JOIN_REQUEST, "ghost"))
+        assert len(replies) == 1
+        assert replies[0].message.msg_type == MSG_JOIN_DENIED
+        assert not server.is_member("ghost")
+
+    def test_acl_denied(self):
+        server = make_server(access_list={"u0", "u1"})
+        server.bootstrap([("u0", server.new_individual_key())])
+        server.register_individual_key("intruder",
+                                       server.new_individual_key())
+        replies = server.handle_datagram(
+            datagram(MSG_JOIN_REQUEST, "intruder"))
+        assert replies[0].message.msg_type == MSG_JOIN_DENIED
+        assert not server.is_member("intruder")
+        # The registered key is consumed by the attempt's planner only on
+        # success paths beyond the ACL; a still-listed user joins fine.
+        server.register_individual_key("u1", server.new_individual_key())
+        replies = server.handle_datagram(datagram(MSG_JOIN_REQUEST, "u1"))
+        assert any(m.message.msg_type == MSG_JOIN_ACK for m in replies)
+
+    def test_double_join_denied(self):
+        server = populated()
+        server.register_individual_key("u0", server.new_individual_key())
+        replies = server.handle_datagram(datagram(MSG_JOIN_REQUEST, "u0"))
+        assert replies[0].message.msg_type == MSG_JOIN_DENIED
+
+    def test_denied_join_produces_no_rekey_traffic(self):
+        server = populated()
+        history_before = len(server.history)
+        replies = server.handle_datagram(datagram(MSG_JOIN_REQUEST, "ghost"))
+        assert all(m.message.msg_type != MSG_REKEY for m in replies)
+        assert len(server.history) == history_before
+
+
+class TestLeaveDenials:
+    def test_nonmember_leave_denied(self):
+        server = populated()
+        replies = server.handle_datagram(
+            datagram(MSG_LEAVE_REQUEST, "stranger"))
+        assert len(replies) == 1
+        assert replies[0].message.msg_type == MSG_LEAVE_DENIED
+        assert server.n_users == 4
+
+    def test_denied_leave_keeps_group_key(self):
+        server = populated()
+        ref_before = server.group_key_ref()
+        server.handle_datagram(datagram(MSG_LEAVE_REQUEST, "stranger"))
+        assert server.group_key_ref() == ref_before
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"graph": "mesh"},
+        {"graph": "lattice", "strategy": "group"},
+        {"strategy": "telepathy"},
+        {"strategy": ""},
+        {"signing": "wax-seal"},
+        {"signing": "merkle", "suite": PAPER_SUITE_ENC_ONLY},
+        {"signing": "merkle", "suite": PAPER_SUITE_NO_SIG},
+        {"signing": "per-message", "suite": PAPER_SUITE_NO_SIG},
+    ])
+    def test_rejections(self, overrides):
+        config = ServerConfig(**overrides)
+        with pytest.raises(ServerError):
+            config.validate()
+
+    @pytest.mark.parametrize("overrides", [
+        {},
+        {"graph": "star"},
+        {"graph": "star", "strategy": "not-a-strategy", "signing": "none"},
+        {"signing": "none", "suite": PAPER_SUITE_NO_SIG},
+        {"signing": "none", "suite": PAPER_SUITE_ENC_ONLY},
+        {"signing": "per-message", "suite": PAPER_SUITE},
+    ])
+    def test_accepts(self, overrides):
+        ServerConfig(**overrides).validate()
+
+    def test_constructor_validates(self):
+        with pytest.raises(ServerError):
+            GroupKeyServer(ServerConfig(graph="mesh"))
+        with pytest.raises(ServerError):
+            GroupKeyServer(ServerConfig(signing="merkle",
+                                        suite=PAPER_SUITE_NO_SIG))

@@ -1,0 +1,205 @@
+"""Equivalence goldens: the staged pipeline reproduces the legacy bytes.
+
+The PR that introduced :mod:`repro.core.pipeline` replaced three
+hand-rolled rekey paths (``GroupKeyServer``, ``BatchRekeyServer``,
+``MaterializedKeyGraph``) with one staged plan -> encrypt -> sign ->
+dispatch pipeline.  These tests pin the observable output of seeded
+join/leave sequences — every outbound message byte, every receiver
+list, every encryption/signature count — to digests captured from the
+pre-refactor implementation, so any later change to the pipeline that
+perturbs the wire bytes or the paper-facing counters fails loudly.
+
+Timestamps are the only nondeterminism in the wire format; the
+scenarios pin ``time.time_ns`` to a constant.
+"""
+
+import hashlib
+from unittest import mock
+
+from repro.batch.rekeying import BatchRekeyServer
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.crypto import drbg
+from repro.crypto.suite import PAPER_SUITE, PAPER_SUITE_NO_SIG
+from repro.keygraph.materialized import MaterializedKeyGraph
+
+FIXED_TIME_NS = 893_520_000_000_000_000  # 1998-04-26, fixed for all runs
+
+
+def _freeze_time():
+    return mock.patch("time.time_ns", return_value=FIXED_TIME_NS)
+
+
+def _hash_messages(h, messages):
+    for message in messages:
+        h.update(message.encoded)
+        h.update(repr(tuple(message.receivers)).encode())
+
+
+SERVER_SCRIPT = (("join", "n0"), ("leave", "u2"), ("join", "n1"),
+                 ("leave", "u5"), ("refresh", None), ("leave", "n0"),
+                 ("join", "u2"))
+
+
+def run_server_scenario(graph, strategy, signing, suite):
+    """One seeded join/leave/refresh sequence; digest + counters."""
+    config = ServerConfig(graph=graph, degree=3, strategy=strategy,
+                          suite=suite, signing=signing, seed=b"equivalence")
+    server = GroupKeyServer(config)
+    members = [(f"u{i}", server.new_individual_key()) for i in range(8)]
+    server.bootstrap(members)
+    h = hashlib.sha256()
+    counters = []
+    with _freeze_time():
+        for op, user in SERVER_SCRIPT:
+            if op == "join":
+                outcome = server.join(user, server.new_individual_key())
+            elif op == "leave":
+                outcome = server.leave(user)
+            else:
+                outcome = server.refresh()
+            _hash_messages(h, outcome.all_messages)
+            record = outcome.record
+            counters.append((record.encryptions, record.signatures,
+                             record.n_rekey_messages, record.rekey_bytes,
+                             record.max_message_bytes,
+                             record.key_changes_total,
+                             record.n_users_after))
+    return h.hexdigest(), counters
+
+
+def run_batch_scenario(signing, suite):
+    """Two seeded flushes; digest + counters."""
+    server = BatchRekeyServer(degree=3, suite=suite, signing=signing,
+                              seed=b"equivalence-batch")
+    server.bootstrap([(f"u{i}", server.new_individual_key())
+                      for i in range(9)])
+    h = hashlib.sha256()
+    counters = []
+    with _freeze_time():
+        for round_requests in (
+                (("leave", "u0"), ("leave", "u1"), ("join", "n0"),
+                 ("join", "n1"), ("join", "n2")),
+                (("leave", "n0"), ("leave", "u4"), ("join", "n3"))):
+            for op, user in round_requests:
+                if op == "join":
+                    server.request_join(user, server.new_individual_key())
+                else:
+                    server.request_leave(user)
+            result = server.flush()
+            if result.rekey_message is not None:
+                _hash_messages(h, [result.rekey_message])
+            _hash_messages(h, result.joiner_messages)
+            counters.append((result.n_joins, result.n_leaves,
+                             result.encryptions,
+                             result.individual_cost_estimate))
+    return h.hexdigest(), counters
+
+
+def run_materialized_scenario():
+    """Figure 1 graph: one leave, one join; digest + counters."""
+    source = drbg.make_source(b"equivalence-graph", b"materialized")
+    suite = PAPER_SUITE_NO_SIG
+    keygen = lambda: suite.safe_key(source)
+    group, _individual = MaterializedKeyGraph.figure1(suite, keygen)
+    h = hashlib.sha256()
+    counters = []
+    with _freeze_time():
+        for outcome in (group.leave("u2"),
+                        group.join("u5", keygen(), ["k3", "k234"]),
+                        group.leave("u4")):
+            _hash_messages(h, outcome.messages)
+            counters.append((outcome.op, outcome.encryptions,
+                             tuple(outcome.replaced)))
+    return h.hexdigest(), counters
+
+
+# Captured from the pre-pipeline implementation (seed commit) with the
+# scenarios above.  Do not regenerate casually: a mismatch means the
+# refactor changed observable behaviour.
+GOLDEN_SERVER = {
+    ("tree", "group", "merkle"):
+        "4678546ad007e3bba5e156000b09e3bee978b8d97739835a2f44d2da2e9c83d8",
+    ("tree", "user", "none"):
+        "5d14866bfe4a2985dfc15494652318e0810af2002330658131c3bf7e46c1e251",
+    ("tree", "key", "per-message"):
+        "bbcf07b8da8425a3c6f4a0b4f7abeab0786cb74cc066e83fcd5a4c94e1422c3e",
+    ("tree", "hybrid", "none"):
+        "e470b76634584fa82209b06f1f290fd91faaa5b7971481603f082afa3693faa3",
+    ("star", "group", "merkle"):
+        "ad9f837f17fa1c6ced5b031b5cca5407d51d1e2f7a4567c561751887b9bba068",
+}
+# Per-request (encryptions, signatures, n_rekey_messages, rekey_bytes,
+# max_message_bytes, key_changes_total, n_users_after); spot-checked for
+# the two signing extremes so counter regressions are readable.
+GOLDEN_SERVER_COUNTS = {
+    ("tree", "group", "merkle"): [
+        (4, 1, 2, 419, 220, 10, 9), (5, 1, 1, 314, 314, 10, 8),
+        (4, 1, 2, 419, 220, 10, 9), (5, 1, 1, 314, 314, 10, 8),
+        (1, 1, 1, 166, 166, 8, 8), (5, 1, 1, 314, 314, 9, 7),
+        (4, 1, 2, 419, 220, 9, 8)],
+    ("tree", "user", "none"): [
+        (5, 0, 3, 323, 113, 10, 9), (6, 0, 4, 420, 113, 10, 8),
+        (5, 0, 3, 323, 113, 10, 9), (6, 0, 4, 420, 113, 10, 8),
+        (1, 0, 1, 97, 97, 8, 8), (6, 0, 4, 420, 113, 9, 7),
+        (5, 0, 3, 323, 113, 9, 8)],
+}
+GOLDEN_BATCH = {
+    "merkle": "0351d53afa6d5e228f292608575836c2c3be343ffd587c8d6a68a7d2692bf5c2",
+    "none": "fcea7b6f0b4ab13cecd0c00a896b7609f95386544425a6071515b6494b35c820",
+}
+# (n_joins, n_leaves, encryptions, individual_cost_estimate) per flush.
+GOLDEN_BATCH_COUNTS = [(3, 2, 15, 24), (1, 2, 10, 24)]
+GOLDEN_MATERIALIZED = (
+    "e92a471b7969880947bd593253d086bec6e3730a31ec0e074899df05511bd0dd")
+GOLDEN_MATERIALIZED_COUNTS = [
+    ("leave", 5, ("k12", "k234", "k1234")),
+    ("join", 6, ("k3", "k234", "k1234")),
+    ("leave", 3, ("k234", "k1234")),
+]
+
+
+def _suite_for(signing):
+    return PAPER_SUITE if signing != "none" else PAPER_SUITE_NO_SIG
+
+
+def test_server_paths_match_seed_bytes():
+    for (graph, strategy, signing), expected in GOLDEN_SERVER.items():
+        digest, counters = run_server_scenario(
+            graph, strategy, signing, _suite_for(signing))
+        assert digest == expected, (graph, strategy, signing)
+        golden_counts = GOLDEN_SERVER_COUNTS.get((graph, strategy, signing))
+        if golden_counts is not None:
+            assert counters == golden_counts, (graph, strategy, signing)
+
+
+def test_batch_path_matches_seed_bytes():
+    for signing, expected in GOLDEN_BATCH.items():
+        digest, counters = run_batch_scenario(signing, _suite_for(signing))
+        assert digest == expected, signing
+        assert counters == GOLDEN_BATCH_COUNTS, signing
+
+
+def test_materialized_path_matches_seed_bytes():
+    digest, counters = run_materialized_scenario()
+    assert digest == GOLDEN_MATERIALIZED
+    assert counters == GOLDEN_MATERIALIZED_COUNTS
+
+
+def main():
+    """Print freshly computed goldens (used once, against the seed tree)."""
+    for (graph, strategy, signing) in GOLDEN_SERVER:
+        digest, counters = run_server_scenario(
+            graph, strategy, signing, _suite_for(signing))
+        print(f"SERVER {(graph, strategy, signing)!r}: {digest!r}")
+        print(f"  counts: {counters!r}")
+    for signing in GOLDEN_BATCH:
+        digest, counters = run_batch_scenario(signing, _suite_for(signing))
+        print(f"BATCH {signing!r}: {digest!r}")
+        print(f"  counts: {counters!r}")
+    digest, counters = run_materialized_scenario()
+    print(f"MATERIALIZED: {digest!r}")
+    print(f"  counts: {counters!r}")
+
+
+if __name__ == "__main__":
+    main()

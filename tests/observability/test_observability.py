@@ -1,0 +1,199 @@
+"""Unit tests for the shared observability core."""
+
+import pytest
+
+from repro.observability import (NULL_INSTRUMENTATION, NULL_TRACE, Counters,
+                                 Instrumentation, NullInstrumentation,
+                                 NullTraceBuffer, StageClock, StageTimers,
+                                 Stopwatch, TimerStat, TraceBuffer)
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        counters = Counters()
+        assert counters.get("x") == 0
+        assert counters.add("x") == 1
+        assert counters.add("x", 5) == 6
+        assert counters["x"] == 6
+        assert "x" in counters and "y" not in counters
+
+    def test_snapshot_is_independent(self):
+        counters = Counters()
+        counters.add("a", 2)
+        snap = counters.snapshot()
+        counters.add("a")
+        assert snap == {"a": 2}
+
+    def test_merge_and_clear(self):
+        left, right = Counters(), Counters()
+        left.add("a", 1)
+        right.add("a", 2)
+        right.add("b", 3)
+        left.merge(right)
+        assert left.snapshot() == {"a": 3, "b": 3}
+        left.clear()
+        assert len(left) == 0
+
+    def test_iteration_is_sorted(self):
+        counters = Counters()
+        counters.add("zeta")
+        counters.add("alpha")
+        assert [name for name, _ in counters] == ["alpha", "zeta"]
+
+
+class FakeClock:
+    """Deterministic monotonic clock for timer tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestStageClock:
+    def test_stages_and_total(self):
+        clock = FakeClock()
+        stage_clock = StageClock(clock=clock)
+        with stage_clock.stage("plan"):
+            clock.now += 1.0
+        clock.now += 0.25          # inter-stage work counts in the total
+        with stage_clock.stage("encrypt"):
+            clock.now += 2.0
+        total = stage_clock.stop()
+        assert stage_clock.stages == {"plan": 1.0, "encrypt": 2.0}
+        assert total == pytest.approx(3.25)
+
+    def test_total_fixed_after_stop(self):
+        clock = FakeClock()
+        stage_clock = StageClock(clock=clock)
+        clock.now = 2.0
+        assert stage_clock.stop() == 2.0
+        clock.now = 99.0
+        assert stage_clock.total == 2.0
+
+    def test_repeated_stage_accumulates(self):
+        clock = FakeClock()
+        stage_clock = StageClock(clock=clock)
+        for _ in range(3):
+            with stage_clock.stage("plan"):
+                clock.now += 0.5
+        assert stage_clock.stages["plan"] == pytest.approx(1.5)
+
+
+class TestStageTimers:
+    def test_stat_aggregation(self):
+        timers = StageTimers()
+        for seconds in (1.0, 3.0, 2.0):
+            timers.add("join.plan", seconds)
+        stat = timers.stat("join.plan")
+        assert stat.count == 3
+        assert stat.total == pytest.approx(6.0)
+        assert stat.minimum == 1.0 and stat.maximum == 3.0
+        assert stat.mean == pytest.approx(2.0)
+
+    def test_missing_stat_is_empty(self):
+        stat = StageTimers().stat("nope")
+        assert stat.count == 0 and stat.mean == 0.0
+
+    def test_snapshot_and_names(self):
+        timers = StageTimers()
+        timers.add("b", 1.0)
+        timers.add("a", 2.0)
+        assert timers.names() == ["a", "b"]
+        assert timers.snapshot()["a"] == (1, 2.0, 2.0, 2.0)
+
+    def test_time_context_manager(self):
+        timers = StageTimers()
+        with timers.time("region"):
+            pass
+        assert timers.stat("region").count == 1
+
+
+class TestStopwatch:
+    def test_elapsed_and_restart(self):
+        clock = FakeClock()
+        watch = Stopwatch(clock=clock)
+        clock.now = 5.0
+        assert watch.elapsed() == 5.0
+        watch.restart()
+        clock.now = 7.5
+        assert watch.elapsed() == 2.5
+
+
+class TestTraceBuffer:
+    def test_emit_and_read(self):
+        trace = TraceBuffer(capacity=8)
+        trace.emit("a", n=1)
+        trace.emit("b", n=2)
+        names = [event.name for event in trace.events()]
+        assert names == ["a", "b"]
+        assert trace.events()[1].fields == {"n": 2}
+        assert trace.dropped == 0
+
+    def test_ring_overwrites_oldest(self):
+        trace = TraceBuffer(capacity=3)
+        for index in range(5):
+            trace.emit(f"e{index}")
+        assert [event.name for event in trace.events()] == ["e2", "e3", "e4"]
+        assert trace.dropped == 2
+        assert len(trace) == 3
+
+    def test_clear(self):
+        trace = TraceBuffer(capacity=2)
+        trace.emit("x")
+        trace.clear()
+        assert trace.events() == [] and trace.dropped == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)
+
+    def test_null_buffer_is_inert(self):
+        assert NULL_TRACE.enabled is False
+        NULL_TRACE.emit("ignored", x=1)
+        assert NULL_TRACE.events() == []
+        assert len(NULL_TRACE) == 0
+        assert isinstance(NULL_TRACE, NullTraceBuffer)
+
+
+class TestInstrumentation:
+    def test_record_run_aggregates(self):
+        inst = Instrumentation("test")
+        clock = FakeClock()
+        stage_clock = StageClock(clock=clock)
+        with stage_clock.stage("plan"):
+            clock.now += 1.0
+        stage_clock.stop()
+        inst.record_run("join", stage_clock)
+        inst.record_run("join", stage_clock)
+        assert inst.counters.get("join.runs") == 2
+        assert inst.timers.stat("join.plan").count == 2
+        assert inst.timers.stat("join.total").total == pytest.approx(2.0)
+
+    def test_trace_opt_in(self):
+        trace = TraceBuffer(capacity=4)
+        inst = Instrumentation("test", trace=trace)
+        clock = StageClock(clock=FakeClock())
+        clock.stop()
+        inst.record_run("leave", clock)
+        assert [event.name for event in trace.events()] == ["leave.run"]
+
+    def test_snapshot_and_clear(self):
+        inst = Instrumentation("test")
+        inst.count("things", 3)
+        snap = inst.snapshot()
+        assert snap["name"] == "test"
+        assert snap["counters"] == {"things": 3}
+        inst.clear()
+        assert inst.snapshot()["counters"] == {}
+
+    def test_null_instrumentation_is_inert(self):
+        NULL_INSTRUMENTATION.count("x")
+        with NULL_INSTRUMENTATION.stage("y"):
+            pass
+        clock = StageClock(clock=FakeClock())
+        clock.stop()
+        NULL_INSTRUMENTATION.record_run("op", clock)
+        assert NULL_INSTRUMENTATION.snapshot()["counters"] == {}
+        assert isinstance(NULL_INSTRUMENTATION, NullInstrumentation)
