@@ -43,6 +43,7 @@ duplicated between ``ServerConfig.validate`` and ``BatchRekeyServer``).
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Type
 
@@ -115,6 +116,30 @@ class KeyMaterialSource:
         return self.new_key()
 
 
+# Seeded keypair derivation is deterministic — same (suite, seed) always
+# yields the same key — but costs two Miller-Rabin prime searches.  Test
+# scenarios build many servers from the same seed, so memoize.  Unseeded
+# (seed=None) derivation is random by contract and is never cached.
+_KEYPAIR_MEMO: "OrderedDict[tuple, object]" = OrderedDict()
+_KEYPAIR_MEMO_MAX = 128
+
+
+def _derive_signing_keypair(suite, seed: Optional[bytes]):
+    if seed is None:
+        return suite.generate_signing_keypair(seed=None)
+    memo_key = (suite.cipher_name, suite.digest_name, suite.signature_bits,
+                bytes(seed))
+    keypair = _KEYPAIR_MEMO.get(memo_key)
+    if keypair is None:
+        keypair = suite.generate_signing_keypair(seed=seed + b"/sign")
+        _KEYPAIR_MEMO[memo_key] = keypair
+        if len(_KEYPAIR_MEMO) > _KEYPAIR_MEMO_MAX:
+            _KEYPAIR_MEMO.popitem(last=False)
+    else:
+        _KEYPAIR_MEMO.move_to_end(memo_key)
+    return keypair
+
+
 def make_signer(suite, signing: str, seed: Optional[bytes] = None,
                 error: Type[Exception] = PipelineError):
     """Build (signer, signing_keypair) for a signing mode.
@@ -124,12 +149,15 @@ def make_signer(suite, signing: str, seed: Optional[bytes] = None,
     every path historically did (``seed + b"/sign"``), and returns a
     ``(signer, keypair)`` pair — ``keypair`` is ``None`` for mode
     ``"none"``.
+
+    Seeded keypairs are memoized per (suite parameters, seed): two
+    servers configured with the same seed share one keypair *object*,
+    and the second server skips prime generation entirely.
     """
     validate_signing(signing, suite, error)
     if signing == "none":
         return NullSigner(suite), None
-    keypair = suite.generate_signing_keypair(
-        seed=(seed + b"/sign") if seed else None)
+    keypair = _derive_signing_keypair(suite, seed)
     if signing == "per-message":
         return PerMessageSigner(suite, keypair), keypair
     return MerkleSigner(suite, keypair), keypair

@@ -15,9 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ...crypto import batchenc
 from ...keygraph.tree import JoinResult, KeyTree, LeaveResult, PathChange, TreeNode
 from ..messages import (INDIVIDUAL_KEY, Destination, EncryptedItem,
-                        KeyRecord, encrypt_records)
+                        KeyRecord, encrypt_records, padded_records_plaintext)
 
 
 @dataclass
@@ -93,8 +94,34 @@ class RekeyContext:
                                enc_node_id, enc_version)
 
     def materialize(self) -> None:
-        """Execute every deferred encryption (the pipeline encrypt stage)."""
-        for item in self.pending:
+        """Execute every deferred encryption (the pipeline encrypt stage).
+
+        Large batches (a star rekey, a wide interval flush) go through
+        :mod:`repro.crypto.batchenc`, which runs the cipher rounds
+        vectorized across the independent items; small batches and
+        unsupported ciphers take the per-item path.  Both produce
+        byte-identical items (pinned by the batch equivalence tests),
+        so this is purely an encrypt-stage throughput decision.
+        """
+        pending = [item for item in self.pending if item.value is None]
+        if (len(pending) >= batchenc.MIN_BATCH_JOBS
+                and batchenc.available(self.suite)):
+            jobs = []
+            lengths = []
+            for item in pending:
+                padded, plaintext_len = padded_records_plaintext(
+                    self.suite, item.records)
+                jobs.append((self.suite.new_cipher(item.key), padded,
+                             item.iv))
+                lengths.append(plaintext_len)
+            ciphertexts = batchenc.cbc_encrypt_nopad_many(jobs)
+            for item, ciphertext, plaintext_len in zip(pending, ciphertexts,
+                                                       lengths):
+                item.value = EncryptedItem(item.enc_node_id,
+                                           item.enc_version, item.iv,
+                                           ciphertext, plaintext_len)
+            return
+        for item in pending:
             item.materialize(self.suite)
 
 

@@ -9,6 +9,16 @@ The S-box and round constants are *derived* (GF(2^8) inversion + affine
 transform) rather than transcribed, eliminating table-typo risk; the
 implementation is validated against the FIPS 197 appendix vectors in the
 test suite.
+
+Fast path: the rounds are table-driven.  Four 256-entry "T-tables"
+(built once at import) fuse SubBytes + ShiftRows + MixColumns into four
+32-bit lookups per output column, and the state is carried as four
+32-bit column words instead of sixteen bytes.  Decryption uses the
+FIPS 197 §5.3.5 *equivalent inverse cipher*: inverse T-tables plus a
+decryption key schedule pre-transformed through InvMixColumns, computed
+once per key in ``__init__``.  The byte-wise pre-optimization rounds are
+preserved in :mod:`repro.crypto.reference` and the two are pinned equal
+on random blocks by the test suite.
 """
 
 from __future__ import annotations
@@ -69,11 +79,51 @@ for _ in range(14):
     _value = _xtime(_value)
 _RCON = tuple(_RCON)
 
-# T-tables for the forward rounds: combined SubBytes + MixColumns.
+# GF(2^8) multiple tables: forward (through the S-box) and inverse (raw).
 _MUL2 = tuple(_gf_mul(s, 2) for s in _SBOX)
 _MUL3 = tuple(_gf_mul(s, 3) for s in _SBOX)
 _INV_MUL = {factor: tuple(_gf_mul(x, factor) for x in range(256))
             for factor in (9, 11, 13, 14)}
+
+# Forward T-tables: T_j[x] is the contribution of state byte x (arriving
+# via ShiftRows from row j) to the packed output column word, with
+# SubBytes and MixColumns applied.  One round column is then four
+# lookups and four xors:
+#   N_c = T0[b0(W_c)] ^ T1[b1(W_{c+1})] ^ T2[b2(W_{c+2})] ^ T3[b3(W_{c+3})] ^ RK_c
+_T0 = tuple((_MUL2[x] << 24) | (_SBOX[x] << 16) | (_SBOX[x] << 8) | _MUL3[x]
+            for x in range(256))
+_T1 = tuple((_MUL3[x] << 24) | (_MUL2[x] << 16) | (_SBOX[x] << 8) | _SBOX[x]
+            for x in range(256))
+_T2 = tuple((_SBOX[x] << 24) | (_MUL3[x] << 16) | (_MUL2[x] << 8) | _SBOX[x]
+            for x in range(256))
+_T3 = tuple((_SBOX[x] << 24) | (_SBOX[x] << 16) | (_MUL3[x] << 8) | _MUL2[x]
+            for x in range(256))
+
+# Inverse T-tables for the equivalent inverse cipher: InvSubBytes then
+# InvMixColumns, indexed by the raw state byte (InvShiftRows is the
+# column-rotation in the lookup pattern).
+_m9, _m11 = _INV_MUL[9], _INV_MUL[11]
+_m13, _m14 = _INV_MUL[13], _INV_MUL[14]
+_TD0 = tuple((_m14[v] << 24) | (_m9[v] << 16) | (_m13[v] << 8) | _m11[v]
+             for v in _INV_SBOX)
+_TD1 = tuple((_m11[v] << 24) | (_m14[v] << 16) | (_m9[v] << 8) | _m13[v]
+             for v in _INV_SBOX)
+_TD2 = tuple((_m13[v] << 24) | (_m11[v] << 16) | (_m14[v] << 8) | _m9[v]
+             for v in _INV_SBOX)
+_TD3 = tuple((_m9[v] << 24) | (_m13[v] << 16) | (_m11[v] << 8) | _m14[v]
+             for v in _INV_SBOX)
+
+
+def _inv_mix_word(word: int) -> int:
+    """InvMixColumns of one packed column word (for the decrypt schedule)."""
+    b0 = (word >> 24) & 0xFF
+    b1 = (word >> 16) & 0xFF
+    b2 = (word >> 8) & 0xFF
+    b3 = word & 0xFF
+    return (((_m14[b0] ^ _m11[b1] ^ _m13[b2] ^ _m9[b3]) << 24)
+            | ((_m9[b0] ^ _m14[b1] ^ _m11[b2] ^ _m13[b3]) << 16)
+            | ((_m13[b0] ^ _m9[b1] ^ _m14[b2] ^ _m11[b3]) << 8)
+            | (_m11[b0] ^ _m13[b1] ^ _m9[b2] ^ _m14[b3]))
 
 
 class AES:
@@ -93,93 +143,120 @@ class AES:
             raise ValueError("AES key must be 16, 24 or 32 bytes")
         self.key_size = len(key)
         self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
-        self._round_keys = self._expand_key(key)
+        self._rk = self._expand_key(key)
+        self._drk = self._decrypt_schedule(self._rk)
 
     def _expand_key(self, key: bytes):
+        """FIPS 197 key expansion, producing packed 32-bit column words."""
         nk = len(key) // 4
-        words = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
-        total_words = 4 * (self._rounds + 1)
-        for i in range(nk, total_words):
-            temp = list(words[i - 1])
+        sbox = _SBOX
+        words = [int.from_bytes(key[4 * i:4 * i + 4], "big")
+                 for i in range(nk)]
+        for i in range(nk, 4 * (self._rounds + 1)):
+            temp = words[i - 1]
             if i % nk == 0:
-                temp = temp[1:] + temp[:1]
-                temp = [_SBOX[b] for b in temp]
-                temp[0] ^= _RCON[i // nk - 1]
+                # RotWord then SubWord then Rcon on the top byte.
+                temp = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF
+                temp = ((sbox[temp >> 24] << 24)
+                        | (sbox[(temp >> 16) & 0xFF] << 16)
+                        | (sbox[(temp >> 8) & 0xFF] << 8)
+                        | sbox[temp & 0xFF])
+                temp ^= _RCON[i // nk - 1] << 24
             elif nk > 6 and i % nk == 4:
-                temp = [_SBOX[b] for b in temp]
-            words.append([words[i - nk][j] ^ temp[j] for j in range(4)])
-        # Group into per-round 16-byte keys (column-major state order).
-        round_keys = []
-        for round_index in range(self._rounds + 1):
-            flat = []
-            for word in words[4 * round_index:4 * round_index + 4]:
-                flat.extend(word)
-            round_keys.append(tuple(flat))
-        return tuple(round_keys)
+                temp = ((sbox[temp >> 24] << 24)
+                        | (sbox[(temp >> 16) & 0xFF] << 16)
+                        | (sbox[(temp >> 8) & 0xFF] << 8)
+                        | sbox[temp & 0xFF])
+            words.append(words[i - nk] ^ temp)
+        return tuple(words)
 
-    @staticmethod
-    def _add_round_key(state, round_key):
-        return [state[i] ^ round_key[i] for i in range(16)]
+    def _decrypt_schedule(self, rk):
+        """Round keys for the equivalent inverse cipher, in usage order.
+
+        Layout: rk[last round], then InvMixColumns of rounds Nr-1 .. 1,
+        then rk[0] — so decryption walks the tuple forward exactly like
+        encryption walks ``self._rk``.
+        """
+        rounds = self._rounds
+        out = list(rk[4 * rounds:4 * rounds + 4])
+        for round_index in range(rounds - 1, 0, -1):
+            out.extend(_inv_mix_word(w)
+                       for w in rk[4 * round_index:4 * round_index + 4])
+        out.extend(rk[0:4])
+        return tuple(out)
+
+    def encrypt_block_int(self, value: int) -> int:
+        """Encrypt one block given (and returning) a 128-bit integer."""
+        rk = self._rk
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        s0 = ((value >> 96) & 0xFFFFFFFF) ^ rk[0]
+        s1 = ((value >> 64) & 0xFFFFFFFF) ^ rk[1]
+        s2 = ((value >> 32) & 0xFFFFFFFF) ^ rk[2]
+        s3 = (value & 0xFFFFFFFF) ^ rk[3]
+        i = 4
+        for _ in range(self._rounds - 1):
+            u0 = (t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF]
+                  ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ rk[i])
+            u1 = (t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF]
+                  ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ rk[i + 1])
+            u2 = (t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF]
+                  ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ rk[i + 2])
+            u3 = (t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF]
+                  ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ rk[i + 3])
+            s0, s1, s2, s3 = u0, u1, u2, u3
+            i += 4
+        sbox = _SBOX
+        f0 = ((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+              | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ rk[i]
+        f1 = ((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+              | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ rk[i + 1]
+        f2 = ((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+              | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ rk[i + 2]
+        f3 = ((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+              | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ rk[i + 3]
+        return (f0 << 96) | (f1 << 64) | (f2 << 32) | f3
+
+    def decrypt_block_int(self, value: int) -> int:
+        """Decrypt one block given (and returning) a 128-bit integer."""
+        drk = self._drk
+        t0, t1, t2, t3 = _TD0, _TD1, _TD2, _TD3
+        s0 = ((value >> 96) & 0xFFFFFFFF) ^ drk[0]
+        s1 = ((value >> 64) & 0xFFFFFFFF) ^ drk[1]
+        s2 = ((value >> 32) & 0xFFFFFFFF) ^ drk[2]
+        s3 = (value & 0xFFFFFFFF) ^ drk[3]
+        i = 4
+        for _ in range(self._rounds - 1):
+            u0 = (t0[s0 >> 24] ^ t1[(s3 >> 16) & 0xFF]
+                  ^ t2[(s2 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ drk[i])
+            u1 = (t0[s1 >> 24] ^ t1[(s0 >> 16) & 0xFF]
+                  ^ t2[(s3 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ drk[i + 1])
+            u2 = (t0[s2 >> 24] ^ t1[(s1 >> 16) & 0xFF]
+                  ^ t2[(s0 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ drk[i + 2])
+            u3 = (t0[s3 >> 24] ^ t1[(s2 >> 16) & 0xFF]
+                  ^ t2[(s1 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ drk[i + 3])
+            s0, s1, s2, s3 = u0, u1, u2, u3
+            i += 4
+        inv = _INV_SBOX
+        f0 = ((inv[s0 >> 24] << 24) | (inv[(s3 >> 16) & 0xFF] << 16)
+              | (inv[(s2 >> 8) & 0xFF] << 8) | inv[s1 & 0xFF]) ^ drk[i]
+        f1 = ((inv[s1 >> 24] << 24) | (inv[(s0 >> 16) & 0xFF] << 16)
+              | (inv[(s3 >> 8) & 0xFF] << 8) | inv[s2 & 0xFF]) ^ drk[i + 1]
+        f2 = ((inv[s2 >> 24] << 24) | (inv[(s1 >> 16) & 0xFF] << 16)
+              | (inv[(s0 >> 8) & 0xFF] << 8) | inv[s3 & 0xFF]) ^ drk[i + 2]
+        f3 = ((inv[s3 >> 24] << 24) | (inv[(s2 >> 16) & 0xFF] << 16)
+              | (inv[(s1 >> 8) & 0xFF] << 8) | inv[s0 & 0xFF]) ^ drk[i + 3]
+        return (f0 << 96) | (f1 << 64) | (f2 << 32) | f3
 
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt one 16-byte block."""
         if len(block) != BLOCK_SIZE:
             raise ValueError("AES operates on 16-byte blocks")
-        state = self._add_round_key(list(block), self._round_keys[0])
-        sbox, mul2, mul3 = _SBOX, _MUL2, _MUL3
-        for round_index in range(1, self._rounds):
-            rk = self._round_keys[round_index]
-            new = [0] * 16
-            # Fused SubBytes + ShiftRows + MixColumns per column.
-            for col in range(4):
-                s0 = state[4 * col]
-                s1 = state[(4 * col + 5) % 16]
-                s2 = state[(4 * col + 10) % 16]
-                s3 = state[(4 * col + 15) % 16]
-                new[4 * col] = mul2[s0] ^ mul3[s1] ^ sbox[s2] ^ sbox[s3] ^ rk[4 * col]
-                new[4 * col + 1] = sbox[s0] ^ mul2[s1] ^ mul3[s2] ^ sbox[s3] ^ rk[4 * col + 1]
-                new[4 * col + 2] = sbox[s0] ^ sbox[s1] ^ mul2[s2] ^ mul3[s3] ^ rk[4 * col + 2]
-                new[4 * col + 3] = mul3[s0] ^ sbox[s1] ^ sbox[s2] ^ mul2[s3] ^ rk[4 * col + 3]
-            state = new
-        # Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
-        rk = self._round_keys[self._rounds]
-        final = [0] * 16
-        for col in range(4):
-            final[4 * col] = sbox[state[4 * col]] ^ rk[4 * col]
-            final[4 * col + 1] = sbox[state[(4 * col + 5) % 16]] ^ rk[4 * col + 1]
-            final[4 * col + 2] = sbox[state[(4 * col + 10) % 16]] ^ rk[4 * col + 2]
-            final[4 * col + 3] = sbox[state[(4 * col + 15) % 16]] ^ rk[4 * col + 3]
-        return bytes(final)
+        return self.encrypt_block_int(
+            int.from_bytes(block, "big")).to_bytes(16, "big")
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt one 16-byte block."""
         if len(block) != BLOCK_SIZE:
             raise ValueError("AES operates on 16-byte blocks")
-        inv_sbox = _INV_SBOX
-        mul9, mul11 = _INV_MUL[9], _INV_MUL[11]
-        mul13, mul14 = _INV_MUL[13], _INV_MUL[14]
-        state = self._add_round_key(list(block), self._round_keys[self._rounds])
-        # Inverse final round: InvShiftRows + InvSubBytes.
-        state = self._inv_shift_sub(state, inv_sbox)
-        for round_index in range(self._rounds - 1, 0, -1):
-            state = self._add_round_key(state, self._round_keys[round_index])
-            new = [0] * 16
-            for col in range(4):
-                s0, s1, s2, s3 = state[4 * col:4 * col + 4]
-                new[4 * col] = mul14[s0] ^ mul11[s1] ^ mul13[s2] ^ mul9[s3]
-                new[4 * col + 1] = mul9[s0] ^ mul14[s1] ^ mul11[s2] ^ mul13[s3]
-                new[4 * col + 2] = mul13[s0] ^ mul9[s1] ^ mul14[s2] ^ mul11[s3]
-                new[4 * col + 3] = mul11[s0] ^ mul13[s1] ^ mul9[s2] ^ mul14[s3]
-            state = self._inv_shift_sub(new, inv_sbox)
-        state = self._add_round_key(state, self._round_keys[0])
-        return bytes(state)
-
-    @staticmethod
-    def _inv_shift_sub(state, inv_sbox):
-        new = [0] * 16
-        for col in range(4):
-            new[4 * col] = inv_sbox[state[4 * col]]
-            new[4 * col + 1] = inv_sbox[state[(4 * col + 13) % 16]]
-            new[4 * col + 2] = inv_sbox[state[(4 * col + 10) % 16]]
-            new[4 * col + 3] = inv_sbox[state[(4 * col + 7) % 16]]
-        return new
+        return self.decrypt_block_int(
+            int.from_bytes(block, "big")).to_bytes(16, "big")

@@ -1,0 +1,247 @@
+"""Vectorized CBC encryption across independent rekey items.
+
+A rekey operation encrypts many *small* items — two cipher blocks each —
+under *different* keys.  CBC chains blocks within one item, so a single
+item cannot be parallelized; but the items are mutually independent, so
+the per-round table lookups can run across the whole batch at once.
+This module does exactly that with numpy: the cipher state becomes an
+array with one row per item, round keys become a matrix with one row
+per item's schedule, and each T-table/SP-table read turns into one
+fancy-indexing gather over the batch.
+
+The arithmetic is a transliteration of the scalar round functions in
+:mod:`repro.crypto.aes` and :mod:`repro.crypto.des` — same tables, same
+word layout — so the output is byte-identical to looping
+:func:`repro.crypto.modes.cbc_encrypt_nopad` over the jobs (the test
+suite pins this on random batches).  Everything degrades gracefully:
+
+* numpy missing                -> scalar loop
+* unsupported cipher (xor)     -> scalar loop for those jobs
+* group smaller than threshold -> scalar loop (fixed numpy dispatch
+  overhead ~0.4 ms/batch outweighs the win below a few dozen blocks)
+
+so callers may hand the whole batch over unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from . import modes
+from .aes import _SBOX, _T0, _T1, _T2, _T3, AES
+from .des import (_E16_HI, _E16_LO, _FP_TABLES, _IP_TABLES, _SP12, DES)
+from .des3 import TripleDES
+
+try:  # pragma: no cover - exercised implicitly by every batch test
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: Below this many jobs the caller should not bother batching at all.
+MIN_BATCH_JOBS = 16
+#: Within a batch, same-shape groups smaller than this run scalar.
+_MIN_GROUP = 8
+
+_BATCHABLE_SUITES = frozenset(("des", "des3", "des3-2key", "aes128", "aes256"))
+
+# Lazily-built numpy copies of the scalar lookup tables (built on first
+# batch, not at import, so plain scalar use never pays for them).
+_NP_TABLES: dict = {}
+
+
+def available(suite) -> bool:
+    """True when batch encryption can help for this suite."""
+    return HAVE_NUMPY and getattr(suite, "cipher_name", None) in _BATCHABLE_SUITES
+
+
+def _tables():
+    if not _NP_TABLES:
+        _NP_TABLES.update(
+            aes_t=[_np.array(t, dtype=_np.uint32)
+                   for t in (_T0, _T1, _T2, _T3)],
+            aes_sbox=_np.array(_SBOX, dtype=_np.uint32),
+            des_ip=[_np.array(t, dtype=_np.uint64) for t in _IP_TABLES],
+            des_fp=[_np.array(t, dtype=_np.uint64) for t in _FP_TABLES],
+            des_e_hi=_np.array(_E16_HI, dtype=_np.uint64),
+            des_e_lo=_np.array(_E16_LO, dtype=_np.uint64),
+            des_sp=[_np.array(t, dtype=_np.uint64) for t in _SP12],
+        )
+    return _NP_TABLES
+
+
+def _aes_schedule(cipher: AES):
+    rk = getattr(cipher, "_np_rk", None)
+    if rk is None:
+        rk = _np.array(cipher._rk, dtype=_np.uint32)
+        cipher._np_rk = rk
+    return rk
+
+
+def _des_schedule(cipher: DES, decrypt: bool = False):
+    attr = "_np_rkd" if decrypt else "_np_rke"
+    rk = getattr(cipher, attr, None)
+    if rk is None:
+        source = cipher._round_keys_dec if decrypt else cipher._round_keys
+        rk = _np.array(source, dtype=_np.uint64)
+        setattr(cipher, attr, rk)
+    return rk
+
+
+def _aes_rounds_batch(s0, s1, s2, s3, rk, rounds: int):
+    """One AES encryption over a batch of column-word states.
+
+    ``s0..s3`` are (N,) uint32 arrays already XOR-ed with the plaintext;
+    ``rk`` is the (N, 4*(rounds+1)) round-key matrix.
+    """
+    tab = _tables()
+    t0, t1, t2, t3 = tab["aes_t"]
+    sbox = tab["aes_sbox"]
+    s0 = s0 ^ rk[:, 0]
+    s1 = s1 ^ rk[:, 1]
+    s2 = s2 ^ rk[:, 2]
+    s3 = s3 ^ rk[:, 3]
+    i = 4
+    for _ in range(rounds - 1):
+        u0 = (t0[s0 >> 24] ^ t1[(s1 >> 16) & 0xFF]
+              ^ t2[(s2 >> 8) & 0xFF] ^ t3[s3 & 0xFF] ^ rk[:, i])
+        u1 = (t0[s1 >> 24] ^ t1[(s2 >> 16) & 0xFF]
+              ^ t2[(s3 >> 8) & 0xFF] ^ t3[s0 & 0xFF] ^ rk[:, i + 1])
+        u2 = (t0[s2 >> 24] ^ t1[(s3 >> 16) & 0xFF]
+              ^ t2[(s0 >> 8) & 0xFF] ^ t3[s1 & 0xFF] ^ rk[:, i + 2])
+        u3 = (t0[s3 >> 24] ^ t1[(s0 >> 16) & 0xFF]
+              ^ t2[(s1 >> 8) & 0xFF] ^ t3[s2 & 0xFF] ^ rk[:, i + 3])
+        s0, s1, s2, s3 = u0, u1, u2, u3
+        i += 4
+    f0 = ((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+          | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ rk[:, i]
+    f1 = ((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+          | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ rk[:, i + 1]
+    f2 = ((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+          | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ rk[:, i + 2]
+    f3 = ((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+          | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ rk[:, i + 3]
+    return f0, f1, f2, f3
+
+
+def _aes_cbc_group(jobs, n_blocks: int) -> List[bytes]:
+    """CBC-encrypt a group of same-length AES jobs in one numpy pass."""
+    ciphers = [job[0] for job in jobs]
+    rounds = ciphers[0]._rounds
+    rk = _np.stack([_aes_schedule(c) for c in ciphers])
+    data = (_np.frombuffer(b"".join(job[1] for job in jobs), dtype=">u4")
+            .reshape(len(jobs), n_blocks, 4).astype(_np.uint32))
+    prev = (_np.frombuffer(b"".join(job[2] for job in jobs), dtype=">u4")
+            .reshape(len(jobs), 4).astype(_np.uint32))
+    out = _np.empty((len(jobs), n_blocks, 4), dtype=_np.uint32)
+    p0, p1, p2, p3 = prev[:, 0], prev[:, 1], prev[:, 2], prev[:, 3]
+    for j in range(n_blocks):
+        p0, p1, p2, p3 = _aes_rounds_batch(
+            data[:, j, 0] ^ p0, data[:, j, 1] ^ p1,
+            data[:, j, 2] ^ p2, data[:, j, 3] ^ p3, rk, rounds)
+        out[:, j, 0], out[:, j, 1], out[:, j, 2], out[:, j, 3] = p0, p1, p2, p3
+    raw = out.astype(">u4").tobytes()
+    item = 16 * n_blocks
+    return [raw[i * item:(i + 1) * item] for i in range(len(jobs))]
+
+
+def _des_pass_batch(v, rk):
+    """One full DES (IP + 16 rounds + FP) over a batch of uint64 blocks."""
+    tab = _tables()
+    ip, fp = tab["des_ip"], tab["des_fp"]
+    e_hi, e_lo = tab["des_e_hi"], tab["des_e_lo"]
+    sp0, sp1, sp2, sp3 = tab["des_sp"]
+    v = (ip[0][(v >> 56) & 0xFF] | ip[1][(v >> 48) & 0xFF]
+         | ip[2][(v >> 40) & 0xFF] | ip[3][(v >> 32) & 0xFF]
+         | ip[4][(v >> 24) & 0xFF] | ip[5][(v >> 16) & 0xFF]
+         | ip[6][(v >> 8) & 0xFF] | ip[7][v & 0xFF])
+    left = (v >> 32) & 0xFFFFFFFF
+    right = v & 0xFFFFFFFF
+    for r in range(16):
+        x = (e_hi[right >> 16] | e_lo[right & 0xFFFF]) ^ rk[:, r]
+        left, right = right, left ^ (
+            sp0[(x >> 36) & 0xFFF] | sp1[(x >> 24) & 0xFFF]
+            | sp2[(x >> 12) & 0xFFF] | sp3[x & 0xFFF])
+    combined = (right << _np.uint64(32)) | left
+    return (fp[0][(combined >> 56) & 0xFF] | fp[1][(combined >> 48) & 0xFF]
+            | fp[2][(combined >> 40) & 0xFF] | fp[3][(combined >> 32) & 0xFF]
+            | fp[4][(combined >> 24) & 0xFF] | fp[5][(combined >> 16) & 0xFF]
+            | fp[6][(combined >> 8) & 0xFF] | fp[7][combined & 0xFF])
+
+
+def _des_cbc_group(jobs, n_blocks: int, schedules) -> List[bytes]:
+    """CBC-encrypt same-length DES/3DES jobs; ``schedules`` is a list of
+    (N, 16) round-key matrices applied as successive full-DES passes
+    (one for DES, three for EDE)."""
+    n = len(jobs)
+    data = (_np.frombuffer(b"".join(job[1] for job in jobs), dtype=">u8")
+            .reshape(n, n_blocks).astype(_np.uint64))
+    prev = (_np.frombuffer(b"".join(job[2] for job in jobs), dtype=">u8")
+            .astype(_np.uint64))
+    out = _np.empty((n, n_blocks), dtype=_np.uint64)
+    for j in range(n_blocks):
+        v = data[:, j] ^ prev
+        for rk in schedules:
+            v = _des_pass_batch(v, rk)
+        out[:, j] = v
+        prev = v
+    raw = out.astype(">u8").tobytes()
+    item = 8 * n_blocks
+    return [raw[i * item:(i + 1) * item] for i in range(n)]
+
+
+def _group_key(cipher, n_blocks: int) -> Optional[Tuple]:
+    if isinstance(cipher, AES):
+        return ("aes", cipher._rounds, n_blocks)
+    if isinstance(cipher, TripleDES):
+        return ("des3", 0, n_blocks)
+    if isinstance(cipher, DES):
+        return ("des", 0, n_blocks)
+    return None
+
+
+def cbc_encrypt_nopad_many(
+        jobs: Sequence[Tuple[object, bytes, bytes]]) -> List[bytes]:
+    """CBC-encrypt independent ``(cipher, padded_plaintext, iv)`` jobs.
+
+    Returns ciphertexts in job order, byte-identical to calling
+    :func:`repro.crypto.modes.cbc_encrypt_nopad` per job.  Jobs are
+    grouped by (cipher kind, round count, block count); big enough
+    groups run vectorized, the rest run scalar.
+    """
+    results: List[Optional[bytes]] = [None] * len(jobs)
+    groups: dict = {}
+    for index, (cipher, padded, iv) in enumerate(jobs):
+        if len(padded) % cipher.block_size:
+            raise ValueError("plaintext length is not a block multiple")
+        key = (_group_key(cipher, len(padded) // cipher.block_size)
+               if HAVE_NUMPY else None)
+        if key is None or key[2] == 0:
+            results[index] = modes.cbc_encrypt_nopad(cipher, padded, iv)
+        else:
+            groups.setdefault(key, []).append(index)
+    for (kind, _, n_blocks), indices in groups.items():
+        if len(indices) < _MIN_GROUP:
+            for index in indices:
+                cipher, padded, iv = jobs[index]
+                results[index] = modes.cbc_encrypt_nopad(cipher, padded, iv)
+            continue
+        group_jobs = [jobs[index] for index in indices]
+        if kind == "aes":
+            encrypted = _aes_cbc_group(group_jobs, n_blocks)
+        elif kind == "des":
+            schedules = [_np.stack([_des_schedule(job[0])
+                                    for job in group_jobs])]
+            encrypted = _des_cbc_group(group_jobs, n_blocks, schedules)
+        else:  # EDE: encrypt K1, decrypt K2, encrypt K3 as three passes
+            schedules = [
+                _np.stack([_des_schedule(job[0]._first) for job in group_jobs]),
+                _np.stack([_des_schedule(job[0]._second, decrypt=True)
+                           for job in group_jobs]),
+                _np.stack([_des_schedule(job[0]._third) for job in group_jobs]),
+            ]
+            encrypted = _des_cbc_group(group_jobs, n_blocks, schedules)
+        for index, ciphertext in zip(indices, encrypted):
+            results[index] = ciphertext
+    return results  # type: ignore[return-value]

@@ -40,16 +40,26 @@ class TripleDES:
         self._second = DES(k2)
         self._third = DES(k3)
 
+    def encrypt_block_int(self, value: int) -> int:
+        """EDE on a 64-bit integer (no intermediate byte conversions)."""
+        return self._third.encrypt_block_int(
+            self._second.decrypt_block_int(self._first.encrypt_block_int(value)))
+
+    def decrypt_block_int(self, value: int) -> int:
+        """Inverse EDE on a 64-bit integer."""
+        return self._first.decrypt_block_int(
+            self._second.encrypt_block_int(self._third.decrypt_block_int(value)))
+
     def encrypt_block(self, block: bytes) -> bytes:
         """EDE: encrypt with K1, decrypt with K2, encrypt with K3."""
         if len(block) != BLOCK_SIZE:
             raise ValueError("3DES operates on 8-byte blocks")
-        return self._third.encrypt_block(
-            self._second.decrypt_block(self._first.encrypt_block(block)))
+        return self.encrypt_block_int(
+            int.from_bytes(block, "big")).to_bytes(8, "big")
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Inverse EDE: decrypt K3, encrypt K2, decrypt K1."""
         if len(block) != BLOCK_SIZE:
             raise ValueError("3DES operates on 8-byte blocks")
-        return self._first.decrypt_block(
-            self._second.encrypt_block(self._third.decrypt_block(block)))
+        return self.decrypt_block_int(
+            int.from_bytes(block, "big")).to_bytes(8, "big")

@@ -1,0 +1,94 @@
+"""LRU cache of expanded key schedules (constructed cipher objects).
+
+Key-schedule expansion dominates small-message cost for the pure-Python
+ciphers: a DES construction (PC-1/PC-2 permutations for 16 round keys)
+costs ~10 encrypted blocks, an AES-128 construction ~3 blocks — and a
+rekey payload item is only two blocks long.  The server re-encrypts
+under the *same* keys constantly (every key on a leaving member's path
+is used once per item, the group key on every item of a star rekey), so
+caching the constructed cipher converts the dominant per-item cost into
+a dict hit.
+
+Cipher objects here are pure functions of ``(cipher_name, key)``: they
+hold only the derived schedules and never mutate after ``__init__``, so
+sharing one instance across call sites is safe.  Invalidation therefore
+has exactly two rules:
+
+* capacity — least-recently-used entries are evicted at ``capacity``;
+* explicit ``clear()`` — used by tests and by anyone rotating away from
+  a compromised key who wants the schedule gone from memory now rather
+  than after eviction.
+
+Correctness never depends on the cache: a miss constructs the same
+object ``CipherSuite.new_cipher`` always constructed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Tuple
+
+
+class KeyScheduleCache:
+    """Bounded LRU mapping ``(cipher_name, key bytes)`` -> cipher object.
+
+    >>> from .des import DES
+    >>> cache = KeyScheduleCache(capacity=2)
+    >>> a = cache.get("des", b"\\x01" * 8, DES)
+    >>> a is cache.get("des", b"\\x01" * 8, DES)
+    True
+    >>> cache.hits, cache.misses
+    (1, 1)
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, bytes], object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, cipher_name: str, key: bytes, factory: Callable):
+        """Return the cached cipher for ``(cipher_name, key)`` or build one.
+
+        ``factory`` is called with ``key`` on a miss.  A factory that
+        raises (wrong key length, say) inserts nothing.
+        """
+        entry_key = (cipher_name, bytes(key))
+        cipher = self._entries.get(entry_key)
+        if cipher is not None:
+            self.hits += 1
+            self._entries.move_to_end(entry_key)
+            return cipher
+        cipher = factory(key)
+        self.misses += 1
+        self._entries[entry_key] = cipher
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return cipher
+
+    def clear(self) -> None:
+        """Drop every cached schedule (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters snapshot, for observability and the benchmark report."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: Process-wide cache shared by every :class:`~repro.crypto.suite.CipherSuite`
+#: and by the rekey pipeline's encrypt stage.  Sized for the working set of
+#: a deep tree rekey (path keys + individual keys touched in one batch).
+SHARED_CACHE = KeyScheduleCache(capacity=1024)

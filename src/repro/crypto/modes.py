@@ -4,6 +4,15 @@ The paper encrypts rekey payloads with DES-CBC.  This module provides
 PKCS#7 padding, ECB (for tests/known-answer work) and CBC with an
 explicit IV, generic over any block cipher object exposing
 ``block_size`` / ``encrypt_block`` / ``decrypt_block``.
+
+Fast path: when the cipher also exposes ``encrypt_block_int`` /
+``decrypt_block_int`` (AES, DES, TripleDES do), the CBC/CTR loops chain
+whole messages as integers — one ``int.from_bytes`` per input block, an
+integer XOR for the chaining step, one ``to_bytes`` per output block —
+instead of building intermediate byte strings and XOR-ing byte by byte.
+The output is bit-identical to the generic path (the chaining math is
+the same); :mod:`tests.crypto.test_fastpath` pins the two paths equal
+against the byte-wise reference implementations.
 """
 
 from __future__ import annotations
@@ -54,6 +63,53 @@ def ecb_decrypt(cipher, ciphertext: bytes) -> bytes:
     return unpad(padded, block)
 
 
+def _cbc_encrypt_aligned(cipher, padded: bytes, iv: bytes) -> bytes:
+    """CBC-encrypt block-aligned data (shared by both CBC entry points)."""
+    block = cipher.block_size
+    encrypt_int = getattr(cipher, "encrypt_block_int", None)
+    if encrypt_int is not None:
+        from_bytes = int.from_bytes
+        view = memoryview(padded)
+        previous = from_bytes(iv, "big")
+        out = []
+        for i in range(0, len(padded), block):
+            previous = encrypt_int(from_bytes(view[i:i + block], "big")
+                                   ^ previous)
+            out.append(previous.to_bytes(block, "big"))
+        return b"".join(out)
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(padded), block):
+        encrypted = cipher.encrypt_block(_xor_bytes(padded[i:i + block],
+                                                    previous))
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def _cbc_decrypt_aligned(cipher, ciphertext: bytes, iv: bytes) -> bytes:
+    """CBC-decrypt block-aligned data, padding left in place."""
+    block = cipher.block_size
+    decrypt_int = getattr(cipher, "decrypt_block_int", None)
+    if decrypt_int is not None:
+        from_bytes = int.from_bytes
+        view = memoryview(ciphertext)
+        previous = from_bytes(iv, "big")
+        out = []
+        for i in range(0, len(ciphertext), block):
+            chunk = from_bytes(view[i:i + block], "big")
+            out.append((decrypt_int(chunk) ^ previous).to_bytes(block, "big"))
+            previous = chunk
+        return b"".join(out)
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(ciphertext), block):
+        chunk = ciphertext[i:i + block]
+        out.extend(_xor_bytes(cipher.decrypt_block(chunk), previous))
+        previous = chunk
+    return bytes(out)
+
+
 def cbc_encrypt(cipher, plaintext: bytes, iv: bytes) -> bytes:
     """CBC encryption of PKCS#7 padded ``plaintext`` under ``iv``.
 
@@ -63,14 +119,7 @@ def cbc_encrypt(cipher, plaintext: bytes, iv: bytes) -> bytes:
     block = cipher.block_size
     if len(iv) != block:
         raise ValueError(f"IV must be {block} bytes")
-    padded = pad(plaintext, block)
-    out = bytearray()
-    previous = iv
-    for i in range(0, len(padded), block):
-        encrypted = cipher.encrypt_block(_xor_bytes(padded[i:i + block], previous))
-        out.extend(encrypted)
-        previous = encrypted
-    return bytes(out)
+    return _cbc_encrypt_aligned(cipher, pad(plaintext, block), iv)
 
 
 def cbc_encrypt_nopad(cipher, plaintext: bytes, iv: bytes) -> bytes:
@@ -84,13 +133,7 @@ def cbc_encrypt_nopad(cipher, plaintext: bytes, iv: bytes) -> bytes:
         raise ValueError(f"IV must be {block} bytes")
     if len(plaintext) % block:
         raise ValueError("plaintext length is not a block multiple")
-    out = bytearray()
-    previous = iv
-    for i in range(0, len(plaintext), block):
-        encrypted = cipher.encrypt_block(_xor_bytes(plaintext[i:i + block], previous))
-        out.extend(encrypted)
-        previous = encrypted
-    return bytes(out)
+    return _cbc_encrypt_aligned(cipher, plaintext, iv)
 
 
 def cbc_decrypt_nopad(cipher, ciphertext: bytes, iv: bytes) -> bytes:
@@ -100,13 +143,7 @@ def cbc_decrypt_nopad(cipher, ciphertext: bytes, iv: bytes) -> bytes:
         raise ValueError(f"IV must be {block} bytes")
     if len(ciphertext) % block:
         raise ValueError("ciphertext length is not a block multiple")
-    out = bytearray()
-    previous = iv
-    for i in range(0, len(ciphertext), block):
-        chunk = ciphertext[i:i + block]
-        out.extend(_xor_bytes(cipher.decrypt_block(chunk), previous))
-        previous = chunk
-    return bytes(out)
+    return _cbc_decrypt_aligned(cipher, ciphertext, iv)
 
 
 def ctr_transform(cipher, data: bytes, nonce: bytes) -> bytes:
@@ -119,8 +156,26 @@ def ctr_transform(cipher, data: bytes, nonce: bytes) -> bytes:
     block = cipher.block_size
     if len(nonce) != block - 4:
         raise ValueError(f"nonce must be {block - 4} bytes")
+    n_blocks = -(-len(data) // block) if data else 0
+    encrypt_int = getattr(cipher, "encrypt_block_int", None)
+    if encrypt_int is not None:
+        from_bytes = int.from_bytes
+        view = memoryview(data)
+        nonce_high = from_bytes(nonce, "big") << 32
+        out = []
+        for counter in range(n_blocks):
+            chunk = bytes(view[counter * block:(counter + 1) * block])
+            keystream = encrypt_int(nonce_high | counter)
+            if len(chunk) == block:
+                out.append((from_bytes(chunk, "big") ^ keystream)
+                           .to_bytes(block, "big"))
+            else:
+                partial = keystream >> (8 * (block - len(chunk)))
+                out.append((from_bytes(chunk, "big") ^ partial)
+                           .to_bytes(len(chunk), "big"))
+        return b"".join(out)
     out = bytearray()
-    for counter in range(-(-len(data) // block) if data else 0):
+    for counter in range(n_blocks):
         keystream = cipher.encrypt_block(
             nonce + counter.to_bytes(4, "big"))
         chunk = data[counter * block:(counter + 1) * block]
@@ -135,10 +190,4 @@ def cbc_decrypt(cipher, ciphertext: bytes, iv: bytes) -> bytes:
         raise ValueError(f"IV must be {block} bytes")
     if len(ciphertext) % block:
         raise ValueError("ciphertext length is not a block multiple")
-    out = bytearray()
-    previous = iv
-    for i in range(0, len(ciphertext), block):
-        chunk = ciphertext[i:i + block]
-        out.extend(_xor_bytes(cipher.decrypt_block(chunk), previous))
-        previous = chunk
-    return unpad(bytes(out), block)
+    return unpad(_cbc_decrypt_aligned(cipher, ciphertext, iv), block)

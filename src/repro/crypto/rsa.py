@@ -14,7 +14,8 @@ higher for anything beyond the benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from functools import cached_property
+from typing import Optional, Tuple
 
 from .drbg import make_source
 
@@ -112,11 +113,26 @@ class RsaPrivateKey:
         """The corresponding public key."""
         return RsaPublicKey(self.n, self.e)
 
+    @cached_property
+    def _crt(self) -> Tuple[int, int, int]:
+        """Cached CRT exponents ``(dp, dq, q_inv)``.
+
+        Derived once per key instead of once per signature.
+        ``cached_property`` stores into ``__dict__`` directly, which is
+        compatible with the frozen dataclass (no ``__setattr__`` call).
+        """
+        return (self.d % (self.p - 1), self.d % (self.q - 1),
+                pow(self.q, -1, self.p))
+
     def raw_sign(self, value: int) -> int:
-        """Private exponentiation using the Chinese Remainder Theorem."""
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
-        q_inv = pow(self.q, -1, self.p)
+        """Private exponentiation using the Chinese Remainder Theorem.
+
+        Two half-size modular exponentiations (mod p, mod q) recombined
+        via Garner's formula — ~4x fewer word operations than the
+        textbook ``pow(value, d, n)`` preserved as
+        :func:`repro.crypto.reference.reference_raw_sign`.
+        """
+        dp, dq, q_inv = self._crt
         m1 = pow(value, dp, self.p)
         m2 = pow(value, dq, self.q)
         h = (q_inv * (m1 - m2)) % self.p

@@ -18,6 +18,7 @@ from .aes import AES
 from .des import DES, is_semi_weak_key, is_weak_key
 from .des3 import TripleDES
 from . import modes
+from .keycache import SHARED_CACHE
 from .md5 import md5
 from .sha1 import sha1
 from . import rsa
@@ -134,12 +135,22 @@ class CipherSuite:
             return key
 
     def new_cipher(self, key: bytes):
-        """Instantiate the block cipher for ``key``."""
+        """Cipher object for ``key`` (cached — schedules are expanded once).
+
+        Instances come from :data:`repro.crypto.keycache.SHARED_CACHE`, so
+        repeated encryptions under the same key (the common case during a
+        rekey) skip key-schedule expansion.  Cipher objects are immutable
+        after construction, so sharing is safe; distinct key bytes always
+        map to distinct cache entries.  ``XorCipher`` (test-only, trivial
+        constructor) bypasses the cache.
+        """
         cipher_cls, key_size = _CIPHERS[self.cipher_name]
         if len(key) != key_size:
             raise ValueError(
                 f"{self.cipher_name} key must be {key_size} bytes, got {len(key)}")
-        return cipher_cls(key)
+        if cipher_cls is XorCipher:
+            return cipher_cls(key)
+        return SHARED_CACHE.get(self.cipher_name, key, cipher_cls)
 
     def encrypt(self, key: bytes, plaintext: bytes, iv: bytes) -> bytes:
         """CBC-encrypt ``plaintext`` under ``key`` with explicit ``iv``."""

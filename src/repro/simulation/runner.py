@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 
 from ..core.client import ClientStats
 from ..core.server import GroupKeyServer, RequestRecord, ServerConfig
+from ..crypto.keycache import SHARED_CACHE
 from ..crypto.suite import PAPER_SUITE, CipherSuite
 from ..observability import Instrumentation, Stopwatch
 from .clients import ClientSimulator
@@ -83,6 +84,11 @@ def run_experiment(config: ExperimentConfig,
     """Run one configuration; deterministic for a given config/seed."""
     if config.client_mode not in CLIENT_MODES:
         raise ValueError(f"unknown client mode {config.client_mode!r}")
+    # Each configuration is measured from a cold key-schedule cache so
+    # timings are comparable across runs (experiments with a shared seed
+    # would otherwise warm each other's keys); within the run, the cache
+    # works exactly as in production.
+    SHARED_CACHE.clear()
     watch = Stopwatch()
 
     server = GroupKeyServer(config.server_config())

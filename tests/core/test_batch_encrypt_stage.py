@@ -1,0 +1,36 @@
+"""The vectorized encrypt stage must be invisible on the wire."""
+
+import pytest
+
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.crypto import batchenc
+from repro.crypto.suite import PAPER_SUITE
+
+
+def _run_leave(monkeypatch, min_batch_jobs):
+    monkeypatch.setattr(batchenc, "MIN_BATCH_JOBS", min_batch_jobs)
+    monkeypatch.setattr("time.time_ns", lambda: 1_234_567_890_000_000_000)
+    server = GroupKeyServer(ServerConfig(strategy="group", degree=4,
+                                         suite=PAPER_SUITE, signing="merkle",
+                                         seed=b"batch-stage"))
+    for i in range(24):
+        server.join(f"u{i}", server.new_individual_key())
+    outcome = server.leave("u7")
+    return [message.encoded for message in outcome.all_messages]
+
+
+@pytest.mark.skipif(not batchenc.HAVE_NUMPY, reason="numpy unavailable")
+def test_batched_encrypt_stage_is_wire_identical(monkeypatch):
+    routed = {"jobs": 0}
+    original = batchenc.cbc_encrypt_nopad_many
+
+    def spy(jobs):
+        routed["jobs"] += len(jobs)
+        return original(jobs)
+
+    monkeypatch.setattr(batchenc, "cbc_encrypt_nopad_many", spy)
+    batched = _run_leave(monkeypatch, min_batch_jobs=2)
+    monkeypatch.setattr(batchenc, "cbc_encrypt_nopad_many", original)
+    scalar = _run_leave(monkeypatch, min_batch_jobs=10 ** 9)
+    assert routed["jobs"] > 0          # the batch path actually ran
+    assert batched == scalar           # ... and changed nothing on the wire

@@ -1,0 +1,58 @@
+"""Seeded signing-keypair memoization in the shared signer factory."""
+
+from repro.core import pipeline
+from repro.core.pipeline import make_signer
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.crypto.suite import PAPER_SUITE, CipherSuite
+
+
+def test_same_suite_and_seed_share_the_keypair_object():
+    _, first = make_signer(PAPER_SUITE, "merkle", seed=b"memo-test")
+    _, second = make_signer(PAPER_SUITE, "per-message", seed=b"memo-test")
+    assert first is second
+
+
+def test_two_servers_with_one_seed_share_a_keypair():
+    """The satellite requirement: the second server skips prime search."""
+    one = GroupKeyServer(ServerConfig(suite=PAPER_SUITE, signing="merkle",
+                                      seed=b"shared-seed"))
+    two = GroupKeyServer(ServerConfig(suite=PAPER_SUITE, signing="merkle",
+                                      seed=b"shared-seed"))
+    assert one.signing_keypair is two.signing_keypair
+
+
+def test_different_seeds_get_different_keypairs():
+    _, first = make_signer(PAPER_SUITE, "merkle", seed=b"seed-one")
+    _, second = make_signer(PAPER_SUITE, "merkle", seed=b"seed-two")
+    assert first is not second
+    assert first.n != second.n
+
+
+def test_different_suite_parameters_are_separate_memo_entries():
+    wide = CipherSuite("des", "md5", 768)
+    _, first = make_signer(PAPER_SUITE, "merkle", seed=b"memo-suite")
+    _, second = make_signer(wide, "merkle", seed=b"memo-suite")
+    assert first is not second
+    assert second.n.bit_length() == 768
+
+
+def test_unseeded_keypairs_are_never_shared():
+    _, first = make_signer(PAPER_SUITE, "merkle", seed=None)
+    _, second = make_signer(PAPER_SUITE, "merkle", seed=None)
+    assert first is not second
+
+
+def test_memoized_keypair_matches_direct_derivation():
+    """The memo returns exactly what the historic derivation produced."""
+    pipeline._KEYPAIR_MEMO.clear()
+    _, memoized = make_signer(PAPER_SUITE, "merkle", seed=b"derive-check")
+    direct = PAPER_SUITE.generate_signing_keypair(seed=b"derive-check/sign")
+    assert (memoized.n, memoized.e, memoized.d) == (direct.n, direct.e, direct.d)
+
+
+def test_memo_is_bounded():
+    pipeline._KEYPAIR_MEMO.clear()
+    for i in range(pipeline._KEYPAIR_MEMO_MAX + 5):
+        make_signer(CipherSuite("des", "md5", 256), "merkle",
+                    seed=b"bound-%d" % i)
+    assert len(pipeline._KEYPAIR_MEMO) <= pipeline._KEYPAIR_MEMO_MAX

@@ -79,3 +79,44 @@ def test_round_counts():
     assert AES(bytes(16))._rounds == 10
     assert AES(bytes(24))._rounds == 12
     assert AES(bytes(32))._rounds == 14
+
+
+# NIST SP 800-38A, F.1.3 / F.1.5: ECB-AES192 and ECB-AES256 example
+# vectors (the 128-bit variant is covered above).  Exercises the 12- and
+# 14-round T-table paths block by block.
+_SP800_38A_PLAINTEXT = [
+    "6bc1bee22e409f96e93d7e117393172a",
+    "ae2d8a571e03ac9c9eb76fac45af8e51",
+    "30c81c46a35ce411e5fbc1191a0a52ef",
+    "f69f2445df4f9b17ad2b417be66c3710",
+]
+
+
+def test_sp800_38a_ecb_aes192():
+    cipher = AES(bytes.fromhex(
+        "8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b"))
+    expected = [
+        "bd334f1d6e45f25ff712a214571fa5cc",
+        "974104846d0ad3ad7734ecb3ecee4eef",
+        "ef7afd2270e2e60adce0ba2face6444e",
+        "9a4b41ba738d6c72fb16691603c18e0e",
+    ]
+    for plain_hex, cipher_hex in zip(_SP800_38A_PLAINTEXT, expected):
+        block = bytes.fromhex(plain_hex)
+        assert cipher.encrypt_block(block).hex() == cipher_hex
+        assert cipher.decrypt_block(bytes.fromhex(cipher_hex)) == block
+
+
+def test_sp800_38a_ecb_aes256():
+    cipher = AES(bytes.fromhex("603deb1015ca71be2b73aef0857d7781"
+                               "1f352c073b6108d72d9810a30914dff4"))
+    expected = [
+        "f3eed1bdb5d2a03c064b5a7e3db181f8",
+        "591ccb10d410ed26dc5ba74a31362870",
+        "b6ed21b99ca6f4f9f153e7b1beafed1d",
+        "23304b7a39f9f3ff067d8d8f9e24ecc7",
+    ]
+    for plain_hex, cipher_hex in zip(_SP800_38A_PLAINTEXT, expected):
+        block = bytes.fromhex(plain_hex)
+        assert cipher.encrypt_block(block).hex() == cipher_hex
+        assert cipher.decrypt_block(bytes.fromhex(cipher_hex)) == block

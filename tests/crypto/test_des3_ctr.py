@@ -122,3 +122,39 @@ def test_ctr_with_aes():
     nonce = bytes(12)
     assert modes.ctr_transform(
         cipher, modes.ctr_transform(cipher, data, nonce), nonce) == data
+
+
+def test_3des_three_key_composes_single_des_kats():
+    """EDE3 equals E_K3(D_K2(E_K1(.))) built from the KAT-validated DES."""
+    k1 = bytes.fromhex("0123456789abcdef")
+    k2 = bytes.fromhex("23456789abcdef01")
+    k3 = bytes.fromhex("456789abcdef0123")
+    block = bytes.fromhex("5468652071756663")
+    expected = DES(k3).encrypt_block(
+        DES(k2).decrypt_block(DES(k1).encrypt_block(block)))
+    triple = TripleDES(k1 + k2 + k3)
+    assert triple.encrypt_block(block) == expected
+    assert triple.decrypt_block(expected) == block
+
+
+def test_3des_two_key_composes_single_des():
+    """EDE2 is EDE3 with K3 = K1 (FIPS 46-3 keying option 2)."""
+    k1 = bytes.fromhex("133457799bbcdff1")
+    k2 = bytes.fromhex("0123456789abcdef")
+    block = b"KeyGraph"
+    expected = DES(k1).encrypt_block(
+        DES(k2).decrypt_block(DES(k1).encrypt_block(block)))
+    two_key = TripleDES(k1 + k2)
+    assert two_key.encrypt_block(block) == expected
+    assert two_key.encrypt_block(block) == TripleDES(
+        k1 + k2 + k1).encrypt_block(block)
+    assert two_key.decrypt_block(expected) == block
+
+
+def test_3des_int_api_matches_byte_api():
+    cipher = TripleDES(bytes(range(24)))
+    value = 0x0011223344556677
+    assert (cipher.encrypt_block_int(value).to_bytes(8, "big")
+            == cipher.encrypt_block(value.to_bytes(8, "big")))
+    assert (cipher.decrypt_block_int(value).to_bytes(8, "big")
+            == cipher.decrypt_block(value.to_bytes(8, "big")))

@@ -1,0 +1,199 @@
+"""Fast path vs frozen reference: the optimized round functions, chaining
+modes, batch engine and CRT signing must be bit-identical to the
+pre-optimization formulations preserved in :mod:`repro.crypto.reference`."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import batchenc, modes, reference, rsa
+from repro.crypto.aes import AES
+from repro.crypto.des import DES
+from repro.crypto.des3 import TripleDES
+from repro.crypto.reference import ReferenceAES, ReferenceDES
+
+BLOCK8 = st.binary(min_size=8, max_size=8)
+BLOCK16 = st.binary(min_size=16, max_size=16)
+
+
+class NoIntPath:
+    """Wrapper hiding the int-block API, forcing the generic mode paths."""
+
+    def __init__(self, cipher):
+        self._cipher = cipher
+        self.block_size = cipher.block_size
+
+    def encrypt_block(self, block):
+        return self._cipher.encrypt_block(block)
+
+    def decrypt_block(self, block):
+        return self._cipher.decrypt_block(block)
+
+
+# -- block fast paths vs reference rounds -----------------------------------
+
+
+@settings(max_examples=40)
+@given(key=BLOCK16 | st.binary(min_size=24, max_size=24)
+       | st.binary(min_size=32, max_size=32), block=BLOCK16)
+def test_aes_rounds_match_reference(key, block):
+    fast, ref = AES(key), ReferenceAES(key)
+    encrypted = fast.encrypt_block(block)
+    assert encrypted == ref.encrypt_block(block)
+    assert fast.decrypt_block(encrypted) == ref.decrypt_block(encrypted)
+    assert fast.decrypt_block(encrypted) == block
+
+
+@settings(max_examples=40)
+@given(key=BLOCK8, block=BLOCK8)
+def test_des_rounds_match_reference(key, block):
+    fast, ref = DES(key), ReferenceDES(key)
+    encrypted = fast.encrypt_block(block)
+    assert encrypted == ref.encrypt_block(block)
+    assert fast.decrypt_block(encrypted) == ref.decrypt_block(encrypted)
+    assert fast.decrypt_block(encrypted) == block
+
+
+@settings(max_examples=25)
+@given(key=st.binary(min_size=24, max_size=24), block=BLOCK8)
+def test_3des_matches_reference_composition(key, block):
+    """EDE over the fast DES equals EDE composed from reference DES."""
+    k1, k2, k3 = key[:8], key[8:16], key[16:24]
+    expected = ReferenceDES(k3).encrypt_block(
+        ReferenceDES(k2).decrypt_block(ReferenceDES(k1).encrypt_block(block)))
+    assert TripleDES(key).encrypt_block(block) == expected
+
+
+@settings(max_examples=25)
+@given(key=BLOCK16, value=st.integers(min_value=0, max_value=2 ** 128 - 1))
+def test_aes_int_api_matches_byte_api(key, value):
+    cipher = AES(key)
+    block = value.to_bytes(16, "big")
+    assert (cipher.encrypt_block_int(value).to_bytes(16, "big")
+            == cipher.encrypt_block(block))
+    assert (cipher.decrypt_block_int(value).to_bytes(16, "big")
+            == cipher.decrypt_block(block))
+
+
+@settings(max_examples=25)
+@given(key=BLOCK8, value=st.integers(min_value=0, max_value=2 ** 64 - 1))
+def test_des_int_api_matches_byte_api(key, value):
+    cipher = DES(key)
+    block = value.to_bytes(8, "big")
+    assert (cipher.encrypt_block_int(value).to_bytes(8, "big")
+            == cipher.encrypt_block(block))
+    assert (cipher.decrypt_block_int(value).to_bytes(8, "big")
+            == cipher.decrypt_block(block))
+
+
+# -- chaining-mode fast paths vs byte-wise chaining -------------------------
+
+
+@settings(max_examples=25)
+@given(key=BLOCK8, plaintext=st.binary(max_size=64), iv=BLOCK8)
+def test_cbc_int_path_matches_reference_chaining(key, plaintext, iv):
+    cipher = DES(key)
+    ciphertext = modes.cbc_encrypt(cipher, plaintext, iv)
+    assert ciphertext == reference.reference_cbc_encrypt(
+        ReferenceDES(key), plaintext, iv)
+    assert modes.cbc_decrypt(cipher, ciphertext, iv) == plaintext
+    assert reference.reference_cbc_decrypt(
+        ReferenceDES(key), ciphertext, iv) == plaintext
+
+
+@settings(max_examples=25)
+@given(key=BLOCK16, plaintext=st.binary(max_size=64), iv=BLOCK16)
+def test_cbc_int_path_matches_generic_path(key, plaintext, iv):
+    """The int chaining loop and the byte-wise generic loop agree."""
+    fast = AES(key)
+    generic = NoIntPath(fast)
+    assert (modes.cbc_encrypt(fast, plaintext, iv)
+            == modes.cbc_encrypt(generic, plaintext, iv))
+    ciphertext = modes.cbc_encrypt(fast, plaintext, iv)
+    assert (modes.cbc_decrypt(fast, ciphertext, iv)
+            == modes.cbc_decrypt(generic, ciphertext, iv))
+
+
+@settings(max_examples=25)
+@given(key=BLOCK8, data=st.binary(max_size=64),
+       nonce=st.binary(min_size=4, max_size=4))
+def test_ctr_int_path_matches_generic_path(key, data, nonce):
+    fast = DES(key)
+    generic = NoIntPath(fast)
+    assert (modes.ctr_transform(fast, data, nonce)
+            == modes.ctr_transform(generic, data, nonce))
+
+
+# -- batch engine vs scalar CBC ---------------------------------------------
+
+
+@pytest.mark.skipif(not batchenc.HAVE_NUMPY, reason="numpy unavailable")
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 32))
+def test_batch_engine_matches_scalar_cbc(seed):
+    import random
+    rng = random.Random(seed)
+
+    def rb(n):
+        return bytes(rng.randrange(256) for _ in range(n))
+
+    jobs = []
+    for _ in range(12):
+        jobs.append((AES(rb(16)), rb(32), rb(16)))
+        jobs.append((AES(rb(32)), rb(32), rb(16)))
+        jobs.append((DES(rb(8)), rb(16), rb(8)))
+        jobs.append((TripleDES(rb(24)), rb(16), rb(8)))
+        jobs.append((TripleDES(rb(16)), rb(24), rb(8)))
+    rng.shuffle(jobs)
+    expected = [modes.cbc_encrypt_nopad(cipher, padded, iv)
+                for cipher, padded, iv in jobs]
+    assert batchenc.cbc_encrypt_nopad_many(jobs) == expected
+
+
+@pytest.mark.skipif(not batchenc.HAVE_NUMPY, reason="numpy unavailable")
+def test_batch_engine_small_groups_and_empty_jobs():
+    """Below-threshold groups and zero-block jobs take the scalar path."""
+    jobs = [(DES(b"k" * 8), b"p" * 16, b"i" * 8),
+            (AES(b"k" * 16), b"", b"i" * 16)]
+    expected = [modes.cbc_encrypt_nopad(cipher, padded, iv)
+                for cipher, padded, iv in jobs]
+    assert batchenc.cbc_encrypt_nopad_many(jobs) == expected
+    assert batchenc.cbc_encrypt_nopad_many([]) == []
+
+
+def test_batch_engine_rejects_misaligned_plaintext():
+    with pytest.raises(ValueError):
+        batchenc.cbc_encrypt_nopad_many([(DES(b"k" * 8), b"odd", b"i" * 8)])
+
+
+# -- RSA: cached CRT vs full exponentiation ---------------------------------
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return rsa.generate_keypair(512, seed=b"fastpath-rsa")
+
+
+@settings(max_examples=20, deadline=None)
+@given(digest=st.binary(min_size=16, max_size=16))
+def test_crt_signature_matches_reference(digest):
+    key = rsa.generate_keypair(512, seed=b"fastpath-rsa")
+    fast = rsa.sign_digest(key, digest, "md5")
+    assert fast == reference.reference_sign_digest(key, digest, "md5")
+    rsa.verify_digest(key.public_key, digest, fast, "md5")
+
+
+def test_crt_components_are_cached(keypair):
+    first = keypair._crt
+    assert keypair._crt is first            # cached_property: derived once
+    dp, dq, q_inv = first
+    assert dp == keypair.d % (keypair.p - 1)
+    assert dq == keypair.d % (keypair.q - 1)
+    assert (q_inv * keypair.q) % keypair.p == 1
+
+
+def test_raw_sign_round_trips_through_raw_verify(keypair):
+    value = 0x1234567890ABCDEF
+    assert keypair.public_key.raw_verify(keypair.raw_sign(value)) == value
+    assert keypair.raw_sign(value) == reference.reference_raw_sign(
+        keypair, value)
