@@ -84,6 +84,23 @@ class BatchRekeyServer:
             suite, signing, seed, error=BatchError)
         self.instrumentation = (instrumentation if instrumentation is not None
                                 else Instrumentation("batch-rekey"))
+        registry = self.instrumentation.registry
+        self._m_flushes = registry.counter(
+            "batch_flushes_total", "Interval flushes executed.").labels()
+        self._m_batched = registry.counter(
+            "batch_requests_total", "Requests folded into flushes.",
+            labels=("op",))
+        self._m_encryptions = registry.counter(
+            "encryptions_total", "Keys encrypted (Table 2 measure).",
+            labels=("op",))
+        self._m_saved = registry.counter(
+            "batch_encryptions_saved_total",
+            "Encryptions avoided versus per-request rekeying.").labels()
+        self._m_pending_joins = registry.gauge(
+            "batch_pending_joins", "Joins queued for the next flush.").labels()
+        self._m_pending_leaves = registry.gauge(
+            "batch_pending_leaves",
+            "Leaves queued for the next flush.").labels()
         self.pipeline = RekeyPipeline(
             suite, self.material, signer=self._signer,
             seal_individually=True, group_id=1,
@@ -117,18 +134,25 @@ class BatchRekeyServer:
         # A rejoin after a pending leave is fine: the flush detaches the
         # old leaf before attaching the new one (fresh individual key).
         self._pending_joins[user_id] = individual_key
+        self._sync_pending()
 
     def request_leave(self, user_id: str) -> None:
         """Queue a leave for the next flush (joins in-interval cancel out)."""
         if user_id in self._pending_joins:
             # Joined and left within one interval: cancel out entirely.
             del self._pending_joins[user_id]
+            self._sync_pending()
             return
         if not self.tree.has_user(user_id):
             raise BatchError(f"user {user_id!r} is not a member")
         if user_id in self._pending_leaves:
             raise BatchError(f"user {user_id!r} already leaving")
         self._pending_leaves.add(user_id)
+        self._sync_pending()
+
+    def _sync_pending(self) -> None:
+        self._m_pending_joins.set(len(self._pending_joins))
+        self._m_pending_leaves.set(len(self._pending_leaves))
 
     @property
     def pending(self) -> Tuple[int, int]:
@@ -173,6 +197,12 @@ class BatchRekeyServer:
             stage_seconds=run.stage_seconds,
         )
         self.flushes.append(result)
+        self._m_flushes.inc()
+        self._m_batched.inc(len(joins), op="join")
+        self._m_batched.inc(len(leaves), op="leave")
+        self._m_encryptions.inc(run.encryptions, op="flush")
+        self._m_saved.inc(max(0, individual_estimate - run.encryptions))
+        self._sync_pending()
         return result
 
     def _plan_flush(self, ctx: RekeyContext, joins, leaves,

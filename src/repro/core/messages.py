@@ -41,6 +41,10 @@ MSG_LEAVE_ACK = 5
 MSG_REKEY = 6
 MSG_DATA = 7
 MSG_LEAVE_DENIED = 8
+# Telemetry scrape (out of band for the protocol: the request body is
+# empty, the response body is a repro-metrics/1 JSON document).
+MSG_STATS_REQUEST = 9
+MSG_STATS_RESPONSE = 10
 
 # Rekeying strategies (wire codes).
 STRATEGY_NONE = 0

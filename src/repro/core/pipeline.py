@@ -191,6 +191,10 @@ class PipelineRun:
     signatures: int = 0
     seconds: float = 0.0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    # Span identity of this run (0/0 when the pipeline's tracer is the
+    # null tracer); transports propagate it out-of-band.
+    trace_id: int = 0
+    span_id: int = 0
 
     @property
     def encryptions(self) -> int:
@@ -274,31 +278,51 @@ class RekeyPipeline:
         encoding; receiver resolution runs after the clock stops, as
         the paper's server excludes membership enumeration from its
         processing time.
+
+        A planner (or stage) that raises still gets its elapsed time
+        recorded, flagged as an error, before the exception propagates —
+        failed rekeys are visible in the timing aggregates and
+        histograms rather than silently dropped.
         """
         clock = StageClock()
         ctx = self.new_context()
         run = PipelineRun(op=op, user_id=user_id,
                           strategy_code=strategy_code, context=ctx)
+        tracer = self.instrumentation.tracer
+        try:
+            with tracer.span(f"rekey.{op}", op=op, user=user_id) as root:
+                run.trace_id = root.trace_id
+                run.span_id = root.span_id
 
-        with clock.stage(STAGE_PLAN):
-            run.plans = list(planner(ctx))
-        self._fire(STAGE_PLAN, run)
+                with clock.stage(STAGE_PLAN), tracer.span(STAGE_PLAN):
+                    run.plans = list(planner(ctx))
+                self._fire(STAGE_PLAN, run)
 
-        with clock.stage(STAGE_ENCRYPT):
-            ctx.materialize()
-        self._fire(STAGE_ENCRYPT, run)
+                with clock.stage(STAGE_ENCRYPT), tracer.span(STAGE_ENCRYPT):
+                    ctx.materialize()
+                self._fire(STAGE_ENCRYPT, run)
 
-        with clock.stage(STAGE_SIGN):
-            run.wire_messages = self._assemble(run, root_ref)
-            run.signatures = self._seal(run.wire_messages)
-        self._fire(STAGE_SIGN, run)
+                with clock.stage(STAGE_SIGN), tracer.span(STAGE_SIGN):
+                    run.wire_messages = self._assemble(run, root_ref)
+                    run.signatures = self._seal(run.wire_messages)
+                self._fire(STAGE_SIGN, run)
 
-        with clock.stage(STAGE_DISPATCH):
-            run.messages = [
-                OutboundMessage(plan.destination, message, (),
-                                message.encode())
-                for plan, message in zip(run.plans, run.wire_messages)]
-        run.seconds = clock.stop()
+                with clock.stage(STAGE_DISPATCH), tracer.span(STAGE_DISPATCH):
+                    run.messages = [
+                        OutboundMessage(plan.destination, message, (),
+                                        message.encode())
+                        for plan, message in zip(run.plans,
+                                                 run.wire_messages)]
+                run.seconds = clock.stop()
+                root.set("messages", len(run.messages))
+        except BaseException:
+            # A hook can raise between stages: flag the run regardless
+            # of whether a stage span already did.
+            clock.error = True
+            run.seconds = clock.stop()
+            run.stage_seconds = dict(clock.stages)
+            self.instrumentation.record_run(op, clock)
+            raise
 
         # Simulation accounting, outside the timed region: enumerate
         # each message's receivers via the plan's lazy resolver.

@@ -29,7 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from ..crypto.suite import PAPER_SUITE, CipherSuite
 from ..keygraph.star import StarGroup
 from ..keygraph.tree import KeyTree
-from ..observability import Instrumentation
+from ..observability import SIZE_BUCKETS_BYTES, Instrumentation
 from .messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_JOIN_ACK,
                        MSG_JOIN_DENIED, MSG_JOIN_REQUEST, MSG_LEAVE_ACK,
                        MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST, MSG_REKEY,
@@ -141,6 +141,32 @@ class GroupKeyServer:
             config.suite, config.signing, config.seed, error=ServerError)
         self.instrumentation = (instrumentation if instrumentation is not None
                                 else Instrumentation("group-key-server"))
+        # Paper-facing metric families (all no-ops on NULL_REGISTRY).
+        registry = self.instrumentation.registry
+        self._m_requests = registry.counter(
+            "server_requests_total", "Requests processed by outcome.",
+            labels=("op", "status"))
+        self._m_messages = registry.counter(
+            "rekey_messages_total", "Rekey messages sent (Table 5).",
+            labels=("op",))
+        self._m_bytes = registry.counter(
+            "rekey_bytes_total", "Total rekey message bytes sent.",
+            labels=("op",))
+        self._m_encryptions = registry.counter(
+            "encryptions_total", "Keys encrypted (Table 2 measure).",
+            labels=("op",))
+        self._m_signatures = registry.counter(
+            "signatures_total", "Signatures computed on rekey messages.",
+            labels=("op",))
+        self._m_key_changes = registry.counter(
+            "key_changes_total",
+            "Key changes summed over non-requesting clients (Fig. 12).",
+            labels=("op",))
+        self._m_group_size = registry.gauge(
+            "group_size", "Current number of group members.").labels()
+        self._m_message_bytes = registry.histogram(
+            "rekey_message_bytes", "Rekey message size distribution.",
+            bounds=SIZE_BUCKETS_BYTES, labels=("op",))
         self._sequencer = Sequencer()
         self.pipeline = RekeyPipeline(
             config.suite, self.material, signer=self._signer,
@@ -303,6 +329,16 @@ class GroupKeyServer:
             stage_seconds=run.stage_seconds,
         )
         self.history.append(record)
+        op = run.op
+        self._m_requests.inc(op=op, status="ok")
+        self._m_messages.inc(len(run.messages), op=op)
+        self._m_bytes.inc(run.total_bytes, op=op)
+        self._m_encryptions.inc(run.encryptions, op=op)
+        self._m_signatures.inc(run.signatures, op=op)
+        self._m_key_changes.inc(key_changes_total, op=op)
+        self._m_group_size.set(self.n_users)
+        for outbound in run.messages:
+            self._m_message_bytes.observe(outbound.size, op=op)
         return record
 
     # -- join -------------------------------------------------------------------
@@ -515,12 +551,14 @@ class GroupKeyServer:
             try:
                 outcome = self.join(user_id)
             except (AccessDenied, ServerError):
+                self._m_requests.inc(op="join", status="denied")
                 return [self._control_message(MSG_JOIN_DENIED, user_id)]
             return outcome.all_messages
         if message.msg_type == MSG_LEAVE_REQUEST:
             try:
                 outcome = self.leave(user_id)
             except ServerError:
+                self._m_requests.inc(op="leave", status="denied")
                 return [self._control_message(MSG_LEAVE_DENIED, user_id)]
             return outcome.all_messages
         raise ServerError(f"unexpected message type {message.msg_type}")

@@ -21,12 +21,24 @@ has exactly two rules:
 
 Correctness never depends on the cache: a miss constructs the same
 object ``CipherSuite.new_cipher`` always constructed.
+
+Hit/miss/eviction accounting lives on the observability registry: the
+cache owns a :class:`~repro.observability.metrics.MetricRegistry` whose
+``keycache_*`` series are refreshed by a snapshot-time collector.  The
+hot path keeps plain integer attributes (``hits``/``misses``/
+``evictions`` — the historic API, unchanged) because a locked registry
+increment costs as much as the cache hit it would be counting; the
+collector folds the deltas into the registry counters whenever a
+snapshot or exposition is taken, so exported numbers are always
+current without taxing ``get``.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
+
+from ..observability.metrics import MetricRegistry
 
 
 class KeyScheduleCache:
@@ -41,7 +53,8 @@ class KeyScheduleCache:
     (1, 1)
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024,
+                 registry: Optional[MetricRegistry] = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -49,6 +62,34 @@ class KeyScheduleCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.registry = (registry if registry is not None
+                         else MetricRegistry("keycache"))
+        lookups = self.registry.counter(
+            "keycache_lookups_total",
+            "Key-schedule cache lookups by outcome.", labels=("result",))
+        self._hit_series = lookups.labels(result="hit")
+        self._miss_series = lookups.labels(result="miss")
+        self._eviction_series = self.registry.counter(
+            "keycache_evictions_total",
+            "Key schedules evicted by the LRU capacity bound.").labels()
+        self._entries_gauge = self.registry.gauge(
+            "keycache_entries", "Cached key schedules.").labels()
+        self._capacity_gauge = self.registry.gauge(
+            "keycache_capacity", "Key-schedule cache capacity.").labels()
+        self._published = {"hits": 0, "misses": 0, "evictions": 0}
+        self.registry.add_collector(self._collect)
+
+    def _collect(self, registry: MetricRegistry) -> None:
+        """Fold counter deltas into the registry (runs at snapshot time)."""
+        for attr, series in (("hits", self._hit_series),
+                             ("misses", self._miss_series),
+                             ("evictions", self._eviction_series)):
+            delta = getattr(self, attr) - self._published[attr]
+            if delta:
+                series.inc(delta)
+                self._published[attr] += delta
+        self._entries_gauge.set(len(self._entries))
+        self._capacity_gauge.set(self.capacity)
 
     def __len__(self) -> int:
         return len(self._entries)

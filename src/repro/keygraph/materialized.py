@@ -89,6 +89,12 @@ class MaterializedKeyGraph:
         self._individual: Dict[str, bytes] = {}
         self.instrumentation = (instrumentation if instrumentation is not None
                                 else Instrumentation("materialized-graph"))
+        registry = self.instrumentation.registry
+        self._m_replaced = registry.counter(
+            "graph_keys_replaced_total",
+            "K-node keys rotated by graph rekeying.", labels=("op",))
+        self._m_members = registry.gauge(
+            "group_size", "Current number of group members.").labels()
         # Unsigned path: signer=None ships messages without auth blocks.
         self.pipeline = RekeyPipeline(
             suite,
@@ -241,6 +247,8 @@ class MaterializedKeyGraph:
         run = self.pipeline.run("leave", planner, root_ref=self._root_ref,
                                 user_id=user)
         self.validate()
+        self._m_replaced.inc(len(state["replaced"]), op="leave")
+        self._m_members.set(len(self.graph.u_nodes))
         return GraphRekeyOutcome("leave", user, state["replaced"],
                                  run.encryptions, run.messages, run.seconds,
                                  run.stage_seconds)
@@ -310,6 +318,8 @@ class MaterializedKeyGraph:
         run = self.pipeline.run("join", planner, root_ref=self._root_ref,
                                 user_id=user)
         self.validate()
+        self._m_replaced.inc(len(state["replaced"]), op="join")
+        self._m_members.set(len(self.graph.u_nodes))
         return GraphRekeyOutcome("join", user, state["replaced"],
                                  run.encryptions, run.messages, run.seconds,
                                  run.stage_seconds)

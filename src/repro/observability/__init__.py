@@ -1,15 +1,29 @@
-"""Shared observability core: counters, stage timers, trace events.
+"""Shared observability core: metrics, spans, timers, counters, exporters.
 
 The repo's rekey paths all report through this package so that every
 paper-facing number (processing time, encryption counts, message
 counts/sizes) derives from one instrumentation source:
 
+* :class:`~repro.observability.metrics.MetricRegistry` — thread-safe
+  labeled :class:`~repro.observability.metrics.Counter` /
+  :class:`~repro.observability.metrics.Gauge` /
+  :class:`~repro.observability.metrics.Histogram` families with
+  fixed log-scale buckets, ``snapshot()``/``merge()`` for aggregating
+  across workers, and :data:`~repro.observability.metrics.NULL_REGISTRY`
+  as the zero-overhead default;
+* :class:`~repro.observability.spans.Tracer` — hierarchical spans with
+  stable trace/span IDs, implicit in-process propagation and an
+  out-of-band wire trailer for cross-process propagation
+  (:data:`~repro.observability.spans.NULL_TRACER` by default);
+* :mod:`~repro.observability.export` — Prometheus text exposition and
+  the versioned ``repro-metrics/1`` JSON snapshot, plus the
+  ``python -m repro.observability report`` CLI;
 * :class:`~repro.observability.counters.Counters` — named monotonic
-  counters;
+  counters (the flat PR-1 namespace, kept);
 * :class:`~repro.observability.timers.StageClock` /
   :class:`~repro.observability.timers.StageTimers` — per-run and
-  aggregate stage timings (``RequestRecord.seconds`` and
-  ``BatchResult.seconds`` are StageClock totals);
+  aggregate stage timings, with failed stages flagged rather than
+  dropped;
 * :class:`~repro.observability.tracing.TraceBuffer` — an optional
   trace-event ring buffer, with :data:`NULL_TRACE` as the
   zero-overhead default;
@@ -21,6 +35,12 @@ counts/sizes) derives from one instrumentation source:
 from .counters import Counters
 from .instrumentation import (NULL_INSTRUMENTATION, Instrumentation,
                               NullInstrumentation)
+from .metrics import (COUNT_BUCKETS, LATENCY_BUCKETS_S, NULL_REGISTRY,
+                      SIZE_BUCKETS_BYTES, Counter, Gauge, Histogram,
+                      MetricError, MetricRegistry, NullMetricRegistry,
+                      merge_snapshots)
+from .spans import (NULL_TRACER, NullTracer, Span, SpanContext, Tracer,
+                    attach_trace_trailer, split_trace_trailer)
 from .timers import StageClock, StageTimers, Stopwatch, TimerStat
 from .tracing import NULL_TRACE, NullTraceBuffer, TraceBuffer, TraceEvent
 
@@ -29,6 +49,24 @@ __all__ = [
     "Instrumentation",
     "NullInstrumentation",
     "NULL_INSTRUMENTATION",
+    "MetricRegistry",
+    "NullMetricRegistry",
+    "NULL_REGISTRY",
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "SIZE_BUCKETS_BYTES",
+    "COUNT_BUCKETS",
+    "merge_snapshots",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanContext",
+    "attach_trace_trailer",
+    "split_trace_trailer",
     "StageClock",
     "StageTimers",
     "Stopwatch",

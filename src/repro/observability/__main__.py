@@ -1,0 +1,80 @@
+"""CLI for metrics snapshots: validate, render reports, export Prometheus.
+
+Usage::
+
+    python -m repro.observability report <snapshot.json>
+    python -m repro.observability report --scrape 127.0.0.1:PORT
+    python -m repro.observability validate <snapshot.json>
+    python -m repro.observability prom <snapshot.json>
+
+``report`` renders the paper-shaped measurement tables (processing-time
+percentiles per op, rekey cost per request, client-side cost) from one
+``repro-metrics/1`` snapshot; ``--scrape`` pulls a live snapshot from a
+running :class:`~repro.transport.udp.UdpKeyServer` instead of a file.
+``validate`` checks a snapshot against the schema (used by CI);
+``prom`` prints the Prometheus text exposition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import (load_snapshot, render_report, to_prometheus,
+                     validate_snapshot)
+
+
+def _obtain(args) -> dict:
+    if getattr(args, "scrape", None):
+        from ..transport.udp import scrape_stats
+        host, _, port = args.scrape.rpartition(":")
+        document = scrape_stats((host or "127.0.0.1", int(port)))
+        validate_snapshot(document)
+        return document
+    if not args.snapshot:
+        raise SystemExit("error: provide a snapshot path or --scrape")
+    return load_snapshot(args.snapshot)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability",
+        description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report",
+                            help="render the paper-shaped report tables")
+    report.add_argument("snapshot", nargs="?",
+                        help="path to a repro-metrics/1 JSON snapshot")
+    report.add_argument("--scrape", metavar="HOST:PORT",
+                        help="scrape a live UdpKeyServer instead of a file")
+
+    validate = sub.add_parser("validate",
+                              help="check a snapshot against the schema")
+    validate.add_argument("snapshot")
+
+    prom = sub.add_parser("prom",
+                          help="print Prometheus text exposition")
+    prom.add_argument("snapshot", nargs="?")
+    prom.add_argument("--scrape", metavar="HOST:PORT")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "validate":
+            load_snapshot(args.snapshot)
+            print(f"OK: {args.snapshot} conforms to repro-metrics/1")
+            return 0
+        document = _obtain(args)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    if args.command == "report":
+        sys.stdout.write(render_report(document))
+    else:
+        sys.stdout.write(to_prometheus(document))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,587 @@
+"""Labeled metrics: a thread-safe registry of counters, gauges, histograms.
+
+The paper's §5 measurements — server processing time per join/leave,
+rekey message counts and sizes, client key changes (Tables 4-6,
+Figures 10-12) — all reduce to three metric shapes:
+
+* :class:`Counter` — monotonic totals (messages sent, bytes, encryptions);
+* :class:`Gauge` — point-in-time levels (group size, cache occupancy);
+* :class:`Histogram` — latency/size distributions over fixed log-scale
+  buckets, so join/leave/rekey percentiles are queryable after the run.
+
+A :class:`MetricRegistry` owns metric *families*; a family plus a tuple
+of label values names one *series* (``rekey_seconds{op="join"}``).
+Families are created once (idempotently) and label children are cached,
+so the hot path is one dict hit plus one locked add.
+
+``snapshot()`` freezes every series into a plain, deterministic,
+JSON-friendly dict (series sorted by label values, independent of
+``PYTHONHASHSEED``); ``merge()``/:func:`merge_snapshots` fold snapshots
+from parallel workers into one: counters and histograms add, gauges
+adopt the incoming value.
+
+:data:`NULL_REGISTRY` is the zero-overhead stand-in — every family it
+returns discards updates — so instrumented components can create their
+series unconditionally and pay nothing when telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Log-scale (powers of two) latency bucket upper bounds in seconds,
+#: 1 microsecond .. ~16.8 seconds.  Fixed so snapshots from different
+#: runs/workers are always mergeable and percentiles comparable.
+LATENCY_BUCKETS_S: Tuple[float, ...] = tuple(
+    1e-6 * (1 << k) for k in range(25))
+
+#: Log-scale size bucket upper bounds in bytes, 64 B .. 2 MiB.
+SIZE_BUCKETS_BYTES: Tuple[float, ...] = tuple(
+    float(1 << k) for k in range(6, 22))
+
+#: Log-scale count bucket upper bounds (1 .. 65536), for per-request
+#: cardinalities such as encryptions or rekey messages.
+COUNT_BUCKETS: Tuple[float, ...] = tuple(float(1 << k) for k in range(17))
+
+
+class MetricError(ValueError):
+    """Raised on inconsistent metric declarations or malformed merges."""
+
+
+class Counter:
+    """One monotonic series."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the series."""
+        if amount < 0:
+            raise MetricError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current total."""
+        return self._value
+
+
+class Gauge:
+    """One point-in-time series."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        """Adjust the current value by ``amount``."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Adjust the current value by ``-amount``."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        return self._value
+
+
+class Histogram:
+    """One distribution series over fixed bucket upper bounds.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final slot
+    is the overflow (``+Inf``) bucket.  ``sum``/``count``/``min``/``max``
+    ride along so means and ranges survive the bucketing.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count", "min", "max", "_lock")
+
+    def __init__(self, bounds: Sequence[float], lock: threading.Lock):
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds or list(self.bounds) != sorted(set(self.bounds)):
+            raise MetricError("bucket bounds must be sorted and distinct")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the distribution."""
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) from the buckets.
+
+        Linear interpolation inside the bucket containing the target
+        rank; observations in the overflow bucket report the observed
+        maximum (there is no finite upper edge to interpolate toward).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError("quantile must be within [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                if index >= len(self.bounds):
+                    return self.max
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index else 0.0
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                # Never report outside the observed range.
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+
+class _Family:
+    """A named metric family: one child series per label-value tuple."""
+
+    __slots__ = ("name", "help", "labelnames", "_children", "_lock",
+                 "_registry")
+
+    kind = ""
+
+    def __init__(self, registry: "MetricRegistry", name: str, help_text: str,
+                 labelnames: Tuple[str, ...]):
+        self.name = name
+        self.help = help_text
+        self.labelnames = labelnames
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = registry._lock
+        self._registry = registry
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: str):
+        """The child series for these label values (created on demand)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}")
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._children[key] = self._make_child()
+        return child
+
+    def series(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """(label values, child) pairs, sorted by label values."""
+        return sorted(self._children.items())
+
+
+class CounterFamily(_Family):
+    """Family of :class:`Counter` series."""
+
+    __slots__ = ()
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter(self._lock)
+
+    def inc(self, amount: float = 1, **labelvalues: str) -> None:
+        """Shortcut: increment the series for ``labelvalues``."""
+        self.labels(**labelvalues).inc(amount)
+
+
+class GaugeFamily(_Family):
+    """Family of :class:`Gauge` series."""
+
+    __slots__ = ()
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge(self._lock)
+
+    def set(self, value: float, **labelvalues: str) -> None:
+        """Shortcut: set the series for ``labelvalues``."""
+        self.labels(**labelvalues).set(value)
+
+    def inc(self, amount: float = 1, **labelvalues: str) -> None:
+        """Shortcut: increment the series for ``labelvalues``."""
+        self.labels(**labelvalues).inc(amount)
+
+    def dec(self, amount: float = 1, **labelvalues: str) -> None:
+        """Shortcut: decrement the series for ``labelvalues``."""
+        self.labels(**labelvalues).dec(amount)
+
+
+class HistogramFamily(_Family):
+    """Family of :class:`Histogram` series sharing one bucket layout."""
+
+    __slots__ = ("bounds",)
+    kind = "histogram"
+
+    def __init__(self, registry, name, help_text, labelnames,
+                 bounds: Sequence[float]):
+        super().__init__(registry, name, help_text, labelnames)
+        self.bounds = tuple(float(b) for b in bounds)
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.bounds, self._lock)
+
+    def observe(self, value: float, **labelvalues: str) -> None:
+        """Shortcut: observe into the series for ``labelvalues``."""
+        self.labels(**labelvalues).observe(value)
+
+
+class MetricRegistry:
+    """Thread-safe collection of metric families.
+
+    Family creation is idempotent: asking for an existing name returns
+    the existing family, provided the declaration (kind, labels, bucket
+    bounds) matches — a mismatch raises :class:`MetricError` rather than
+    silently forking the series.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List = []
+
+    # -- declaration -------------------------------------------------------
+
+    def _declare(self, cls, name: str, help_text: str,
+                 labels: Sequence[str], **kwargs) -> _Family:
+        labelnames = tuple(labels)
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise MetricError(
+                        f"{name!r} already declared as {existing.kind}")
+                if existing.labelnames != labelnames:
+                    raise MetricError(
+                        f"{name!r} already declared with labels "
+                        f"{existing.labelnames}")
+                bounds = kwargs.get("bounds")
+                if bounds is not None and existing.bounds != tuple(bounds):
+                    raise MetricError(
+                        f"{name!r} already declared with other buckets")
+                return existing
+            family = cls(self, name, help_text, labelnames, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()) -> CounterFamily:
+        """Declare (or fetch) a counter family."""
+        return self._declare(CounterFamily, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()) -> GaugeFamily:
+        """Declare (or fetch) a gauge family."""
+        return self._declare(GaugeFamily, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Sequence[str] = (),
+                  bounds: Sequence[float] = LATENCY_BUCKETS_S
+                  ) -> HistogramFamily:
+        """Declare (or fetch) a histogram family with fixed buckets."""
+        return self._declare(HistogramFamily, name, help_text, labels,
+                             bounds=tuple(bounds))
+
+    def add_collector(self, collector) -> None:
+        """Register ``collector(registry)`` to run before each snapshot.
+
+        Collectors publish state that lives outside the registry (cache
+        occupancy, queue depths) as up-to-date series at snapshot time
+        instead of on every hot-path update.
+        """
+        self._collectors.append(collector)
+
+    # -- introspection -----------------------------------------------------
+
+    def families(self) -> List[_Family]:
+        """All families, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[_Family]:
+        """The named family, or None."""
+        return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Freeze every series into a deterministic plain dict.
+
+        Shape (all maps key-sorted, series sorted by label values):
+
+        .. code-block:: python
+
+            {"counters":   {name: {"help", "labels", "series": [
+                               {"labels": {...}, "value": v}]}},
+             "gauges":     {... same ...},
+             "histograms": {name: {"help", "labels", "bounds",
+                                   "series": [{"labels": {...},
+                                               "counts": [...],
+                                               "count", "sum",
+                                               "min", "max"}]}}}
+        """
+        for collector in list(self._collectors):
+            collector(self)
+        counters: Dict[str, dict] = {}
+        gauges: Dict[str, dict] = {}
+        histograms: Dict[str, dict] = {}
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                series = []
+                for labelvalues, child in family.series():
+                    labels = dict(zip(family.labelnames, labelvalues))
+                    if family.kind == "histogram":
+                        series.append({
+                            "labels": labels,
+                            "counts": list(child.counts),
+                            "count": child.count,
+                            "sum": child.sum,
+                            "min": child.min if child.count else 0.0,
+                            "max": child.max if child.count else 0.0,
+                        })
+                    else:
+                        series.append({"labels": labels,
+                                       "value": child.value})
+                entry = {"help": family.help,
+                         "labels": list(family.labelnames),
+                         "series": series}
+                if family.kind == "counter":
+                    counters[name] = entry
+                elif family.kind == "gauge":
+                    gauges[name] = entry
+                else:
+                    entry["bounds"] = list(family.bounds)
+                    histograms[name] = entry
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot`-shaped dict into the live registry.
+
+        Counters and histograms add; gauges adopt the incoming value.
+        Histogram layouts must match (same bounds) or the merge raises.
+        """
+        for name, entry in snapshot.get("counters", {}).items():
+            family = self.counter(name, entry.get("help", ""),
+                                  entry.get("labels", ()))
+            for series in entry["series"]:
+                family.labels(**series["labels"]).inc(series["value"])
+        for name, entry in snapshot.get("gauges", {}).items():
+            family = self.gauge(name, entry.get("help", ""),
+                                entry.get("labels", ()))
+            for series in entry["series"]:
+                family.labels(**series["labels"]).set(series["value"])
+        for name, entry in snapshot.get("histograms", {}).items():
+            family = self.histogram(name, entry.get("help", ""),
+                                    entry.get("labels", ()),
+                                    bounds=entry["bounds"])
+            for series in entry["series"]:
+                child = family.labels(**series["labels"])
+                if len(series["counts"]) != len(child.counts):
+                    raise MetricError(
+                        f"{name!r}: bucket layout mismatch in merge")
+                incoming_count = series["count"]
+                with self._lock:
+                    for index, add in enumerate(series["counts"]):
+                        child.counts[index] += add
+                    child.sum += series["sum"]
+                    child.count += incoming_count
+                    if incoming_count:
+                        child.min = min(child.min, series["min"])
+                        child.max = max(child.max, series["max"])
+
+    def reset_values(self) -> None:
+        """Zero every series in place.
+
+        Family and child *objects* survive (components cache references
+        to their label children), so a live server keeps reporting into
+        the same series after a reset.
+        """
+        with self._lock:
+            for family in self._families.values():
+                for _labels, child in family._children.items():
+                    if isinstance(child, Histogram):
+                        child.counts = [0] * len(child.counts)
+                        child.sum = 0.0
+                        child.count = 0
+                        child.min = float("inf")
+                        child.max = float("-inf")
+                    else:
+                        child._value = 0.0
+
+    def clear(self) -> None:
+        """Drop every family and collector."""
+        with self._lock:
+            self._families.clear()
+            self._collectors.clear()
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Merge snapshot dicts (left to right) into one new snapshot."""
+    registry = MetricRegistry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()
+
+
+# -- the null fast path --------------------------------------------------------
+
+
+class _NullChild:
+    """Discards updates; reports zero."""
+
+    __slots__ = ()
+
+    value = 0.0
+    bounds: Tuple[float, ...] = ()
+    counts: List[int] = []
+    count = 0
+    sum = 0.0
+    min = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1, **_labels: str) -> None:
+        """Discard."""
+
+    def dec(self, amount: float = 1, **_labels: str) -> None:
+        """Discard."""
+
+    def set(self, value: float, **_labels: str) -> None:
+        """Discard."""
+
+    def observe(self, value: float, **_labels: str) -> None:
+        """Discard."""
+
+    def quantile(self, q: float) -> float:
+        """Always zero."""
+        return 0.0
+
+
+_NULL_CHILD = _NullChild()
+
+
+class _NullFamily:
+    """Every child is the shared null child."""
+
+    __slots__ = ()
+
+    name = ""
+    help = ""
+    labelnames: Tuple[str, ...] = ()
+    bounds: Tuple[float, ...] = ()
+
+    def labels(self, **labelvalues: str) -> _NullChild:
+        """The shared no-op child."""
+        return _NULL_CHILD
+
+    def series(self) -> list:
+        """Always empty."""
+        return []
+
+    inc = _NULL_CHILD.inc
+    dec = _NULL_CHILD.dec
+    set = _NULL_CHILD.set
+    observe = _NULL_CHILD.observe
+
+
+_NULL_FAMILY = _NullFamily()
+
+
+class NullMetricRegistry:
+    """Zero-overhead registry: declarations return no-op families."""
+
+    __slots__ = ()
+
+    name = ""
+
+    def counter(self, name, help_text="", labels=()) -> _NullFamily:
+        """The shared no-op family."""
+        return _NULL_FAMILY
+
+    def gauge(self, name, help_text="", labels=()) -> _NullFamily:
+        """The shared no-op family."""
+        return _NULL_FAMILY
+
+    def histogram(self, name, help_text="", labels=(),
+                  bounds=LATENCY_BUCKETS_S) -> _NullFamily:
+        """The shared no-op family."""
+        return _NULL_FAMILY
+
+    def add_collector(self, collector) -> None:
+        """Discard."""
+
+    def families(self) -> list:
+        """Always empty."""
+        return []
+
+    def get(self, name: str) -> None:
+        """Always None."""
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> dict:
+        """Always empty."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: dict) -> None:
+        """Discard."""
+
+    def reset_values(self) -> None:
+        """Nothing to reset."""
+
+    def clear(self) -> None:
+        """Nothing to clear."""
+
+
+NULL_REGISTRY = NullMetricRegistry()

@@ -54,7 +54,14 @@ class _StageSpan:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        # Elapsed time is recorded even when the body raises, and the
+        # failure is flagged on the clock, so failed runs show up in the
+        # timing aggregates/histograms instead of silently vanishing.
         self._clock._record(self._name, self._clock._now() - self._started)
+        if exc_type is not None:
+            self._clock.error = True
+            if self._clock.failed_stage is None:
+                self._clock.failed_stage = self._name
 
 
 class StageClock:
@@ -64,15 +71,23 @@ class StageClock:
     region including any work between stages — matching the semantics of
     the ``start = perf_counter()`` / ``elapsed = perf_counter() - start``
     regions it replaces.
+
+    ``error``/``failed_stage`` are set by a stage whose body raised: the
+    stage's elapsed time is still recorded, and consumers
+    (:meth:`~repro.observability.instrumentation.Instrumentation.
+    record_run`) label the run as failed.
     """
 
-    __slots__ = ("_now", "_started", "_stopped", "stages")
+    __slots__ = ("_now", "_started", "_stopped", "stages", "error",
+                 "failed_stage")
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._now = clock
         self._started = clock()
         self._stopped: Optional[float] = None
         self.stages: Dict[str, float] = {}
+        self.error = False
+        self.failed_stage: Optional[str] = None
 
     def stage(self, name: str) -> _StageSpan:
         """A context manager accumulating elapsed time under ``name``."""

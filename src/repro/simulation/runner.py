@@ -26,6 +26,7 @@ from ..core.server import GroupKeyServer, RequestRecord, ServerConfig
 from ..crypto.keycache import SHARED_CACHE
 from ..crypto.suite import PAPER_SUITE, CipherSuite
 from ..observability import Instrumentation, Stopwatch
+from ..observability.export import build_snapshot
 from .clients import ClientSimulator
 from .metrics import ClientMetrics, ServerMetrics
 from .workload import JOIN, Request, generate_workload, initial_members
@@ -72,6 +73,11 @@ class ExperimentResult:
     # The server's observability core: per-stage timer aggregates and
     # operation counters accumulated across the whole run.
     instrumentation: Optional[Instrumentation] = None
+    # ``repro-metrics/1`` document: the server's registry merged with
+    # the shared key-schedule cache's, labeled with the configuration.
+    # Self-contained — ``python -m repro.observability report`` (or
+    # ``render_report``) regenerates the paper-shaped tables from it.
+    metrics_snapshot: Optional[dict] = None
 
     @property
     def mean_processing_ms(self) -> float:
@@ -111,6 +117,10 @@ def run_experiment(config: ExperimentConfig,
                                      seed=config.seed + b"/requests")
 
     client_metrics = ClientMetrics()
+    m_copies = server.instrumentation.registry.counter(
+        "client_copies_total",
+        "Rekey message copies delivered to clients (Table 6 measure).",
+        labels=("op",))
     records: List[RequestRecord] = []
     for request in requests:
         if request.op == JOIN:
@@ -130,6 +140,7 @@ def run_experiment(config: ExperimentConfig,
         for message in outcome.rekey_messages:
             client_metrics.record_message(request.op, message.size,
                                           len(message.receivers))
+            m_copies.inc(len(message.receivers), op=request.op)
         client_metrics.record_request(outcome.record)
         records.append(outcome.record)
 
@@ -139,6 +150,13 @@ def run_experiment(config: ExperimentConfig,
         client_totals = simulator.total_stats()
 
     final_height = server.tree.height() if server.tree is not None else 2
+    tracer = server.instrumentation.tracer
+    snapshot = build_snapshot(
+        server.instrumentation.registry,
+        label=(f"{config.graph}/{config.strategy}"
+               f"/n{config.initial_size}/{config.signing}"),
+        spans=tracer.export() if tracer.enabled else None,
+        extra=(SHARED_CACHE.registry,))
     return ExperimentResult(
         config=config,
         records=records,
@@ -149,6 +167,7 @@ def run_experiment(config: ExperimentConfig,
         final_height=final_height,
         client_totals=client_totals,
         instrumentation=server.instrumentation,
+        metrics_snapshot=snapshot,
     )
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.messages import OutboundMessage
+from ..observability.metrics import NULL_REGISTRY, MetricRegistry
 
 
 @dataclass
@@ -37,10 +38,57 @@ class TransportStats:
 
 
 class Transport(ABC):
-    """Delivers outbound messages to named receivers."""
+    """Delivers outbound messages to named receivers.
 
-    def __init__(self):
+    Pass a :class:`~repro.observability.metrics.MetricRegistry` to
+    publish ``transport_*`` series; subclasses keep updating the plain
+    :class:`TransportStats` counters on the send path, and a
+    snapshot-time collector folds the deltas into the registry (same
+    deferred pattern as the key-schedule cache, so the per-datagram
+    path stays registry-free).
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None):
         self.stats = TransportStats()
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        transport = type(self).__name__
+        sends = self.registry.counter(
+            "transport_sends_total", "Transport sends by mode.",
+            labels=("transport", "mode"))
+        traffic = self.registry.counter(
+            "transport_bytes_total", "Transport bytes by direction.",
+            labels=("transport", "direction"))
+        self._stat_series = (
+            ("unicast_sends", sends.labels(transport=transport,
+                                           mode="unicast")),
+            ("multicast_sends", sends.labels(transport=transport,
+                                             mode="multicast")),
+            ("bytes_sent", traffic.labels(transport=transport,
+                                          direction="sent")),
+            ("bytes_delivered", traffic.labels(transport=transport,
+                                               direction="delivered")),
+            ("deliveries", self.registry.counter(
+                "transport_deliveries_total", "Copies delivered.",
+                labels=("transport",)).labels(transport=transport)),
+            ("drops", self.registry.counter(
+                "transport_drops_total", "Copies lost in transit.",
+                labels=("transport",)).labels(transport=transport)),
+            ("retransmissions", self.registry.counter(
+                "transport_retransmissions_total", "Copies resent.",
+                labels=("transport",)).labels(transport=transport)),
+        )
+        self._published_stats = TransportStats()
+        self.registry.add_collector(self._collect_stats)
+
+    def _collect_stats(self, registry: MetricRegistry) -> None:
+        """Fold :class:`TransportStats` deltas into the registry."""
+        for attr, series in self._stat_series:
+            delta = getattr(self.stats, attr) \
+                - getattr(self._published_stats, attr)
+            if delta:
+                series.inc(delta)
+                setattr(self._published_stats, attr,
+                        getattr(self.stats, attr))
 
     @abstractmethod
     def attach(self, user_id: str, handler: Callable[[bytes], None]) -> None:

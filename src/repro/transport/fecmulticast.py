@@ -28,8 +28,9 @@ _ENVELOPE = struct.Struct(">QB")  # message seq, k
 class FecMulticast(Transport):
     """Loss-tolerant multicast via Reed-Solomon parity packets."""
 
-    def __init__(self, network: InMemoryNetwork, k: int = 4, r: int = 2):
-        super().__init__()
+    def __init__(self, network: InMemoryNetwork, k: int = 4, r: int = 2,
+                 registry=None):
+        super().__init__(registry)
         if k < 1 or r < 0:
             raise ValueError("need k >= 1 and r >= 0")
         self._network = network
@@ -39,6 +40,23 @@ class FecMulticast(Transport):
         # Successfully reconstructed / unrecoverable message copies.
         self.recovered_with_parity = 0
         self.unrecoverable = 0
+        self._m_recovered = self.registry.counter(
+            "fec_recovered_total",
+            "Messages reconstructed from a parity packet.").labels()
+        self._m_unrecoverable = self.registry.counter(
+            "fec_unrecoverable_total",
+            "Message copies lost beyond parity protection.").labels()
+        self._published_fec = [0, 0]
+        self.registry.add_collector(self._collect_fec)
+
+    def _collect_fec(self, registry) -> None:
+        for index, (attr, series) in enumerate((
+                ("recovered_with_parity", self._m_recovered),
+                ("unrecoverable", self._m_unrecoverable))):
+            delta = getattr(self, attr) - self._published_fec[index]
+            if delta:
+                series.inc(delta)
+                self._published_fec[index] += delta
 
     def attach(self, user_id: str, handler: Callable[[bytes], None]) -> None:
         """Register a receiver with per-message reassembly state."""

@@ -28,8 +28,8 @@ class InMemoryNetwork(Transport):
     """Synchronous in-process transport."""
 
     def __init__(self, drop_rate: float = 0.0, seed: Optional[bytes] = None,
-                 strict: bool = True):
-        super().__init__()
+                 strict: bool = True, registry=None):
+        super().__init__(registry)
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError("drop_rate must be in [0, 1)")
         self._handlers: Dict[str, Callable[[bytes], None]] = {}

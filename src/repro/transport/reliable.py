@@ -29,8 +29,9 @@ class DeliveryFailure(RuntimeError):
 class ReliableDelivery(Transport):
     """Ack/retransmit wrapper around an :class:`InMemoryNetwork`."""
 
-    def __init__(self, network: InMemoryNetwork, max_attempts: int = 16):
-        super().__init__()
+    def __init__(self, network: InMemoryNetwork, max_attempts: int = 16,
+                 registry=None):
+        super().__init__(registry)
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self._network = network

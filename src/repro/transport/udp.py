@@ -16,10 +16,20 @@ datagrams.  Here both ends live on 127.0.0.1:
 
 Datagrams are single UDP packets; rekey messages are well under the
 loopback MTU for any realistic tree height.
+
+Telemetry rides out of band: when the server's tracer is enabled, each
+datagram carries a 20-byte trace trailer *after* the encoded message
+(``Message.decode`` ignores trailing bytes, so the wire payload proper
+is unchanged), letting a member correlate the rekey messages it
+received with the server-side request span.  A ``MSG_STATS_REQUEST``
+datagram returns the server's live ``repro-metrics/1`` snapshot —
+:func:`scrape_stats` is the client side, and
+``python -m repro.observability report --scrape HOST:PORT`` renders it.
 """
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
 from typing import Dict, List, Optional, Tuple
@@ -27,9 +37,12 @@ from typing import Dict, List, Optional, Tuple
 from ..core.client import GroupClient
 from ..core.messages import (MSG_JOIN_ACK, MSG_JOIN_DENIED, MSG_JOIN_REQUEST,
                              MSG_LEAVE_ACK, MSG_LEAVE_DENIED,
-                             MSG_LEAVE_REQUEST, MSG_REKEY, Message,
-                             OutboundMessage)
+                             MSG_LEAVE_REQUEST, MSG_REKEY, MSG_STATS_REQUEST,
+                             MSG_STATS_RESPONSE, Message, OutboundMessage)
 from ..core.server import GroupKeyServer
+from ..observability.export import build_snapshot, validate_snapshot
+from ..observability.spans import (SpanContext, attach_trace_trailer,
+                                   split_trace_trailer)
 
 _BUFFER = 65535
 
@@ -94,23 +107,51 @@ class UdpKeyServer:
 
     def _handle(self, data: bytes, source: Tuple[str, int]) -> None:
         message = Message.decode(data)
+        if message.msg_type == MSG_STATS_REQUEST:
+            self._send_stats(source)
+            return
         user_id = message.body.decode("utf-8", errors="replace")
+        tracer = self.server.instrumentation.tracer
         with self._lock:
             if message.msg_type == MSG_JOIN_REQUEST:
                 self._members[user_id] = source
-            outbound = self.server.handle_datagram(data)
-            for out in outbound:
-                self._fan_out(out)
+            with tracer.span("udp.request", msg_type=message.msg_type,
+                             user=user_id) as span:
+                outbound = self.server.handle_datagram(data)
+                trace = span.context if span.trace_id else None
+                for out in outbound:
+                    self._fan_out(out, trace)
+                span.set("messages", len(outbound))
             if message.msg_type == MSG_LEAVE_REQUEST:
                 # Send the leave ack before dropping the address.
                 self._members.pop(user_id, None)
 
-    def _fan_out(self, out: OutboundMessage) -> None:
+    def _fan_out(self, out: OutboundMessage,
+                 trace: Optional[SpanContext] = None) -> None:
         payload = out.encoded or out.message.encode()
+        if trace is not None:
+            # Out-of-band: appended after the encoded message, which
+            # decodes identically with or without the trailer.
+            payload = attach_trace_trailer(payload, trace)
         for user_id in out.receivers:
             address = self._members.get(user_id)
             if address is not None:
                 self._sock.sendto(payload, address)
+
+    def stats_document(self) -> dict:
+        """The live ``repro-metrics/1`` snapshot of the served group."""
+        instrumentation = self.server.instrumentation
+        tracer = instrumentation.tracer
+        spans = tracer.export() if tracer.enabled else None
+        return build_snapshot(instrumentation.registry,
+                              label=instrumentation.name, spans=spans)
+
+    def _send_stats(self, source: Tuple[str, int]) -> None:
+        with self._lock:
+            body = json.dumps(self.stats_document(),
+                              sort_keys=True).encode("utf-8")
+        response = Message(msg_type=MSG_STATS_RESPONSE, body=body)
+        self._sock.sendto(response.encode(), source)
 
     # A leave ack must still reach the departing user, so receivers of
     # control messages are resolved before the membership update above.
@@ -127,6 +168,17 @@ class UdpGroupMember:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind(("127.0.0.1", 0))
         self._sock.settimeout(timeout)
+        # Trace context of the most recent datagram that carried one
+        # (None until the server sends with tracing enabled).
+        self.last_trace: Optional[SpanContext] = None
+
+    def _receive(self) -> Tuple[bytes, Message]:
+        """Read one datagram, splitting off any telemetry trailer."""
+        data, _source = self._sock.recvfrom(_BUFFER)
+        payload, trace = split_trace_trailer(data)
+        if trace is not None:
+            self.last_trace = trace
+        return payload, Message.decode(payload)
 
     def close(self) -> None:
         """Close the client socket."""
@@ -150,13 +202,12 @@ class UdpGroupMember:
     def _await_ack(self, ack_types) -> Message:
         while True:
             try:
-                data, _source = self._sock.recvfrom(_BUFFER)
+                payload, message = self._receive()
             except socket.timeout:
                 raise UdpTransportError(
                     f"{self.user_id}: no ack from server") from None
-            message = Message.decode(data)
             if message.msg_type == MSG_REKEY:
-                self.client.process_message(data)
+                self.client.process_message(payload)
                 continue
             if message.msg_type in ack_types:
                 return self.client.process_control(message)
@@ -183,11 +234,32 @@ class UdpGroupMember:
         count = 0
         try:
             for _ in range(max_messages):
-                data, _source = self._sock.recvfrom(_BUFFER)
-                message = Message.decode(data)
+                payload, message = self._receive()
                 if message.msg_type == MSG_REKEY:
-                    self.client.process_message(data)
+                    self.client.process_message(payload)
                     count += 1
         except socket.timeout:
             pass
         return count
+
+
+def scrape_stats(address: Tuple[str, int], timeout: float = 5.0) -> dict:
+    """Pull a live ``repro-metrics/1`` snapshot from a UdpKeyServer."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        sock.settimeout(timeout)
+        sock.sendto(Message(msg_type=MSG_STATS_REQUEST).encode(), address)
+        try:
+            data, _source = sock.recvfrom(_BUFFER)
+        except socket.timeout:
+            raise UdpTransportError(
+                f"no stats response from {address}") from None
+    finally:
+        sock.close()
+    message = Message.decode(data)
+    if message.msg_type != MSG_STATS_RESPONSE:
+        raise UdpTransportError(
+            f"unexpected response type {message.msg_type}")
+    document = json.loads(message.body.decode("utf-8"))
+    validate_snapshot(document)
+    return document

@@ -153,3 +153,63 @@ class TestWeakKeyScreeningCache:
             des.is_weak_key(b"short")
         with pytest.raises(ValueError):
             des.is_semi_weak_key(b"way too long for DES")
+
+
+class TestRegistryIntegration:
+    """Counters live on the registry; the attribute API is the hot path."""
+
+    def test_attribute_api_unchanged(self):
+        cache = KeyScheduleCache(capacity=2)
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+        cache.get("des", _key(1), DES)
+        cache.get("des", _key(1), DES)
+        assert cache.stats() == {"size": 1, "capacity": 2, "hits": 1,
+                                 "misses": 1, "evictions": 0}
+
+    def test_snapshot_reflects_lookup_counters(self):
+        cache = KeyScheduleCache(capacity=2)
+        cache.get("des", _key(1), DES)
+        cache.get("des", _key(1), DES)
+        cache.get("des", _key(2), DES)
+        cache.get("des", _key(3), DES)   # evicts key 1
+        snapshot = cache.registry.snapshot()
+        lookups = {s["labels"]["result"]: s["value"]
+                   for s in snapshot["counters"]["keycache_lookups_total"]
+                   ["series"]}
+        assert lookups == {"hit": 1, "miss": 3}
+        evictions = snapshot["counters"]["keycache_evictions_total"]
+        assert evictions["series"][0]["value"] == 1
+        gauges = snapshot["gauges"]
+        assert gauges["keycache_entries"]["series"][0]["value"] == 2
+        assert gauges["keycache_capacity"]["series"][0]["value"] == 2
+
+    def test_collector_is_incremental_across_snapshots(self):
+        cache = KeyScheduleCache(capacity=4)
+        cache.get("des", _key(1), DES)
+        first = cache.registry.snapshot()
+        cache.get("des", _key(1), DES)
+        second = cache.registry.snapshot()
+
+        def misses(snap):
+            return [s["value"] for s in
+                    snap["counters"]["keycache_lookups_total"]["series"]
+                    if s["labels"]["result"] == "miss"][0]
+
+        assert misses(first) == 1
+        assert misses(second) == 1   # no double counting
+        hits = [s["value"] for s in
+                second["counters"]["keycache_lookups_total"]["series"]
+                if s["labels"]["result"] == "hit"]
+        assert hits == [1.0]
+
+    def test_shared_cache_has_registry(self):
+        assert SHARED_CACHE.registry is not None
+        assert "keycache_lookups_total" in SHARED_CACHE.registry
+
+    def test_external_registry_can_be_supplied(self):
+        from repro.observability.metrics import MetricRegistry
+        registry = MetricRegistry("mine")
+        cache = KeyScheduleCache(capacity=2, registry=registry)
+        cache.get("des", _key(1), DES)
+        snapshot = registry.snapshot()
+        assert "keycache_lookups_total" in snapshot["counters"]

@@ -1,0 +1,178 @@
+"""Exporters: snapshot schema, Prometheus golden, paper-shaped report."""
+
+import io
+import json
+
+import pytest
+
+from repro.observability.export import (SNAPSHOT_SCHEMA, build_snapshot,
+                                        load_snapshot, render_report,
+                                        to_prometheus, validate_snapshot,
+                                        write_snapshot)
+from repro.observability.metrics import MetricRegistry
+from repro.observability.spans import Tracer
+
+
+def _sample_registry():
+    registry = MetricRegistry("sample")
+    requests = registry.counter("server_requests_total",
+                                "Requests processed by outcome.",
+                                labels=("op", "status"))
+    requests.inc(3, op="join", status="ok")
+    requests.inc(1, op="leave", status="ok")
+    registry.gauge("group_size", "Members.").set(17)
+    histogram = registry.histogram("rekey_seconds", "Latency.",
+                                   bounds=(0.001, 0.01, 0.1),
+                                   labels=("op", "status"))
+    histogram.observe(0.0005, op="join", status="ok")
+    histogram.observe(0.05, op="join", status="ok")
+    histogram.observe(0.5, op="join", status="ok")
+    return registry
+
+
+class TestSnapshotDocument:
+    def test_build_and_validate(self):
+        document = build_snapshot(_sample_registry(), label="unit")
+        validate_snapshot(document)
+        assert document["schema"] == SNAPSHOT_SCHEMA
+        assert document["label"] == "unit"
+
+    def test_extra_registries_are_merged(self):
+        other = MetricRegistry("other")
+        other.counter("keycache_lookups_total", "Lookups.",
+                      labels=("result",)).inc(9, result="hit")
+        document = build_snapshot(_sample_registry(), extra=(other,))
+        assert "keycache_lookups_total" in document["metrics"]["counters"]
+        assert "server_requests_total" in document["metrics"]["counters"]
+
+    def test_spans_sidecar(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        document = build_snapshot(_sample_registry(),
+                                  spans=tracer.export())
+        validate_snapshot(document)
+        assert document["spans"][0]["name"] == "op"
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        document = build_snapshot(_sample_registry(), label="roundtrip")
+        path = tmp_path / "snapshot.json"
+        write_snapshot(str(path), document)
+        assert load_snapshot(str(path)) == document
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.pop("schema"),
+        lambda d: d.__setitem__("schema", "repro-metrics/0"),
+        lambda d: d.pop("label"),
+        lambda d: d.pop("metrics"),
+        lambda d: d["metrics"].pop("histograms"),
+        lambda d: d["metrics"]["counters"]["server_requests_total"]
+        ["series"][0].pop("value"),
+        lambda d: d["metrics"]["histograms"]["rekey_seconds"]
+        ["series"][0]["counts"].pop(),
+        lambda d: d.__setitem__("spans", "not-a-list"),
+    ])
+    def test_validate_rejects_malformed(self, mutate):
+        document = build_snapshot(_sample_registry(), label="bad")
+        # JSON round trip gives an isolated deep copy to mutate.
+        document = json.loads(json.dumps(document))
+        mutate(document)
+        with pytest.raises(ValueError):
+            validate_snapshot(document)
+
+
+PROM_GOLDEN = """\
+# HELP server_requests_total Requests processed by outcome.
+# TYPE server_requests_total counter
+server_requests_total{op="join",status="ok"} 3
+server_requests_total{op="leave",status="ok"} 1
+# HELP group_size Members.
+# TYPE group_size gauge
+group_size 17
+# HELP rekey_seconds Latency.
+# TYPE rekey_seconds histogram
+rekey_seconds_bucket{op="join",status="ok",le="0.001"} 1
+rekey_seconds_bucket{op="join",status="ok",le="0.01"} 1
+rekey_seconds_bucket{op="join",status="ok",le="0.1"} 2
+rekey_seconds_bucket{op="join",status="ok",le="+Inf"} 3
+rekey_seconds_sum{op="join",status="ok"} 0.5505
+rekey_seconds_count{op="join",status="ok"} 3
+"""
+
+
+class TestPrometheus:
+    def test_golden_exposition(self):
+        assert to_prometheus(_sample_registry()) == PROM_GOLDEN
+
+    def test_registry_snapshot_and_document_agree(self):
+        registry = _sample_registry()
+        from_registry = to_prometheus(registry)
+        from_snapshot = to_prometheus(registry.snapshot())
+        from_document = to_prometheus(build_snapshot(registry))
+        assert from_registry == from_snapshot == from_document
+
+    def test_label_escaping(self):
+        registry = MetricRegistry("t")
+        registry.counter("c", "", labels=("path",)).inc(
+            1, path='a"b\\c\nd')
+        text = to_prometheus(registry)
+        assert r'path="a\"b\\c\nd"' in text
+
+
+class TestReport:
+    def test_report_contains_paper_tables(self):
+        document = build_snapshot(_sample_registry(), label="report")
+        report = render_report(document)
+        assert "Table 4 shape" in report
+        assert "join" in report
+
+    def test_report_from_experiment_snapshot(self):
+        """Acceptance: one runner snapshot regenerates the full report."""
+        from repro.simulation.runner import ExperimentConfig, run_experiment
+
+        result = run_experiment(ExperimentConfig(
+            initial_size=8, n_requests=10, client_mode="accounting",
+            signing="per-message"))
+        document = result.metrics_snapshot
+        validate_snapshot(document)
+        report = render_report(document)
+        # Table 4 shape: processing-time percentiles per op.
+        assert "Server processing time per request" in report
+        assert "p50" in report and "p99" in report
+        # Table 5 shape: rekey cost per request.
+        assert "Rekey cost per request" in report
+        assert "msgs/req" in report and "encr/req" in report
+        # Table 6 shape: client-side cost.
+        assert "Client-side cost per request" in report
+        assert "key changes/req" in report
+        # Stage breakdown from the pipeline clock.
+        assert "Pipeline stage latency" in report
+        for stage in ("plan", "encrypt", "sign", "dispatch"):
+            assert stage in report
+
+    def test_report_round_trips_through_disk(self, tmp_path):
+        """The CLI path: write the snapshot, re-render from the file."""
+        from repro.observability.__main__ import main
+        from repro.simulation.runner import ExperimentConfig, run_experiment
+
+        result = run_experiment(ExperimentConfig(
+            initial_size=8, n_requests=6, client_mode="none",
+            signing="none"))
+        path = tmp_path / "run.json"
+        write_snapshot(str(path), result.metrics_snapshot)
+
+        import contextlib
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            assert main(["report", str(path)]) == 0
+        assert "Rekey cost per request" in buffer.getvalue()
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            assert main(["validate", str(path)]) == 0
+        assert "OK" in buffer.getvalue()
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            assert main(["prom", str(path)]) == 0
+        assert "server_requests_total" in buffer.getvalue()

@@ -1,0 +1,253 @@
+"""MetricRegistry: families, histogram math, snapshot/merge determinism."""
+
+import math
+import subprocess
+import sys
+
+import pytest
+
+from repro.observability.metrics import (COUNT_BUCKETS, LATENCY_BUCKETS_S,
+                                         NULL_REGISTRY, SIZE_BUCKETS_BYTES,
+                                         MetricError, MetricRegistry,
+                                         merge_snapshots)
+
+
+class TestFamilies:
+    def test_counter_inc_and_value(self):
+        registry = MetricRegistry("t")
+        family = registry.counter("requests_total", "Requests.",
+                                  labels=("op",))
+        family.labels(op="join").inc()
+        family.labels(op="join").inc(2)
+        family.labels(op="leave").inc()
+        assert family.labels(op="join").value == 3
+        assert family.labels(op="leave").value == 1
+
+    def test_counter_rejects_negative(self):
+        registry = MetricRegistry("t")
+        counter = registry.counter("c", "").labels()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_family_shortcut_with_labels(self):
+        registry = MetricRegistry("t")
+        family = registry.counter("c", "", labels=("op",))
+        family.inc(5, op="join")
+        assert family.labels(op="join").value == 5
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricRegistry("t")
+        gauge = registry.gauge("g", "").labels()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_labels_cached_identity(self):
+        registry = MetricRegistry("t")
+        family = registry.counter("c", "", labels=("op",))
+        assert family.labels(op="x") is family.labels(op="x")
+
+    def test_declaration_idempotent(self):
+        registry = MetricRegistry("t")
+        first = registry.counter("c", "Help.", labels=("op",))
+        again = registry.counter("c", "Help.", labels=("op",))
+        assert first is again
+
+    def test_declaration_mismatch_raises(self):
+        registry = MetricRegistry("t")
+        registry.counter("c", "", labels=("op",))
+        with pytest.raises(MetricError):
+            registry.counter("c", "", labels=("other",))
+        with pytest.raises(MetricError):
+            registry.gauge("c", "")
+
+    def test_unknown_label_rejected(self):
+        registry = MetricRegistry("t")
+        family = registry.counter("c", "", labels=("op",))
+        with pytest.raises(MetricError):
+            family.labels(op="x", extra="y")
+
+
+class TestHistogramBuckets:
+    def test_latency_bounds_are_powers_of_two_microseconds(self):
+        assert LATENCY_BUCKETS_S[0] == pytest.approx(1e-6)
+        for lower, upper in zip(LATENCY_BUCKETS_S, LATENCY_BUCKETS_S[1:]):
+            assert upper == pytest.approx(2 * lower)
+        # Spans 1us .. ~16.8s: covers every stage and request latency.
+        assert LATENCY_BUCKETS_S[-1] > 10.0
+
+    def test_size_and_count_bounds(self):
+        assert SIZE_BUCKETS_BYTES[0] == 64.0
+        assert SIZE_BUCKETS_BYTES[-1] == float(1 << 21)
+        assert COUNT_BUCKETS[0] == 1.0
+        assert COUNT_BUCKETS[-1] == float(1 << 16)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        registry = MetricRegistry("t")
+        histogram = registry.histogram("h", "", bounds=(1.0, 2.0, 4.0)
+                                       ).labels()
+        # A value equal to an upper bound belongs to that bucket
+        # (le semantics: count of observations <= bound).
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        histogram.observe(5.0)   # overflow
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(12.0)
+        assert histogram.min == pytest.approx(1.0)
+        assert histogram.max == pytest.approx(5.0)
+
+    def test_mean(self):
+        registry = MetricRegistry("t")
+        histogram = registry.histogram("h", "", bounds=(10.0,)).labels()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.mean == pytest.approx(2.0)
+
+
+class TestHistogramQuantiles:
+    def _uniform(self, n=1000, hi=1.0):
+        registry = MetricRegistry("t")
+        histogram = registry.histogram(
+            "h", "", bounds=tuple(hi * k / 20 for k in range(1, 21))
+        ).labels()
+        for index in range(n):
+            histogram.observe(hi * (index + 0.5) / n)
+        return histogram
+
+    def test_quantiles_of_uniform_data(self):
+        histogram = self._uniform()
+        # With 20 equal buckets over uniform data, interpolation puts
+        # each quantile within one bucket width of the true value.
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert histogram.quantile(q) == pytest.approx(q, abs=0.06)
+
+    def test_quantile_clamped_to_observed_range(self):
+        registry = MetricRegistry("t")
+        histogram = registry.histogram("h", "", bounds=(1.0, 10.0)).labels()
+        histogram.observe(3.0)
+        assert histogram.quantile(0.0) >= histogram.min
+        assert histogram.quantile(1.0) <= histogram.max
+
+    def test_quantile_in_overflow_bucket_returns_max(self):
+        registry = MetricRegistry("t")
+        histogram = registry.histogram("h", "", bounds=(1.0,)).labels()
+        histogram.observe(100.0)
+        histogram.observe(200.0)
+        assert histogram.quantile(0.99) == pytest.approx(200.0)
+
+    def test_quantile_empty_is_zero(self):
+        registry = MetricRegistry("t")
+        histogram = registry.histogram("h", "", bounds=(1.0,)).labels()
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        registry = MetricRegistry("t")
+        histogram = registry.histogram("h", "", bounds=(1.0,)).labels()
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+
+def _build_registry(insertion_order):
+    """Same series content, inserted in the given order."""
+    registry = MetricRegistry("worker")
+    for name, op in insertion_order:
+        registry.counter(name, "Help.", labels=("op",)).inc(3, op=op)
+    registry.gauge("size", "Help.").set(7)
+    registry.histogram("lat", "Help.", bounds=(1.0, 2.0)).observe(1.5)
+    return registry
+
+
+class TestSnapshotDeterminism:
+    ORDER_A = [("b_total", "join"), ("a_total", "leave"), ("a_total", "join")]
+    ORDER_B = [("a_total", "join"), ("b_total", "join"), ("a_total", "leave")]
+
+    def test_snapshot_independent_of_insertion_order(self):
+        assert (_build_registry(self.ORDER_A).snapshot()
+                == _build_registry(self.ORDER_B).snapshot())
+
+    def test_snapshot_stable_across_hash_seeds(self):
+        script = (
+            "import json, sys; sys.path.insert(0, 'src')\n"
+            "from tests.observability.test_metrics import _build_registry, "
+            "TestSnapshotDeterminism\n"
+            "snap = _build_registry(TestSnapshotDeterminism.ORDER_A)"
+            ".snapshot()\n"
+            "print(json.dumps(snap, sort_keys=False))\n"
+        )
+        outputs = set()
+        for seed in ("0", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", script], capture_output=True,
+                text=True, check=True, cwd=".",
+                env={"PYTHONHASHSEED": seed, "PYTHONPATH": "src:."})
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
+
+    def test_snapshot_is_json_clean(self):
+        import json
+        snapshot = _build_registry(self.ORDER_A).snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+class TestMerge:
+    def test_counters_and_histograms_add_gauges_adopt(self):
+        first = _build_registry(TestSnapshotDeterminism.ORDER_A)
+        second = _build_registry(TestSnapshotDeterminism.ORDER_B)
+        merged = merge_snapshots(first.snapshot(), second.snapshot())
+        a_series = {tuple(sorted(s["labels"].items())): s["value"]
+                    for s in merged["counters"]["a_total"]["series"]}
+        assert a_series[(("op", "join"),)] == 6
+        assert a_series[(("op", "leave"),)] == 6
+        assert merged["gauges"]["size"]["series"][0]["value"] == 7
+        histogram = merged["histograms"]["lat"]["series"][0]
+        assert histogram["count"] == 2
+        assert histogram["sum"] == pytest.approx(3.0)
+
+    def test_merge_into_registry(self):
+        first = _build_registry(TestSnapshotDeterminism.ORDER_A)
+        registry = MetricRegistry("aggregate")
+        registry.merge(first.snapshot())
+        registry.merge(first.snapshot())
+        family = registry.get("a_total")
+        assert family.labels(op="join").value == 6
+
+    def test_merge_bounds_mismatch_raises(self):
+        registry = MetricRegistry("t")
+        registry.histogram("lat", "Help.", bounds=(5.0,)).observe(1.0)
+        other = MetricRegistry("o")
+        other.histogram("lat", "Help.", bounds=(1.0, 2.0)).observe(1.0)
+        with pytest.raises(MetricError):
+            registry.merge(other.snapshot())
+
+
+class TestResetAndCollectors:
+    def test_reset_values_preserves_child_identity(self):
+        registry = MetricRegistry("t")
+        counter = registry.counter("c", "", labels=("op",)).labels(op="x")
+        counter.inc(5)
+        registry.reset_values()
+        assert counter.value == 0
+        assert registry.counter("c", "", labels=("op",)
+                                ).labels(op="x") is counter
+
+    def test_collector_runs_before_snapshot(self):
+        registry = MetricRegistry("t")
+        gauge = registry.gauge("g", "").labels()
+        registry.add_collector(lambda reg: gauge.set(42))
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["g"]["series"][0]["value"] == 42
+
+
+class TestNullRegistry:
+    def test_null_registry_accepts_everything(self):
+        family = NULL_REGISTRY.counter("c", "", labels=("op",))
+        family.inc(1, op="x")
+        family.labels(op="x").inc()
+        NULL_REGISTRY.gauge("g", "").set(1)
+        NULL_REGISTRY.histogram("h", "").observe(1.0)
+        NULL_REGISTRY.add_collector(lambda reg: None)
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,171 @@
+"""Span tracing: IDs, nesting, wire trailer, end-to-end propagation."""
+
+import pytest
+
+from repro.core.pipeline import STAGES
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.observability import Instrumentation
+from repro.observability.spans import (NULL_TRACER, TRAILER_SIZE, SpanContext,
+                                       Tracer, attach_trace_trailer,
+                                       split_trace_trailer)
+
+
+class TestSpanBasics:
+    def test_root_span_starts_fresh_trace(self):
+        tracer = Tracer()
+        with tracer.span("a") as first:
+            pass
+        with tracer.span("b") as second:
+            pass
+        assert first.trace_id != second.trace_id
+        assert first.parent_id == 0 and second.parent_id == 0
+
+    def test_nested_spans_share_trace(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        assert tracer.current() is None
+
+    def test_ids_are_deterministic(self):
+        def run():
+            tracer = Tracer()
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            return [(s.trace_id, s.span_id, s.parent_id)
+                    for s in tracer.finished()]
+
+        assert run() == run()
+
+    def test_exception_marks_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished()
+        assert span.error
+
+    def test_remote_parent_continues_trace(self):
+        tracer = Tracer()
+        remote = SpanContext(trace_id=77, span_id=12)
+        with tracer.span("local", parent=remote) as span:
+            pass
+        assert span.trace_id == 77
+        assert span.parent_id == 12
+
+    def test_ring_bounds_finished_spans(self):
+        tracer = Tracer(capacity=2)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.finished()) == 2
+        assert tracer.dropped == 3
+        assert [s.name for s in tracer.finished()] == ["s3", "s4"]
+
+    def test_export_shape(self):
+        tracer = Tracer()
+        with tracer.span("op", user="u1"):
+            pass
+        (exported,) = tracer.export()
+        assert exported["name"] == "op"
+        assert exported["attributes"] == {"user": "u1"}
+        assert exported["duration_ns"] >= 0
+        assert exported["error"] is False
+
+    def test_attributes_and_set_chaining(self):
+        tracer = Tracer()
+        with tracer.span("op", a=1) as span:
+            span.set("b", 2).set("c", 3)
+        assert span.attributes == {"a": 1, "b": 2, "c": 3}
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", key="value") as span:
+            assert span.trace_id == 0
+            span.set("x", 1)
+        assert NULL_TRACER.finished() == []
+        assert NULL_TRACER.export() == []
+        assert NULL_TRACER.current() is None
+
+
+class TestWireTrailer:
+    def test_round_trip(self):
+        payload = b"protocol-bytes"
+        context = SpanContext(trace_id=123456789, span_id=42)
+        datagram = attach_trace_trailer(payload, context)
+        assert len(datagram) == len(payload) + TRAILER_SIZE
+        assert datagram.startswith(payload)
+        recovered, trace = split_trace_trailer(datagram)
+        assert recovered == payload
+        assert trace == context
+
+    def test_untagged_datagram_passes_through(self):
+        payload = b"no-trailer-here"
+        recovered, trace = split_trace_trailer(payload)
+        assert recovered == payload
+        assert trace is None
+
+    def test_short_datagram_passes_through(self):
+        recovered, trace = split_trace_trailer(b"tiny")
+        assert recovered == b"tiny"
+        assert trace is None
+
+
+class TestPipelinePropagation:
+    """A trace follows join -> rekey pipeline -> every stage."""
+
+    def _server(self):
+        tracer = Tracer()
+        instrumentation = Instrumentation("traced", tracer=tracer)
+        server = GroupKeyServer(ServerConfig(signing="none", seed=b"seed"),
+                                instrumentation=instrumentation)
+        return server, tracer
+
+    def test_join_produces_one_trace_with_all_stages(self):
+        server, tracer = self._server()
+        key = server.new_individual_key()
+        server.join("u1", key)
+
+        spans = tracer.finished()
+        trace_ids = {span.trace_id for span in spans}
+        assert len(trace_ids) == 1, "one operation => one trace"
+        (root,) = [span for span in spans if span.parent_id == 0]
+        assert root.name == "rekey.join"
+        assert root.attributes["user"] == "u1"
+        stage_spans = {span.name for span in spans if span is not root}
+        assert stage_spans == set(STAGES)
+        for span in spans:
+            if span is not root:
+                assert span.parent_id == root.span_id
+
+    def test_run_carries_trace_ids(self):
+        server, tracer = self._server()
+        server.join("u1", server.new_individual_key())
+        outcome = server.leave("u1")
+        assert outcome is not None
+        leave_roots = [span for span in tracer.finished()
+                       if span.name == "rekey.leave"]
+        assert len(leave_roots) == 1
+
+    def test_consecutive_operations_get_distinct_traces(self):
+        server, tracer = self._server()
+        server.join("u1", server.new_individual_key())
+        server.join("u2", server.new_individual_key())
+        roots = [span for span in tracer.finished() if span.parent_id == 0]
+        assert len(roots) == 2
+        assert roots[0].trace_id != roots[1].trace_id
+
+    def test_failed_plan_marks_error_span(self):
+        server, tracer = self._server()
+        with pytest.raises(Exception):
+            server.leave("nobody")   # not a member -> plan stage raises
+        plan_spans = [span for span in tracer.finished()
+                      if span.name == "plan"]
+        assert plan_spans and plan_spans[-1].error
+        roots = [span for span in tracer.finished() if span.parent_id == 0]
+        assert roots and roots[-1].error

@@ -1,0 +1,116 @@
+"""UDP telemetry: live stats endpoint and cross-process trace trailers."""
+
+import pytest
+
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.crypto.suite import PAPER_SUITE_NO_SIG
+from repro.observability import Instrumentation, Tracer
+from repro.observability.export import to_prometheus, validate_snapshot
+from repro.transport.udp import UdpGroupMember, UdpKeyServer, scrape_stats
+
+
+def _traced_server():
+    instrumentation = Instrumentation("udp-stats", tracer=Tracer())
+    return GroupKeyServer(
+        ServerConfig(strategy="group", degree=3, suite=PAPER_SUITE_NO_SIG,
+                     signing="none", seed=b"udp-stats-tests"),
+        instrumentation=instrumentation)
+
+
+@pytest.fixture()
+def traced_endpoint():
+    with UdpKeyServer(_traced_server()) as endpoint:
+        yield endpoint
+
+
+def _join(endpoint, user_id, timeout=10.0):
+    key = endpoint.server.new_individual_key()
+    endpoint.server.register_individual_key(user_id, key)
+    member = UdpGroupMember(user_id, PAPER_SUITE_NO_SIG, endpoint.address,
+                            timeout=timeout)
+    member.join(key)
+    return member
+
+
+def test_scrape_returns_live_snapshot(traced_endpoint):
+    members = [_join(traced_endpoint, f"c{i}") for i in range(3)]
+    try:
+        document = scrape_stats(traced_endpoint.address)
+        validate_snapshot(document)
+        counters = document["metrics"]["counters"]
+        series = {tuple(sorted(s["labels"].items())): s["value"]
+                  for s in counters["server_requests_total"]["series"]}
+        assert series[(("op", "join"), ("status", "ok"))] == 3
+        gauges = document["metrics"]["gauges"]
+        assert gauges["group_size"]["series"][0]["value"] == 3
+        # The same document feeds the Prometheus exposition directly.
+        assert "server_requests_total" in to_prometheus(document)
+    finally:
+        for member in members:
+            member.close()
+
+
+def test_scrape_includes_spans_when_traced(traced_endpoint):
+    member = _join(traced_endpoint, "c0")
+    try:
+        document = scrape_stats(traced_endpoint.address)
+        spans = document["spans"]
+        names = {span["name"] for span in spans}
+        assert "udp.request" in names
+        assert "rekey.join" in names
+        # The pipeline spans parent under the UDP request span: one
+        # trace covers socket receipt through dispatch.
+        roots = [s for s in spans if s["parent_id"] == 0]
+        assert {s["name"] for s in roots} == {"udp.request"}
+        rekey = next(s for s in spans if s["name"] == "rekey.join")
+        root = next(s for s in roots)
+        assert rekey["trace_id"] == root["trace_id"]
+        assert rekey["parent_id"] == root["span_id"]
+    finally:
+        member.close()
+
+
+def test_trailer_propagates_trace_to_member(traced_endpoint):
+    member = _join(traced_endpoint, "c0")
+    try:
+        assert member.last_trace is not None
+        server_traces = {span["trace_id"]
+                         for span in scrape_stats(traced_endpoint.address)
+                         ["spans"]}
+        assert member.last_trace.trace_id in server_traces
+    finally:
+        member.close()
+
+
+def test_untraced_server_sends_no_trailer():
+    server = GroupKeyServer(ServerConfig(
+        strategy="group", degree=3, suite=PAPER_SUITE_NO_SIG,
+        signing="none", seed=b"udp-untraced"))
+    with UdpKeyServer(server) as endpoint:
+        member = _join(endpoint, "c0")
+        try:
+            assert member.last_trace is None
+            # Stats still answer with a (registry-backed) snapshot.
+            document = scrape_stats(endpoint.address)
+            validate_snapshot(document)
+            assert "spans" not in document
+        finally:
+            member.close()
+
+
+def test_stats_request_does_not_disturb_protocol(traced_endpoint):
+    first = _join(traced_endpoint, "c0")
+    try:
+        scrape_stats(traced_endpoint.address)
+        second = _join(traced_endpoint, "c1")
+        try:
+            first.pump()
+            second.pump()
+            assert (first.client.group_key()
+                    == traced_endpoint.server.group_key())
+            assert (second.client.group_key()
+                    == traced_endpoint.server.group_key())
+        finally:
+            second.close()
+    finally:
+        first.close()
