@@ -1,0 +1,191 @@
+"""Cluster scaling sweep: per-op rekey cost vs shard count x group size.
+
+The point of sharding the key server (paper §5's scalability concern)
+is that a join/leave touches only the owning shard's LKH path plus an
+O(log n_shards) root layer — so per-operation cost is bounded by the
+**shard** size, not the total group size.  This sweep demonstrates that
+on the real cluster:
+
+* rows with a fixed shard size but 1 -> 16 shards (64x total members)
+  must show a *flat* mean shard-layer cost, and
+* rows with a fixed shard count but growing shard size must show the
+  cost *growing* (logarithmically) with the shard size, and
+* root-layer cost must depend only on the shard count.
+
+Usage::
+
+    python experiments/cluster_scale.py              # full sweep
+    python experiments/cluster_scale.py --quick      # CI smoke (seconds)
+    python experiments/cluster_scale.py --check      # enforce the floors
+    python experiments/cluster_scale.py --out X.json
+
+Writes a ``repro-bench/1`` JSON report (default ``BENCH_PR4.json`` at
+the repo root) via :mod:`bench_io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for _path in (os.path.join(_ROOT, "src"), os.path.join(_ROOT, "benchmarks")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import bench_io  # noqa: E402
+from repro.cluster import ClusterConfig, ClusterCoordinator  # noqa: E402
+
+DEFAULT_OUT = os.path.join(_ROOT, "BENCH_PR4.json")
+DEGREE = 4
+
+#: (n_shards, n_users) rows.  The first triple holds the shard size
+#: fixed while the cluster grows 64x; the second holds the shard count
+#: fixed while the shard size grows 64x.
+FULL_ROWS = {
+    "fixed_shard_size": [(1, 1024), (4, 4096), (16, 16384)],
+    "fixed_shard_count": [(16, 1024), (16, 16384), (16, 65536)],
+}
+QUICK_ROWS = {
+    "fixed_shard_size": [(1, 64), (4, 256), (16, 1024)],
+    "fixed_shard_count": [(16, 256), (16, 1024), (16, 4096)],
+}
+
+#: ``--check`` floors: flat means max/min <= FLAT_CEILING across the
+#: fixed-shard-size rows; growing means largest/smallest >= GROWTH_FLOOR
+#: across the fixed-shard-count rows.
+FLAT_CEILING = 1.35
+GROWTH_FLOOR = 1.25
+ROOT_SPREAD_CEILING = 1.05
+
+
+def run_row(n_shards: int, n_users: int, n_ops: int) -> dict:
+    seed = b"cluster-scale/%d/%d" % (n_shards, n_users)
+    coordinator = ClusterCoordinator(
+        ClusterConfig(n_shards=n_shards, degree=DEGREE,
+                      root_degree=DEGREE, seed=seed))
+    members = [(f"u{index:06d}", coordinator.new_individual_key())
+               for index in range(n_users)]
+    started = time.perf_counter()
+    coordinator.bootstrap(members)
+    bootstrap_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for index in range(n_ops // 2):
+        coordinator.join(f"walkin-{index:04d}",
+                         coordinator.new_individual_key())
+        coordinator.leave(f"u{index:06d}")
+    elapsed = time.perf_counter() - started
+
+    records = coordinator.history[-(2 * (n_ops // 2)):]
+    return {
+        "n_shards": n_shards,
+        "n_users": n_users,
+        "shard_size": n_users / n_shards,
+        "bootstrap_s": bootstrap_s,
+        "ops_per_s": len(records) / elapsed if elapsed > 0 else 0.0,
+        "shard_enc_per_op": (sum(record.shard_encryptions
+                                 for record in records) / len(records)),
+        "root_enc_per_op": (sum(record.root_encryptions
+                                for record in records) / len(records)),
+    }
+
+
+def run(quick: bool, out_path: str, check: bool) -> int:
+    rows_by_role = QUICK_ROWS if quick else FULL_ROWS
+    n_ops = 8 if quick else 32
+    report = bench_io.new_report("PR4", quick)
+    print(f"cluster scaling sweep ({'quick' if quick else 'full'} run)")
+
+    results: dict = {}
+    for role, rows in rows_by_role.items():
+        for n_shards, n_users in rows:
+            key = (n_shards, n_users)
+            if key not in results:
+                print(f"  {n_shards:>2} shard(s) x {n_users:>6} users ...",
+                      end="", flush=True)
+                results[key] = run_row(n_shards, n_users, n_ops)
+                row = results[key]
+                print(f" shard {row['shard_enc_per_op']:6.2f} enc/op, "
+                      f"root {row['root_enc_per_op']:5.2f} enc/op, "
+                      f"{row['ops_per_s']:8.1f} ops/s")
+            prefix = f"s{n_shards}_u{n_users}"
+            row = results[key]
+            bench_io.add_metric(report, f"{prefix}_shard_enc_per_op",
+                                "encryptions", row["shard_enc_per_op"])
+            bench_io.add_metric(report, f"{prefix}_root_enc_per_op",
+                                "encryptions", row["root_enc_per_op"])
+            bench_io.add_metric(report, f"{prefix}_ops_per_s", "ops/s",
+                                row["ops_per_s"])
+
+    flat_costs = [results[key]["shard_enc_per_op"]
+                  for key in rows_by_role["fixed_shard_size"]]
+    growth_rows = sorted(rows_by_role["fixed_shard_count"],
+                         key=lambda key: key[1])
+    growth_costs = [results[key]["shard_enc_per_op"] for key in growth_rows]
+    root_costs = [results[key]["root_enc_per_op"] for key in growth_rows]
+    flat_ratio = max(flat_costs) / min(flat_costs)
+    growth_ratio = growth_costs[-1] / growth_costs[0]
+    root_spread = max(root_costs) / min(root_costs)
+    # The root layer spans n_shards leaves: its cost is O(d log_d N).
+    n_shards = growth_rows[0][0]
+    root_bound = DEGREE * (math.ceil(math.log(max(n_shards, 2), DEGREE)) + 2)
+    bench_io.add_metric(report, "flat_ratio_fixed_shard_size", "ratio",
+                        flat_ratio)
+    bench_io.add_metric(report, "growth_ratio_fixed_shard_count", "ratio",
+                        growth_ratio)
+    bench_io.add_metric(report, "root_cost_spread", "ratio", root_spread)
+
+    bench_io.write_report(out_path, report)
+    print(f"wrote {out_path}")
+    print(f"  flat ratio   {flat_ratio:.3f} (ceiling {FLAT_CEILING}) — "
+          f"shard cost across 64x total growth at fixed shard size")
+    print(f"  growth ratio {growth_ratio:.3f} (floor {GROWTH_FLOOR}) — "
+          f"shard cost across 16x shard-size growth")
+    print(f"  root spread  {root_spread:.3f} (ceiling {ROOT_SPREAD_CEILING})"
+          f", root cost <= {root_bound}")
+
+    if check:
+        failures = []
+        if flat_ratio > FLAT_CEILING:
+            failures.append(
+                f"shard cost not flat in total group size: max/min "
+                f"{flat_ratio:.3f} > {FLAT_CEILING} at fixed shard size")
+        if growth_ratio < GROWTH_FLOOR:
+            failures.append(
+                f"shard cost did not grow with shard size: "
+                f"{growth_ratio:.3f} < {GROWTH_FLOOR}")
+        if root_spread > ROOT_SPREAD_CEILING:
+            failures.append(
+                f"root-layer cost varied with group size: spread "
+                f"{root_spread:.3f} > {ROOT_SPREAD_CEILING}")
+        if max(root_costs) > root_bound:
+            failures.append(
+                f"root-layer cost {max(root_costs):.2f} exceeds the "
+                f"O(d log_d n_shards) bound {root_bound}")
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}")
+        if failures:
+            return 1
+        print("all scaling checks passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke runs")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the scaling floors (exit 1 on fail)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"report path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    return run(args.quick, args.out, args.check)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

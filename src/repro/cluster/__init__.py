@@ -1,0 +1,46 @@
+"""Sharded key-server cluster (one logical group across N shards).
+
+* :mod:`~repro.cluster.partition` — deterministic consistent-hash ring;
+* :mod:`~repro.cluster.coordinator` — per-shard
+  :class:`~repro.core.server.GroupKeyServer` subtrees composed under a
+  root key layer, one group-oriented multicast per operation;
+* :mod:`~repro.cluster.failover` — warm standby: checkpoint + journaled
+  key-material draws, byte-identical promotion;
+* :mod:`~repro.cluster.routing` — the members' single front-end plus the
+  cluster-wide stats scrape.
+"""
+
+from .coordinator import (MAX_SHARDS, ROOT_LAYER_BASE, SHARD_ID_SPACE,
+                          ClusterConfig, ClusterCoordinator, ClusterError,
+                          ClusterRecord, ClusterRekeyOutcome, RootKeyLayer,
+                          Shard, namespace_tree, shard_id_base)
+from .failover import JOURNAL_FORMAT, FailoverError, WarmStandby
+from .partition import (DEFAULT_VNODES, HashRing, PartitionError, ShardId,
+                        ring_point)
+from .routing import ClusterFrontEnd, ClusterMember, RoutingError
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterError",
+    "ClusterRecord",
+    "ClusterRekeyOutcome",
+    "RootKeyLayer",
+    "Shard",
+    "namespace_tree",
+    "shard_id_base",
+    "SHARD_ID_SPACE",
+    "ROOT_LAYER_BASE",
+    "MAX_SHARDS",
+    "WarmStandby",
+    "FailoverError",
+    "JOURNAL_FORMAT",
+    "HashRing",
+    "PartitionError",
+    "ShardId",
+    "DEFAULT_VNODES",
+    "ring_point",
+    "ClusterFrontEnd",
+    "ClusterMember",
+    "RoutingError",
+]

@@ -116,6 +116,24 @@ class MultiGroupService:
         self._memberships[user_id].discard(group_name)
         return outcome
 
+    def remove_user(self, user_id: str) -> List[Tuple[str, RekeyOutcome]]:
+        """Deregister a user entirely: leave every group, drop the key.
+
+        The service-wide analogue of a single group's leave — after it,
+        no group holds the user and the shared individual key is
+        forgotten (a later :meth:`register_user` starts a fresh
+        authentication exchange with a fresh key).  Returns the
+        ``(group name, rekey outcome)`` pairs in deterministic (group
+        creation) order, so callers can deliver every group's rekey
+        messages.
+        """
+        groups = self.groups_of(user_id)  # validates the user exists
+        outcomes = [(name, self.leave(name, user_id))
+                    for name in self._servers if name in groups]
+        del self._individual_keys[user_id]
+        del self._memberships[user_id]
+        return outcomes
+
     # -- the merged key graph ---------------------------------------------------------
 
     def merged_key_graph(self) -> KeyGraph:

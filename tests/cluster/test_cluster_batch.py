@@ -1,0 +1,182 @@
+"""Batch rekeying across a shard boundary (satellite of the cluster PR).
+
+Two :class:`BatchRekeyServer` shards flush independently, then one
+root-layer rekey folds both new shard roots in.  The member-visible
+outcome — who can read group traffic afterwards — must be exactly what
+sequential single-server processing of the same requests produces.
+"""
+
+from typing import Dict
+
+from repro.batch.rekeying import BatchRekeyServer
+from repro.cluster import RootKeyLayer, namespace_tree, shard_id_base
+from repro.core.client import GroupClient
+from repro.crypto.suite import PAPER_SUITE
+
+SHARD_USERS = {
+    "batch-a": [f"a{index}" for index in range(8)],
+    "batch-b": [f"b{index}" for index in range(8)],
+}
+JOINS = {"batch-a": ["a-new0", "a-new1"], "batch-b": ["b-new0"]}
+LEAVES = {"batch-a": ["a2"], "batch-b": ["b5", "b6"]}
+
+
+def build_sharded():
+    shards: Dict[str, BatchRekeyServer] = {}
+    keys: Dict[str, bytes] = {}
+    for index, (name, users) in enumerate(sorted(SHARD_USERS.items())):
+        server = BatchRekeyServer(degree=3, suite=PAPER_SUITE,
+                                  seed=b"batch-shard-" + name.encode())
+        members = []
+        for user in users:
+            key = server.new_individual_key()
+            keys[user] = key
+            members.append((user, key))
+        server.bootstrap(members)
+        namespace_tree(server.tree, shard_id_base(index))
+        shards[name] = server
+    layer = RootKeyLayer(PAPER_SUITE, sorted(shards), degree=2,
+                         seed=b"batch-root")
+    layer.bootstrap({
+        name: ((server.tree.root.node_id, server.tree.root.version),
+               server.tree.root.key)
+        for name, server in shards.items()})
+    return shards, layer, keys
+
+
+def prime_batch_clients(shards, layer, keys):
+    clients: Dict[str, GroupClient] = {}
+    for name, server in shards.items():
+        for user in server.tree.users():
+            client = GroupClient(user, PAPER_SUITE, verify=False)
+            client.set_individual_key(keys[user])
+            path = server.tree.user_key_path(user)
+            client.set_leaf(path[0].node_id)
+            for node in path[1:]:
+                client.keys[node.node_id] = (node.version, node.key)
+            for record in layer.path_records(name):
+                client.keys[record.node_id] = (record.version, record.key)
+            client.root_ref = layer.group_key_ref()
+            clients[user] = client
+    return clients
+
+
+def deliver_flush(result, clients):
+    if result.rekey_message is not None:
+        for user in result.rekey_message.receivers:
+            if user in clients:
+                clients[user].process_message(result.rekey_message.message)
+    for outbound in result.joiner_messages:
+        for user in outbound.receivers:
+            clients[user].process_message(outbound.message)
+
+
+def test_cross_shard_flush_matches_sequential_single_server():
+    # -- sharded deployment: one flush per shard + one root-layer rekey.
+    shards, layer, keys = build_sharded()
+    clients = prime_batch_clients(shards, layer, keys)
+    group_key_before = layer.group_key()
+
+    departed = {}
+    for name, server in sorted(shards.items()):
+        for user in JOINS[name]:
+            key = server.new_individual_key()
+            keys[user] = key
+            client = GroupClient(user, PAPER_SUITE, verify=False)
+            client.set_individual_key(key)
+            clients[user] = client
+            server.request_join(user, key)
+        for user in LEAVES[name]:
+            departed[user] = clients.pop(user)
+            server.request_leave(user)
+
+    shard_results = {name: server.flush()
+                     for name, server in sorted(shards.items())}
+    for result in shard_results.values():
+        deliver_flush(result, clients)
+
+    # The joiners' unicasts carry only their shard path: the root-layer
+    # multicast below must hand them (and everyone else) the layer keys.
+    all_members = tuple(user for server in shards.values()
+                        for user in server.tree.users())
+    run = layer.rekey(
+        [(name, (server.tree.root.node_id, server.tree.root.version),
+          server.tree.root.key)
+         for name, server in sorted(shards.items())],
+        receivers=lambda: all_members)
+    assert len(run.messages) == 1  # one cluster-wide multicast
+    for user in run.messages[0].receivers:
+        clients[user].process_message(run.messages[0].message)
+
+    # -- sequential control: one server, same requests, one flush.
+    control = BatchRekeyServer(degree=3, suite=PAPER_SUITE,
+                               seed=b"batch-control")
+    control_keys = {}
+    control_members = []
+    for name in sorted(SHARD_USERS):
+        for user in SHARD_USERS[name]:
+            key = control.new_individual_key()
+            control_keys[user] = key
+            control_members.append((user, key))
+    control.bootstrap(control_members)
+    control_clients = {}
+    for user, key in control_members:
+        client = GroupClient(user, PAPER_SUITE, verify=False)
+        client.set_individual_key(key)
+        path = control.tree.user_key_path(user)
+        client.set_leaf(path[0].node_id)
+        for node in path[1:]:
+            client.keys[node.node_id] = (node.version, node.key)
+        client.root_ref = (control.tree.root.node_id,
+                           control.tree.root.version)
+        control_clients[user] = client
+    control_departed = {}
+    for name in sorted(SHARD_USERS):
+        for user in JOINS[name]:
+            key = control.new_individual_key()
+            client = GroupClient(user, PAPER_SUITE, verify=False)
+            client.set_individual_key(key)
+            control_clients[user] = client
+            control.request_join(user, key)
+        for user in LEAVES[name]:
+            control_departed[user] = control_clients.pop(user)
+            control.request_leave(user)
+    control_result = control.flush()
+    deliver_flush(control_result, control_clients)
+
+    # -- member-visible equivalence.
+    assert sorted(clients) == sorted(control_clients)
+    cluster_key = layer.group_key()
+    control_key = (control_clients[next(iter(control_clients))]
+                   .group_key())
+    assert cluster_key != group_key_before
+    for user in clients:
+        # Same members hold the (respective) current group key...
+        assert clients[user].group_key() == cluster_key, user
+        assert control_clients[user].group_key() == control_key, user
+    for user in departed:
+        # ...and the same departed users hold neither.
+        assert departed[user].group_key() != cluster_key
+        assert control_departed[user].group_key() != control_key
+
+    # Per-shard flush cost is bounded by shard membership, not by the
+    # whole logical group: each shard's multicast reached only its own
+    # members.
+    for name, result in shard_results.items():
+        shard_members = set(shards[name].tree.users())
+        assert set(result.rekey_message.receivers) <= shard_members
+        assert len(shard_members) < len(clients)
+
+
+def test_root_layer_refresh_between_flushes():
+    # With no shard changes the layer still rotates the cluster key.
+    shards, layer, keys = build_sharded()
+    clients = prime_batch_clients(shards, layer, keys)
+    before = layer.group_key()
+    all_members = tuple(clients)
+    run = layer.rekey([], receivers=lambda: all_members)
+    for user in run.messages[0].receivers:
+        clients[user].process_message(run.messages[0].message)
+    assert layer.group_key() != before
+    for user in clients:
+        assert clients[user].group_key() == layer.group_key()

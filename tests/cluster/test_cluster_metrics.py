@@ -1,0 +1,106 @@
+"""Cluster telemetry: per-shard labels, merged scrape, Prometheus text."""
+
+from repro.cluster import ClusterConfig, ClusterCoordinator
+from repro.observability import Instrumentation, Tracer, merge_snapshots
+from repro.observability.export import (build_snapshot, to_prometheus,
+                                        validate_snapshot)
+
+from .conftest import cluster_join, cluster_leave, prime_clients
+
+
+def build_cluster(trace=False):
+    instrumentation = (Instrumentation("cluster", tracer=Tracer())
+                       if trace else None)
+    coordinator = ClusterCoordinator(
+        ClusterConfig(n_shards=4, degree=3, seed=b"metrics"),
+        instrumentation=instrumentation)
+    members = [(f"user-{index:02d}", coordinator.new_individual_key())
+               for index in range(32)]
+    coordinator.bootstrap(members)
+    clients = prime_clients(coordinator, members)
+    for index in range(8):
+        cluster_join(coordinator, clients, f"joiner-{index}")
+    for index in range(4):
+        cluster_leave(coordinator, clients, f"user-{index:02d}")
+    return coordinator, clients
+
+
+def test_snapshot_is_valid_and_merged():
+    coordinator, _clients = build_cluster()
+    document = coordinator.stats_document()
+    validate_snapshot(document)
+    counters = document["metrics"]["counters"]
+    # Coordinator-level families...
+    assert "cluster_requests_total" in counters
+    assert "cluster_encryptions_total" in counters
+    # ...merged with the per-shard GroupKeyServer families.
+    assert "server_requests_total" in counters
+    assert "encryptions_total" in counters
+    total_requests = sum(series["value"] for series
+                         in counters["cluster_requests_total"]["series"]
+                         if series["labels"]["status"] == "ok")
+    assert total_requests == 12  # 8 joins + 4 leaves
+
+
+def test_per_shard_series_are_attributable():
+    coordinator, _clients = build_cluster()
+    document = coordinator.stats_document()
+    requests = document["metrics"]["counters"]["cluster_requests_total"]
+    shards_seen = {series["labels"]["shard"]
+                   for series in requests["series"]}
+    assert shards_seen <= {"0", "1", "2", "3"}
+    assert len(shards_seen) > 1  # the workload spread over shards
+    members = document["metrics"]["gauges"]["cluster_shard_members"]
+    by_shard = {series["labels"]["shard"]: series["value"]
+                for series in members["series"]}
+    assert sum(by_shard.values()) == coordinator.n_users
+    for shard in coordinator.shards:
+        assert by_shard[str(shard.shard_id)] == shard.server.n_users
+
+
+def test_encryptions_split_by_layer():
+    coordinator, _clients = build_cluster()
+    document = coordinator.stats_document()
+    encryptions = document["metrics"]["counters"][
+        "cluster_encryptions_total"]
+    by_layer = {}
+    for series in encryptions["series"]:
+        layer = series["labels"]["layer"]
+        by_layer[layer] = by_layer.get(layer, 0) + series["value"]
+    assert set(by_layer) == {"shard", "root"}
+    assert by_layer["shard"] > 0 and by_layer["root"] > 0
+    expected = sum(record.encryptions for record in coordinator.history)
+    assert by_layer["shard"] + by_layer["root"] == expected
+
+
+def test_prometheus_exposition_distinguishes_shards():
+    coordinator, _clients = build_cluster()
+    text = to_prometheus(coordinator.stats_document())
+    assert 'cluster_shard_members{shard="0"}' in text
+    assert 'cluster_shard_members{shard="1"}' in text
+    assert 'layer="root"' in text and 'layer="shard"' in text
+    assert "cluster_request_seconds_bucket" in text
+
+
+def test_spans_ride_along_when_tracing():
+    coordinator, _clients = build_cluster(trace=True)
+    document = coordinator.stats_document()
+    validate_snapshot(document)
+    names = {span["name"] for span in document["spans"]}
+    assert "cluster.join" in names
+    assert "cluster.leave" in names
+
+
+def test_snapshot_merges_with_other_sources():
+    # A fleet scraper can merge the cluster document with any other
+    # repro-metrics snapshot (merge_snapshots is associative).
+    coordinator, _clients = build_cluster()
+    other = Instrumentation("elsewhere")
+    other.registry.counter("elsewhere_total", "x").labels().inc()
+    merged = merge_snapshots(coordinator.stats_document()["metrics"],
+                             other.registry.snapshot())
+    document = build_snapshot(coordinator.instrumentation.registry)
+    document["metrics"] = merged
+    validate_snapshot(document)
+    assert "elsewhere_total" in merged["counters"]
+    assert "cluster_requests_total" in merged["counters"]

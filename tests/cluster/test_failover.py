@@ -1,0 +1,238 @@
+"""Warm-standby failover: byte-identical promotion, no member recovery."""
+
+import json
+
+import pytest
+
+from repro.cluster import (ClusterConfig, ClusterCoordinator, ClusterError,
+                           FailoverError, WarmStandby)
+from repro.cluster.failover import _ReplaySource
+from repro.core import persistence
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.observability import Instrumentation, Tracer
+
+from .conftest import (assert_consistent, cluster_join, cluster_leave,
+                       prime_clients)
+
+
+def make_server(seed=b"standby-tests", signing="none") -> GroupKeyServer:
+    server = GroupKeyServer(ServerConfig(degree=3, signing=signing,
+                                         seed=seed))
+    server.bootstrap([(f"u{index}", server.new_individual_key())
+                      for index in range(9)])
+    return server
+
+
+# -- the standby unit ----------------------------------------------------------
+
+
+def test_promote_without_journal_equals_checkpoint():
+    server = make_server()
+    standby = WarmStandby(server)
+    promoted = standby.promote()
+    assert persistence.snapshot(promoted) == persistence.snapshot(server)
+
+
+def test_journaled_replay_is_byte_identical():
+    server = make_server()
+    standby = WarmStandby(server)
+    key = server.new_individual_key()
+    with standby.recording("join", "new-user", key):
+        server.join("new-user", key)
+    with standby.recording("leave", "u3"):
+        server.leave("u3")
+    assert standby.journal_size == 2
+    promoted = standby.promote()
+    # Byte-for-byte: same node ids, versions AND key material, so
+    # members' held keys keep decrypting — no out-of-band recovery.
+    assert persistence.snapshot(promoted) == persistence.snapshot(server)
+    assert promoted._seq == server._seq
+
+
+def test_future_draws_diverge_after_promotion():
+    server = make_server()
+    standby = WarmStandby(server)
+    promoted = standby.promote()
+    # The successor's DRBG is reseeded: the next keys they would issue
+    # differ (running two live servers off one stream is a key-reuse
+    # hazard), while all *current* state matched above.
+    assert promoted.new_individual_key() != server.new_individual_key()
+
+
+def test_failed_operation_is_not_journaled():
+    server = make_server()
+    standby = WarmStandby(server)
+    with pytest.raises(Exception):
+        with standby.recording("leave", "ghost"):
+            server.leave("ghost")  # unknown user -> raises
+    assert standby.journal_size == 0
+    promoted = standby.promote()
+    assert persistence.snapshot(promoted) == persistence.snapshot(server)
+
+
+def test_checkpoint_interval_truncates_journal():
+    server = make_server()
+    standby = WarmStandby(server, checkpoint_interval=3)
+    for index in range(7):
+        key = server.new_individual_key()
+        with standby.recording("join", f"extra-{index}", key):
+            server.join(f"extra-{index}", key)
+    # 7 ops with interval 3: checkpoints after ops 3 and 6, one left.
+    assert standby.journal_size == 1
+    assert standby.checkpoints_taken == 3
+    promoted = standby.promote()
+    assert persistence.snapshot(promoted) == persistence.snapshot(server)
+
+
+def test_encrypted_checkpoints_round_trip():
+    server = make_server()
+    storage_key = b"\x11" * server.suite.key_size
+    standby = WarmStandby(server, storage_key=storage_key)
+    key = server.new_individual_key()
+    with standby.recording("join", "enc-user", key):
+        server.join("enc-user", key)
+    promoted = standby.promote()
+    assert persistence.snapshot(promoted) == persistence.snapshot(server)
+
+
+def test_standby_construction_errors():
+    server = make_server()
+    WarmStandby(server)
+    with pytest.raises(FailoverError):
+        WarmStandby(server)  # double recorder
+    other = make_server(seed=b"other")
+    with pytest.raises(FailoverError):
+        WarmStandby(other, checkpoint_interval=0)
+    with pytest.raises(FailoverError):
+        WarmStandby(other, storage_key=b"short")
+
+
+def test_recording_guards():
+    server = make_server()
+    standby = WarmStandby(server)
+    with pytest.raises(FailoverError):
+        standby.recording("refresh", "u1")
+    with pytest.raises(FailoverError):
+        standby.recording("join", "u1")  # join needs the individual key
+    with standby.recording("leave", "u1"):
+        with pytest.raises(FailoverError):
+            standby.recording("leave", "u2").__enter__()
+        server.leave("u1")
+
+
+def test_replay_divergence_fails_loud():
+    source = _ReplaySource(None, [("key", b"\x00" * 8)])
+    with pytest.raises(FailoverError):
+        source.new_iv()  # kind mismatch
+    assert source.new_key() == b"\x00" * 8
+    with pytest.raises(FailoverError):
+        source.new_key()  # exhausted
+
+
+def test_journal_blob_round_trip_and_format_check():
+    server = make_server()
+    standby = WarmStandby(server)
+    key = server.new_individual_key()
+    with standby.recording("join", "wired", key):
+        server.join("wired", key)
+    entries = WarmStandby.parse_journal(standby.journal_blob())
+    assert len(entries) == 1
+    assert entries[0].op == "join"
+    assert entries[0].individual_key == key
+    assert entries[0].draws  # the recorded key/IV material
+    bad = json.dumps({"format": 99, "entries": []}).encode()
+    with pytest.raises(FailoverError):
+        WarmStandby.parse_journal(bad)
+    with pytest.raises(FailoverError):
+        WarmStandby.parse_journal(b"\xff not json")
+
+
+# -- the cluster acceptance test -----------------------------------------------
+
+
+def structural_keyset(client):
+    """The (node id, version) pairs a member holds — the member-visible
+    key *structure*, identical across runs even where key bytes diverge
+    (the promoted server's post-failover DRBG is reseeded)."""
+    return {(node_id, version)
+            for node_id, (version, _key) in client.keys.items()}
+
+
+def run_cluster(fail_mid_workload: bool):
+    coordinator = ClusterCoordinator(
+        ClusterConfig(n_shards=4, degree=3, signing="none",
+                      seed=b"failover-acceptance"),
+        instrumentation=Instrumentation("cluster", tracer=Tracer()))
+    members = [(f"member-{index:03d}", coordinator.new_individual_key())
+               for index in range(32)]
+    coordinator.bootstrap(members)
+    clients = prime_clients(coordinator, members)
+    coordinator.enable_standbys(checkpoint_interval=8)
+
+    # Phase 1: identical workload in both runs.
+    for index in range(6):
+        cluster_join(coordinator, clients, f"phase1-{index}")
+    for index in range(3):
+        cluster_leave(coordinator, clients, f"member-{index:03d}")
+
+    victim_shard = coordinator.shard_of("member-010").shard_id
+    if fail_mid_workload:
+        dead = coordinator.fail_shard(victim_shard)
+        # Requests for the dead shard's users are refused, not lost.
+        with pytest.raises(ClusterError):
+            coordinator.leave("member-010")
+        promoted = coordinator.promote_standby(victim_shard)
+        # The promoted shard is byte-identical to the primary at death.
+        assert persistence.snapshot(promoted) == persistence.snapshot(dead)
+
+    # Phase 2: the workload continues — through the promoted shard too.
+    for index in range(6, 12):
+        cluster_join(coordinator, clients, f"phase2-{index}")
+    cluster_leave(coordinator, clients, "member-010")
+    cluster_leave(coordinator, clients, "member-011")
+    return coordinator, clients
+
+
+def test_failover_mid_workload_members_never_recover_out_of_band():
+    control_coord, control_clients = run_cluster(fail_mid_workload=False)
+    failed_coord, failed_clients = run_cluster(fail_mid_workload=True)
+
+    # Every member followed every rekey across the failover using only
+    # the keys it already held (a member needing out-of-band recovery
+    # would be missing the current group key).
+    assert_consistent(failed_coord, failed_clients)
+
+    # And the member-visible keyset matches the never-failed control
+    # run, user by user.
+    assert sorted(failed_clients) == sorted(control_clients)
+    for user_id, control_client in control_clients.items():
+        assert (structural_keyset(failed_clients[user_id])
+                == structural_keyset(control_client)), user_id
+    assert failed_coord.n_users == control_coord.n_users
+
+    # The failover is observable: one cluster.failover span plus the
+    # per-shard promotion counter.
+    spans = [span["name"] for span in
+             failed_coord.instrumentation.tracer.export()]
+    assert "cluster.failover" in spans
+    document = failed_coord.stats_document()
+    failovers = document["metrics"]["counters"]["cluster_failovers_total"]
+    assert sum(series["value"] for series in failovers["series"]) == 1
+
+
+def test_promote_requires_standby_and_known_shard(cluster):
+    coordinator, _clients = cluster
+    with pytest.raises(ClusterError):
+        coordinator.promote_standby(0)  # no standby armed
+    with pytest.raises(ClusterError):
+        coordinator.fail_shard(99)
+    coordinator.enable_standbys()
+    coordinator.fail_shard(0)
+    with pytest.raises(ClusterError):
+        coordinator.fail_shard(0)  # already failed
+    promoted = coordinator.promote_standby(0)
+    assert coordinator.shards[0].server is promoted
+    assert not coordinator.shards[0].failed
+    # The standby is re-armed: a second failure can also be survived.
+    coordinator.fail_shard(0)
+    coordinator.promote_standby(0)

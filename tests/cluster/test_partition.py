@@ -1,0 +1,94 @@
+"""Consistent-hash ring properties: determinism, balance, minimal movement."""
+
+import pytest
+
+from repro.cluster.partition import (DEFAULT_VNODES, HashRing, PartitionError,
+                                     ring_point)
+
+USERS = [f"user-{index}" for index in range(2000)]
+
+
+def test_ring_point_is_stable():
+    # MD5-based, so independent of PYTHONHASHSEED and process lifetime.
+    assert ring_point("user-0") == ring_point("user-0")
+    assert ring_point("user-0") != ring_point("user-1")
+    assert 0 <= ring_point("anything") < (1 << 64)
+
+
+def test_lookup_deterministic_across_instances():
+    a = HashRing(range(8))
+    b = HashRing(range(8))
+    for user in USERS[:200]:
+        assert a.shard_for(user) == b.shard_for(user)
+
+
+def test_partition_covers_every_user_exactly_once():
+    ring = HashRing(range(5))
+    assignment = ring.partition(USERS)
+    assert sorted(assignment) == list(range(5))
+    flattened = [user for users in assignment.values() for user in users]
+    assert sorted(flattened) == sorted(USERS)
+
+
+def test_balance_with_virtual_nodes():
+    ring = HashRing(range(4), vnodes=DEFAULT_VNODES)
+    spread = ring.spread(USERS)
+    expected = len(USERS) / 4
+    for shard, count in spread.items():
+        # Within 2x of fair share is the vnode guarantee we rely on.
+        assert expected / 2 < count < expected * 2, (shard, count)
+
+
+def test_more_vnodes_do_not_change_singleton_ring():
+    # With one shard every vnode count maps everything to it.
+    for vnodes in (1, 16, 128):
+        ring = HashRing(["only"], vnodes=vnodes)
+        assert ring.spread(USERS) == {"only": len(USERS)}
+
+
+def test_add_shard_moves_a_minority():
+    before = HashRing(range(4))
+    after = HashRing(range(4))
+    after.add_shard(4)
+    moved = after.moved_keys(before, USERS)
+    # ~1/5 of users move to the new shard; nothing shuffles between
+    # pre-existing shards.
+    assert 0 < len(moved) < len(USERS) / 2
+    for user in moved:
+        assert after.shard_for(user) == 4
+
+
+def test_remove_shard_reassigns_only_its_users():
+    before = HashRing(range(4))
+    after = HashRing(range(4))
+    after.remove_shard(2)
+    for user in USERS[:500]:
+        owner = before.shard_for(user)
+        if owner != 2:
+            assert after.shard_for(user) == owner
+        else:
+            assert after.shard_for(user) != 2
+
+
+def test_configuration_errors():
+    with pytest.raises(PartitionError):
+        HashRing([])
+    with pytest.raises(PartitionError):
+        HashRing([1, 1])
+    with pytest.raises(PartitionError):
+        HashRing([1], vnodes=0)
+    ring = HashRing([1, 2])
+    with pytest.raises(PartitionError):
+        ring.add_shard(1)
+    with pytest.raises(PartitionError):
+        ring.remove_shard(9)
+    ring.remove_shard(2)
+    with pytest.raises(PartitionError):
+        ring.remove_shard(1)
+
+
+def test_shards_property_is_a_copy():
+    ring = HashRing([1, 2])
+    shards = ring.shards
+    shards.append(99)
+    assert ring.shards == [1, 2]

@@ -98,3 +98,49 @@ def test_rekey_outcomes_are_real(service):
     assert outcome.rekey_messages
     outcome = service.leave("video", "alice")
     assert outcome.record.op == "leave"
+
+
+def test_remove_user_leaves_every_group(service):
+    for user in ("alice", "bob"):
+        service.join("video", user)
+        service.join("chat", user)
+    service.join("video", "carol")
+    outcomes = service.remove_user("alice")
+    # One real leave per group alice was in, in group-creation order.
+    assert [name for name, _outcome in outcomes] == ["video", "chat"]
+    for _name, outcome in outcomes:
+        assert outcome.record.op == "leave"
+        assert outcome.rekey_messages
+    assert not service.group("video").is_member("alice")
+    assert not service.group("chat").is_member("alice")
+    # The user is deregistered service-wide, key and all.
+    assert "alice" not in service.users()
+    with pytest.raises(MultiGroupError):
+        service.individual_key("alice")
+    with pytest.raises(MultiGroupError):
+        service.groups_of("alice")
+    # Everyone else is untouched.
+    assert service.groups_of("bob") == {"video", "chat"}
+    assert service.groups_of("carol") == {"video"}
+
+
+def test_remove_user_with_no_memberships(service):
+    outcomes = service.remove_user("dave")
+    assert outcomes == []
+    assert "dave" not in service.users()
+
+
+def test_remove_user_unknown_raises(service):
+    with pytest.raises(MultiGroupError):
+        service.remove_user("ghost")
+
+
+def test_remove_user_allows_fresh_registration(service):
+    service.join("chat", "bob")
+    old_key = service.individual_key("bob")
+    service.remove_user("bob")
+    service.register_user("bob")
+    assert service.individual_key("bob") != old_key
+    assert service.groups_of("bob") == set()
+    service.join("chat", "bob")
+    assert service.group("chat").is_member("bob")
