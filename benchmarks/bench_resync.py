@@ -1,0 +1,173 @@
+"""Recovery benchmark: resync latency, chaos convergence, eviction cost.
+
+Measures what PR 5's robustness layer costs and guarantees:
+
+* **resync_reply_build** — server-side cost of building one resync
+  reply (the unicast that repairs any gap), for tree and cluster
+  backends: this bounds how fast a recovery storm can be served;
+* **resync_roundtrip** — full repair: cold client + reply + install,
+  verifying the one-unicast-repairs-everything property at speed;
+* **chaos convergence** — the quick scenario matrix under its fault
+  profiles, reporting recovery rounds to convergence (the bound
+  ``--check`` gates) and resync pushes spent;
+* **shed_ratio** — rekey messages per evicted member when a mass
+  failure is shed through one batch flush (must stay ~1/N vs the
+  per-leave path).
+
+Usage::
+
+    python benchmarks/bench_resync.py             # full run
+    python benchmarks/bench_resync.py --quick     # CI smoke
+    python benchmarks/bench_resync.py --check     # enforce bounds
+    python benchmarks/bench_resync.py --out X.json
+
+Writes a ``repro-bench/1`` JSON report (default ``BENCH_PR5.json`` at
+the repo root) via :mod:`bench_io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for _path in (os.path.join(_ROOT, "src"), _HERE):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import bench_io  # noqa: E402
+from repro.chaos import quick_matrix, run_scenario  # noqa: E402
+from repro.chaos.scenarios import ScenarioConfig  # noqa: E402
+from repro.core.client import GroupClient  # noqa: E402
+from repro.core.server import GroupKeyServer, ServerConfig  # noqa: E402
+from repro.crypto.suite import PAPER_SUITE_NO_SIG  # noqa: E402
+from repro.recovery import RecoveryPolicy  # noqa: E402
+
+DEFAULT_OUT = os.path.join(_ROOT, "BENCH_PR5.json")
+
+#: ``--check`` bounds.  Recovery must converge within the manager's
+#: backoff envelope — a handful of rounds, not a drawn-out crawl — and
+#: shedding must make a mass eviction strictly cheaper than N rekeys.
+MAX_RECOVERY_ROUNDS = 8
+MAX_SHED_MESSAGES_PER_EVICTION = 1.0
+
+
+def bench_resync_build(n=512, quick=False):
+    """(replies/s, group size) for server-side reply construction."""
+    size = 64 if quick else 512
+    server = GroupKeyServer(ServerConfig(
+        degree=4, strategy="group", suite=PAPER_SUITE_NO_SIG,
+        signing="none", seed=b"bench-resync"))
+    members = [(f"u{i}", server.new_individual_key()) for i in range(size)]
+    server.bootstrap(members)
+    rounds = 50 if quick else n
+    started = time.perf_counter()
+    for i in range(rounds):
+        server.resync(f"u{i % size}")
+    elapsed = time.perf_counter() - started
+    return rounds / elapsed, size, server, dict(members)
+
+
+def bench_resync_roundtrip(server, members, quick=False):
+    """(repairs/s): cold client fully repaired per reply."""
+    uids = sorted(members)[: 20 if quick else 100]
+    group_key = server.group_key()
+    started = time.perf_counter()
+    for uid in uids:
+        client = GroupClient(uid, PAPER_SUITE_NO_SIG, verify=False)
+        client.set_individual_key(members[uid])
+        client.process_resync(server.resync(uid).encoded)
+        assert client.group_key() == group_key
+    elapsed = time.perf_counter() - started
+    return len(uids) / elapsed
+
+
+def bench_convergence(quick=False):
+    """Worst recovery-round count and resync pushes over the matrix."""
+    worst_rounds = 0
+    total_resyncs = 0
+    for config in quick_matrix():
+        report = run_scenario(config)
+        assert report.passed, f"scenario {config.name} failed to recover"
+        worst_rounds = max(worst_rounds, report.recovery_rounds)
+        total_resyncs += report.resyncs
+    return worst_rounds, total_resyncs
+
+
+def bench_shed_ratio(quick=False):
+    """Multicast rekey messages per member in a shed mass eviction."""
+    n_dead = 4 if quick else 8
+    config = ScenarioConfig(
+        name="bench-shed", stack="batch", profile="clean",
+        n_initial=16 if quick else 32, rounds=6,
+        crash_at={2: [f"u{i}" for i in range(n_dead)]},
+        policy=RecoveryPolicy(dead_after=3, shed_threshold=3),
+        seed=b"bench-shed")
+    report = run_scenario(config)
+    assert report.passed and len(report.evicted) == n_dead
+    # One shed flush produces one multicast rekey for the whole queue.
+    return report.shed_flushes / len(report.evicted), n_dead
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Recovery/resync benchmark (PR 5).")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny iteration counts for CI smoke")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the recovery bounds")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="report path (default BENCH_PR5.json)")
+    args = parser.parse_args(argv)
+
+    report = bench_io.new_report("PR5", args.quick)
+
+    replies_per_s, size, server, members = bench_resync_build(
+        quick=args.quick)
+    bench_io.add_metric(report, f"resync_reply_build_n{size}",
+                        "replies/s", round(replies_per_s, 1))
+
+    repairs_per_s = bench_resync_roundtrip(server, members,
+                                           quick=args.quick)
+    bench_io.add_metric(report, "resync_roundtrip_repair",
+                        "repairs/s", round(repairs_per_s, 1))
+
+    worst_rounds, total_resyncs = bench_convergence(quick=args.quick)
+    bench_io.add_metric(report, "chaos_worst_recovery_rounds",
+                        "rounds", worst_rounds)
+    bench_io.add_metric(report, "chaos_matrix_resync_pushes",
+                        "resyncs", total_resyncs)
+
+    shed_ratio, n_dead = bench_shed_ratio(quick=args.quick)
+    bench_io.add_metric(report, f"shed_flushes_per_eviction_n{n_dead}",
+                        "flushes/member", round(shed_ratio, 3))
+
+    bench_io.write_report(args.out, report)
+    print(f"wrote {args.out}")
+    for name, metric in report["metrics"].items():
+        print(f"  {name}: {metric['value']} {metric['unit']}")
+
+    if args.check:
+        failures = []
+        if worst_rounds > MAX_RECOVERY_ROUNDS:
+            failures.append(
+                f"recovery took {worst_rounds} rounds "
+                f"(bound {MAX_RECOVERY_ROUNDS})")
+        if shed_ratio > MAX_SHED_MESSAGES_PER_EVICTION / n_dead:
+            failures.append(
+                f"shed ratio {shed_ratio:.3f} flushes/member exceeds "
+                f"{MAX_SHED_MESSAGES_PER_EVICTION / n_dead:.3f} "
+                f"(one flush for all {n_dead})")
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("checks passed: recovery bounds hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,9 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..core.messages import (INDIVIDUAL_KEY, STRATEGY_GROUP_ORIENTED,
-                             Destination, KeyRecord, OutboundMessage)
+from ..core.messages import (INDIVIDUAL_KEY, MSG_DATA,
+                             STRATEGY_GROUP_ORIENTED, Destination,
+                             EncryptedItem, KeyRecord, Message,
+                             OutboundMessage)
 from ..core.pipeline import (KeyMaterialSource, RekeyPipeline, make_signer)
+from ..core.resync import RESYNC_NOT_MEMBER, RESYNC_OK, build_resync_reply
 from ..core.strategies.base import PlannedMessage, RekeyContext
 from ..crypto.suite import PAPER_SUITE, CipherSuite
 from ..keygraph.tree import KeyTree, TreeNode
@@ -106,6 +109,14 @@ class BatchRekeyServer:
             seal_individually=True, group_id=1,
             instrumentation=self.instrumentation)
 
+        # Dedicated IV stream for resync replies and data messages, so
+        # recovery traffic never perturbs the flush's key/IV draws.
+        self.resync_material = KeyMaterialSource(suite, seed,
+                                                 b"batch-resync")
+        self._m_resyncs = registry.counter(
+            "resync_replies_total",
+            "Resync replies served, by status.", labels=("status",))
+
     def _new_key(self) -> bytes:
         return self.material.new_key()
 
@@ -115,6 +126,25 @@ class BatchRekeyServer:
     def new_individual_key(self) -> bytes:
         """Generate an individual key (stands in for the auth exchange)."""
         return self.material.new_individual_key()
+
+    # -- membership (mirrors GroupKeyServer's surface) ---------------------
+
+    def is_member(self, user_id: str) -> bool:
+        """True iff ``user_id`` is currently in the (flushed) tree."""
+        return self.tree.has_user(user_id)
+
+    def members(self):
+        """Current member ids (flushed state)."""
+        return self.tree.users()
+
+    def group_key(self) -> bytes:
+        """Current group key bytes."""
+        return self.tree.group_key_node().key
+
+    def group_key_ref(self):
+        """(node id, version) of the current group key."""
+        root = self.tree.group_key_node()
+        return root.node_id, root.version
 
     # -- request intake ----------------------------------------------------
 
@@ -369,3 +399,50 @@ class BatchRekeyServer:
         d = self.tree.degree
         height = math.ceil(math.log(n, d)) + 1
         return n_joins * 2 * (height - 1) + n_leaves * d * (height - 1)
+
+    # -- recovery ----------------------------------------------------------
+
+    def resync(self, user_id: str) -> OutboundMessage:
+        """Serve one resync reply against the flushed tree state.
+
+        The batch tree's leaf keys *are* the members' individual keys,
+        so the reply shape matches the immediate server's exactly.
+        """
+        if not self.is_member(user_id):
+            self._m_resyncs.inc(status="not-member")
+            return build_resync_reply(
+                self.suite, self._signer, self.pipeline.sequencer,
+                group_id=1, user_id=user_id,
+                status=RESYNC_NOT_MEMBER, leaf_node_id=0)
+        leaf = self.tree.leaf_of(user_id)
+        records = [KeyRecord(node.node_id, node.version, node.key)
+                   for node in leaf.path_to_root()[1:]]
+        self._m_resyncs.inc(status="ok")
+        return build_resync_reply(
+            self.suite, self._signer, self.pipeline.sequencer,
+            group_id=1, user_id=user_id,
+            status=RESYNC_OK, leaf_node_id=leaf.node_id,
+            records=records, root_ref=self.group_key_ref(),
+            individual_key=leaf.key, iv=self.resync_material.new_iv())
+
+    def seal_group_message(self, payload: bytes) -> OutboundMessage:
+        """Encrypt application data under the current group key."""
+        import time
+        from ..crypto import modes
+        root_id, root_version = self.group_key_ref()
+        iv = self.resync_material.new_iv()
+        block = self.suite.block_size
+        padded_len = -(-max(len(payload), 1) // block) * block
+        padded = payload.ljust(padded_len, b"\x00")
+        cipher = self.suite.new_cipher(self.group_key())
+        ciphertext = modes.cbc_encrypt_nopad(cipher, padded, iv)
+        item = EncryptedItem(root_id, root_version, iv, ciphertext,
+                             len(payload))
+        message = Message(msg_type=MSG_DATA, group_id=1,
+                          seq=self.pipeline.sequencer.next(),
+                          timestamp_us=time.time_ns() // 1000,
+                          root_node_id=root_id, root_version=root_version,
+                          items=[item])
+        self._signer.seal([message])
+        return OutboundMessage(Destination.to_all(), message,
+                               tuple(self.tree.users()), message.encode())

@@ -1,0 +1,26 @@
+"""Deterministic fault injection for the secure-group stack.
+
+The paper assumes "a reliable message delivery system, for both unicast
+and multicast" (§5).  This package removes that assumption on purpose:
+:class:`~repro.chaos.faults.ChaosTransport` injects seeded, reproducible
+loss, duplication, reordering (via bounded delay), member crash/restart
+and network partitions under any transport consumer, and
+:mod:`repro.chaos.scenarios` drives Figure-10-style join/leave workloads
+under named fault profiles, asserting that every surviving member
+converges back to the group key through the resync protocol alone.
+
+Quick start::
+
+    python -m repro.chaos            # quick scenario matrix
+    python -m repro.chaos --full     # the full matrix
+"""
+
+from .faults import PROFILES, ChaosError, ChaosTransport, FaultProfile
+from .scenarios import (ScenarioConfig, ScenarioReport, full_matrix,
+                        quick_matrix, run_scenario)
+
+__all__ = [
+    "PROFILES", "ChaosError", "ChaosTransport", "FaultProfile",
+    "ScenarioConfig", "ScenarioReport", "full_matrix", "quick_matrix",
+    "run_scenario",
+]

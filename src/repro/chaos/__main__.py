@@ -1,0 +1,58 @@
+"""Run the chaos scenario matrix from the command line.
+
+::
+
+    python -m repro.chaos              # quick matrix (the CI smoke set)
+    python -m repro.chaos --full       # full matrix
+    python -m repro.chaos --json out.json
+
+Exits nonzero if any scenario fails to converge or a survivor cannot
+decrypt the post-recovery data probe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .scenarios import full_matrix, quick_matrix, run_scenario
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Chaos matrix: fault-injected group-rekeying runs.")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full matrix instead of the quick set")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the reports as JSON")
+    args = parser.parse_args(argv)
+
+    configs = full_matrix() if args.full else quick_matrix()
+    reports = [run_scenario(config) for config in configs]
+    for report in reports:
+        print(report.summary())
+
+    if args.json:
+        payload = [{
+            "name": r.name, "stack": r.stack, "profile": r.profile,
+            "passed": r.passed, "converged": r.converged,
+            "data_ok": r.data_ok, "survivors": r.survivors,
+            "resyncs": r.resyncs, "desyncs": r.desyncs,
+            "evicted": r.evicted, "shed_flushes": r.shed_flushes,
+            "recovery_rounds": r.recovery_rounds, "injected": r.injected,
+        } for r in reports]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+
+    failed = [r.name for r in reports if not r.passed]
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"all {len(reports)} scenarios recovered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

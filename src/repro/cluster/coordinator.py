@@ -41,12 +41,15 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.messages import (MSG_JOIN_DENIED, MSG_JOIN_REQUEST,
-                             MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST,
-                             STRATEGY_GROUP_ORIENTED, Destination, KeyRecord,
-                             Message, OutboundMessage, WireError)
+from ..core.messages import (MSG_DATA, MSG_HEARTBEAT, MSG_JOIN_DENIED,
+                             MSG_JOIN_REQUEST, MSG_LEAVE_DENIED,
+                             MSG_LEAVE_REQUEST, MSG_RESYNC_REQUEST,
+                             STRATEGY_GROUP_ORIENTED, Destination,
+                             EncryptedItem, KeyRecord, Message,
+                             OutboundMessage, WireError)
 from ..core.pipeline import (KeyMaterialSource, PipelineRun, RekeyPipeline,
                              Sequencer, make_signer)
+from ..core.resync import RESYNC_NOT_MEMBER, RESYNC_OK, build_resync_reply
 from ..core.server import (AccessDenied, GroupKeyServer, RekeyOutcome,
                            ServerConfig, ServerError)
 from ..core.strategies.base import PlannedMessage, RekeyContext
@@ -403,6 +406,18 @@ class ClusterCoordinator:
             config.seed + b"/coordinator" if config.seed is not None
             else None,
             b"cluster")
+        # Resync replies and sealed data draw IVs here, never from the
+        # shard/root-layer material: serving a resync must not perturb
+        # the rekey key stream (chaos runs stay byte-identical to the
+        # fault-free control run).
+        self.resync_material = KeyMaterialSource(
+            config.suite,
+            config.seed + b"/coordinator" if config.seed is not None
+            else None,
+            b"cluster-resync")
+        self._m_resyncs = registry.counter(
+            "resync_replies_total", "Resync replies served, by status.",
+            labels=("status",))
         self._registered_keys: Dict[str, bytes] = {}
         self.history: List[ClusterRecord] = []
         self._bootstrapped = False
@@ -626,6 +641,76 @@ class ClusterCoordinator:
         return ClusterRekeyOutcome(record, shard.shard_id, outcome,
                                    list(root_run.messages))
 
+    # -- resynchronization -------------------------------------------------
+
+    def resync(self, user_id: str) -> OutboundMessage:
+        """Serve one ``MSG_RESYNC_REPLY`` across both layers.
+
+        A member's reply carries its full current key path — shard leaf
+        parent up to the shard root, then the root-layer path to the
+        cluster group key — in one item under its individual key, so one
+        unicast repairs any gap.  Raises :class:`ClusterError` while the
+        owning shard is failed (the recovery loop retries after the
+        standby is promoted); a non-member gets ``RESYNC_NOT_MEMBER``.
+        """
+        self._require_bootstrap()
+        shard = self.shard_of(user_id)
+        with self.instrumentation.tracer.span(
+                "resync.reply", user=user_id,
+                shard=shard.shard_id) as span:
+            signer = self.root_layer._signer
+            sequencer = self.root_layer.pipeline.sequencer
+            if not shard.server.is_member(user_id):
+                self._m_resyncs.inc(status="not-member")
+                span.set("status", "not-member")
+                return build_resync_reply(
+                    self.suite, signer, sequencer,
+                    group_id=self.config.group_id, user_id=user_id,
+                    status=RESYNC_NOT_MEMBER, leaf_node_id=0)
+            if shard.failed:
+                self._m_resyncs.inc(status="unavailable")
+                span.set("status", "unavailable")
+                raise ClusterError(
+                    f"shard {shard.shard_id} is down; promote its standby")
+            path = shard.server.tree.user_key_path(user_id)
+            records = [KeyRecord(node.node_id, node.version, node.key)
+                       for node in path[1:]]
+            records.extend(self.root_layer.path_records(shard.name))
+            self._m_resyncs.inc(status="ok")
+            span.set("status", "ok").set("records", len(records))
+            return build_resync_reply(
+                self.suite, signer, sequencer,
+                group_id=self.config.group_id, user_id=user_id,
+                status=RESYNC_OK, leaf_node_id=path[0].node_id,
+                records=records, root_ref=self.group_key_ref(),
+                individual_key=path[0].key,
+                iv=self.resync_material.new_iv())
+
+    # -- application data --------------------------------------------------
+
+    def seal_group_message(self, payload: bytes) -> OutboundMessage:
+        """Encrypt application data under the cluster group key."""
+        self._require_bootstrap()
+        group_key = self.group_key()
+        root_id, root_version = self.group_key_ref()
+        iv = self.resync_material.new_iv()
+        from ..crypto import modes
+        block = self.suite.block_size
+        padded_len = -(-max(len(payload), 1) // block) * block
+        padded = payload.ljust(padded_len, b"\x00")
+        cipher = self.suite.new_cipher(group_key)
+        ciphertext = modes.cbc_encrypt_nopad(cipher, padded, iv)
+        item = EncryptedItem(root_id, root_version, iv, ciphertext,
+                             len(payload))
+        message = Message(
+            msg_type=MSG_DATA, group_id=self.config.group_id,
+            seq=self.root_layer.pipeline.sequencer.next(),
+            timestamp_us=time.time_ns() // 1000,
+            root_node_id=root_id, root_version=root_version, items=[item])
+        self.root_layer._signer.seal([message])
+        return OutboundMessage(Destination.to_all(), message,
+                               self._all_members(), message.encode())
+
     # -- failover ----------------------------------------------------------
 
     def enable_standbys(self, storage_key: Optional[bytes] = None,
@@ -725,6 +810,12 @@ class ClusterCoordinator:
                 return [shard.server._control_message(MSG_LEAVE_DENIED,
                                                       user_id)]
             return outcome.all_messages
+        if message.msg_type == MSG_RESYNC_REQUEST:
+            return [self.resync(user_id)]
+        if message.msg_type == MSG_HEARTBEAT:
+            # Heartbeats are consumed by a RecoveryManager wired in front
+            # of the coordinator; a bare coordinator ignores them.
+            return []
         raise ClusterError(f"unexpected message type {message.msg_type}")
 
     # -- telemetry ---------------------------------------------------------

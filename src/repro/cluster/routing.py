@@ -20,12 +20,13 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
-from ..core.client import GroupClient
-from ..core.messages import (MSG_JOIN_ACK, MSG_JOIN_DENIED, MSG_JOIN_REQUEST,
-                             MSG_LEAVE_ACK, MSG_LEAVE_DENIED,
-                             MSG_LEAVE_REQUEST, MSG_REKEY, MSG_STATS_REQUEST,
-                             MSG_STATS_RESPONSE, Destination, Message,
-                             OutboundMessage, WireError)
+from ..core.client import GroupClient, StaleKeyError
+from ..core.messages import (MSG_DATA, MSG_HEARTBEAT, MSG_JOIN_ACK,
+                             MSG_JOIN_DENIED, MSG_JOIN_REQUEST, MSG_LEAVE_ACK,
+                             MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST, MSG_REKEY,
+                             MSG_RESYNC_REPLY, MSG_RESYNC_REQUEST,
+                             MSG_STATS_REQUEST, MSG_STATS_RESPONSE,
+                             Destination, Message, OutboundMessage, WireError)
 from ..observability.export import validate_snapshot
 from ..transport.inmemory import InMemoryNetwork
 from .coordinator import ClusterCoordinator, ClusterError
@@ -42,10 +43,25 @@ class ClusterFrontEnd:
         self.coordinator = coordinator
         self.transport = (transport if transport is not None
                           else InMemoryNetwork(strict=False))
+        #: Optional :class:`~repro.recovery.manager.RecoveryManager`
+        #: consuming heartbeats and driving resync pushes/evictions.
+        self.recovery = None
         self._m_routed = coordinator.instrumentation.registry.counter(
             "cluster_routed_datagrams_total",
             "Member datagrams routed through the front-end, by shard.",
             labels=("shard",))
+
+    def enable_recovery(self, policy=None):
+        """Arm heartbeat-driven recovery over this front-end's transport.
+
+        Returns the manager; call its ``tick()`` once per protocol round
+        (and ``track()`` members as they join) to get resync pushes,
+        dead-member eviction and overload shedding.
+        """
+        from ..recovery import ClusterBackend, RecoveryManager
+        self.recovery = RecoveryManager(
+            ClusterBackend(self.coordinator), self.transport, policy=policy)
+        return self.recovery
 
     # -- membership of the delivery fabric ---------------------------------
 
@@ -77,13 +93,20 @@ class ClusterFrontEnd:
             response = Message(msg_type=MSG_STATS_RESPONSE, body=body)
             return [OutboundMessage(Destination.to_all(), response, (),
                                     response.encode())]
-        if message.msg_type not in (MSG_JOIN_REQUEST, MSG_LEAVE_REQUEST):
+        if message.msg_type not in (MSG_JOIN_REQUEST, MSG_LEAVE_REQUEST,
+                                    MSG_RESYNC_REQUEST, MSG_HEARTBEAT):
             raise RoutingError(
                 f"unroutable message type {message.msg_type}")
         user_id = message.body.decode("utf-8", errors="replace")
         shard = self.coordinator.shard_of(user_id)
         self._m_routed.inc(shard=str(shard.shard_id))
-        outputs = self.coordinator.handle_datagram(data)
+        if self.recovery is not None and message.msg_type in (
+                MSG_RESYNC_REQUEST, MSG_HEARTBEAT):
+            # The recovery manager owns liveness bookkeeping; it serves
+            # resyncs through the same coordinator backend.
+            outputs = self.recovery.receive(data)
+        else:
+            outputs = self.coordinator.handle_datagram(data)
         for outbound in outputs:
             self.transport.send(outbound)
         return outputs
@@ -110,6 +133,8 @@ class ClusterMember:
                                   verify=verify)
         self.denials = 0
         self.acks: List[int] = []
+        self.received: List[bytes] = []
+        self.data_failures = 0
 
     def join_request(self) -> bytes:
         """The wire join request for this member."""
@@ -121,17 +146,37 @@ class ClusterMember:
         return Message(msg_type=MSG_LEAVE_REQUEST,
                        body=self.user_id.encode("utf-8")).encode()
 
+    def resync_request(self) -> bytes:
+        """The wire resync request for this member."""
+        return Message(msg_type=MSG_RESYNC_REQUEST,
+                       body=self.user_id.encode("utf-8")).encode()
+
+    def heartbeat(self) -> bytes:
+        """One heartbeat carrying this member's group-key view."""
+        node_id, version = (self.client.root_ref
+                            if self.client.root_ref is not None else (0, 0))
+        return Message(msg_type=MSG_HEARTBEAT, root_node_id=node_id,
+                       root_version=version,
+                       body=self.user_id.encode("utf-8")).encode()
+
     def handle(self, payload: bytes) -> None:
         """Dispatch one delivered datagram onto the client state machine."""
         message = Message.decode(payload)
         if message.msg_type == MSG_REKEY:
             self.client.process_message(message)
+        elif message.msg_type == MSG_RESYNC_REPLY:
+            self.client.process_resync(message)
+        elif message.msg_type == MSG_DATA:
+            try:
+                self.received.append(self.client.open_data(message))
+            except StaleKeyError:
+                self.data_failures += 1
         elif message.msg_type in (MSG_JOIN_ACK, MSG_LEAVE_ACK):
             self.client.process_control(message)
             self.acks.append(message.msg_type)
         elif message.msg_type in (MSG_JOIN_DENIED, MSG_LEAVE_DENIED):
             self.denials += 1
-        # Anything else (e.g. data traffic) is not this shim's concern.
+        # Anything else (e.g. stats traffic) is not this shim's concern.
 
     @property
     def group_key(self) -> Optional[bytes]:

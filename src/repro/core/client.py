@@ -20,13 +20,22 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..crypto.modes import PaddingError
 from ..observability import Stopwatch
 from .messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_JOIN_ACK,
-                       MSG_LEAVE_ACK, MSG_REKEY, Message, WireError,
-                       decrypt_records)
+                       MSG_LEAVE_ACK, MSG_REKEY, MSG_RESYNC_REPLY, Message,
+                       WireError, decrypt_records)
+from .resync import RESYNC_NOT_MEMBER, RESYNC_OK, parse_resync_body
 from .signing import SigningError, verify_message
 
 
 class ClientError(ValueError):
     """Raised on protocol violations observed by the client."""
+
+
+class StaleKeyError(ClientError):
+    """Raised when traffic arrives under a group key we do not hold.
+
+    The failed decrypt is the client's §5 desync signal: it marks the
+    client desynchronized so the member layer can request a resync.
+    """
 
 
 @dataclass
@@ -39,12 +48,15 @@ class ClientStats:
     keys_changed: int = 0
     verify_failures: int = 0
     processing_seconds: float = 0.0
+    desyncs_detected: int = 0
+    resyncs: int = 0
 
     def snapshot(self) -> "ClientStats":
         """An independent copy of the counters."""
         return ClientStats(self.rekey_messages, self.rekey_bytes,
                            self.decryptions, self.keys_changed,
-                           self.verify_failures, self.processing_seconds)
+                           self.verify_failures, self.processing_seconds,
+                           self.desyncs_detected, self.resyncs)
 
 
 class GroupClient:
@@ -64,6 +76,13 @@ class GroupClient:
         # node_id -> (version, key bytes)
         self.keys: Dict[int, Tuple[int, bytes]] = {}
         self.root_ref: Optional[Tuple[int, int]] = None
+        # Set when gap detection notices we can no longer follow the
+        # rekey stream (an item referencing a key version we never saw,
+        # or a data message under an unheld group key).  Cleared by a
+        # successful resync or by a message that restores the group key.
+        self.desynced = False
+        # Set by a RESYNC_NOT_MEMBER reply: the server evicted us.
+        self.evicted = False
         self.stats = ClientStats()
 
     # -- key state ------------------------------------------------------------
@@ -98,6 +117,7 @@ class GroupClient:
         """Drop all group state (used after leaving)."""
         self.keys.clear()
         self.root_ref = None
+        self.desynced = False
 
     # -- message processing ---------------------------------------------------
 
@@ -150,14 +170,51 @@ class GroupClient:
         self.stats.rekey_messages += 1
         self.stats.rekey_bytes += size
 
-        changed = self._install_items(message.items)
-        self.root_ref = (message.root_node_id, message.root_version)
+        changed, leftovers = self._install_items(message.items)
+        self._adopt_root(message.root_node_id, message.root_version)
         self.stats.keys_changed += changed
         self.stats.processing_seconds += watch.elapsed()
+        # Gap detection (the §5 reliable-delivery assumption, relaxed):
+        # an undecryptable leftover referencing a *newer* version of a
+        # key we hold means we missed the rekey that produced it.
+        if any(self._references_missed_version(item) for item in leftovers):
+            self._mark_desync()
+        elif self.root_ref is not None and self.group_key() is None:
+            self._mark_desync()
+        elif self.desynced and self.group_key() is not None:
+            self.desynced = False
         return changed
 
-    def _install_items(self, items) -> int:
-        """Decrypt what we can, iterating to a fixed point."""
+    def _adopt_root(self, node_id: int, version: int) -> None:
+        """Adopt a message's group-key reference unless it is stale.
+
+        Same root node: only move the version forward (a delayed or
+        replayed message must not roll the group-key pointer back).  A
+        different root node (tree restructured, or a cluster's root
+        layer vs shard stream) is adopted as-is — cross-node staleness
+        cannot be ordered locally and is repaired by resync instead.
+        """
+        if (self.root_ref is not None and node_id == self.root_ref[0]
+                and version < self.root_ref[1]):
+            return
+        self.root_ref = (node_id, version)
+
+    def _references_missed_version(self, item) -> bool:
+        held = self.keys.get(item.enc_node_id)
+        return held is not None and item.enc_version > held[0]
+
+    def _mark_desync(self) -> None:
+        if not self.desynced:
+            self.desynced = True
+            self.stats.desyncs_detected += 1
+
+    def _install_items(self, items) -> Tuple[int, list]:
+        """Decrypt what we can, iterating to a fixed point.
+
+        Returns ``(keys changed, undecryptable leftovers)``.  Installs
+        are version-gated: a record older than the held version is a
+        stale duplicate and must not downgrade the key map.
+        """
         pending = list(items)
         changed = 0
         progress = True
@@ -176,12 +233,57 @@ class GroupClient:
                 self.stats.decryptions += 1
                 for record in records:
                     current = self.keys.get(record.node_id)
-                    if current is None or current != (record.version, record.key):
+                    if current is not None and record.version < current[0]:
+                        continue  # stale duplicate: never downgrade
+                    if current != (record.version, record.key):
                         self.keys[record.node_id] = (record.version, record.key)
                         changed += 1
                 progress = True
             pending = remaining
-        return changed
+        return changed, pending
+
+    # -- resynchronization ----------------------------------------------------
+
+    def process_resync(self, data: Union[bytes, Message]) -> int:
+        """Handle a ``MSG_RESYNC_REPLY``; returns the resync status.
+
+        An ``RESYNC_OK`` reply carries our full current key path in one
+        item under our individual key; its header root reference is
+        authoritative (it names the group key as of reply construction).
+        ``RESYNC_NOT_MEMBER`` means the server no longer considers us a
+        member (e.g. evicted after heartbeat silence): all group state
+        is dropped and :attr:`evicted` is set so the member layer can
+        decide whether to rejoin.
+        """
+        message = data if isinstance(data, Message) else Message.decode(data)
+        if message.msg_type != MSG_RESYNC_REPLY:
+            raise ClientError(
+                f"not a resync reply (type {message.msg_type})")
+        if self.verify:
+            try:
+                verify_message(self.suite, message, self.server_public_key)
+            except SigningError:
+                self.stats.verify_failures += 1
+                raise
+        status, leaf_node_id = parse_resync_body(message.body)
+        if status == RESYNC_NOT_MEMBER:
+            self.forget_all()
+            self.evicted = True
+            return status
+        if status != RESYNC_OK:
+            raise ClientError(f"unknown resync status {status}")
+        if leaf_node_id != INDIVIDUAL_KEY:
+            self.set_leaf(leaf_node_id)
+        changed, leftovers = self._install_items(message.items)
+        if leftovers:
+            raise ClientError("resync reply item not decryptable under "
+                              "the individual key")
+        self._adopt_root(message.root_node_id, message.root_version)
+        self.stats.keys_changed += changed
+        self.stats.resyncs += 1
+        if self.group_key() is not None:
+            self.desynced = False
+        return status
 
     # -- application data -------------------------------------------------------
 
@@ -193,7 +295,9 @@ class GroupClient:
         if self.verify:
             verify_message(self.suite, message, self.server_public_key)
         if not self.holds(message.root_node_id, message.root_version):
-            raise ClientError("data message under a group key we do not hold")
+            self._mark_desync()
+            raise StaleKeyError(
+                "data message under a group key we do not hold")
         if len(message.items) != 1:
             raise ClientError("data message must carry exactly one item")
         item = message.items[0]

@@ -45,6 +45,15 @@ MSG_LEAVE_DENIED = 8
 # empty, the response body is a repro-metrics/1 JSON document).
 MSG_STATS_REQUEST = 9
 MSG_STATS_RESPONSE = 10
+# Recovery protocol (relaxes the paper's §5 reliable-delivery
+# assumption).  A desynchronized member asks for its current path keys
+# (request body: UTF-8 user id); the server unicasts them in one item
+# encrypted under the member's individual key (reply body: status byte
+# + leaf node id).  Heartbeats carry the member's current group-key view
+# in the header root reference so the server can detect staleness.
+MSG_RESYNC_REQUEST = 11
+MSG_RESYNC_REPLY = 12
+MSG_HEARTBEAT = 13
 
 # Rekeying strategies (wire codes).
 STRATEGY_NONE = 0

@@ -30,13 +30,15 @@ from ..crypto.suite import PAPER_SUITE, CipherSuite
 from ..keygraph.star import StarGroup
 from ..keygraph.tree import KeyTree
 from ..observability import SIZE_BUCKETS_BYTES, Instrumentation
-from .messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_JOIN_ACK,
+from .messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_HEARTBEAT, MSG_JOIN_ACK,
                        MSG_JOIN_DENIED, MSG_JOIN_REQUEST, MSG_LEAVE_ACK,
                        MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST, MSG_REKEY,
-                       STRATEGY_STAR, Destination, EncryptedItem, KeyRecord,
-                       Message, OutboundMessage, WireError)
+                       MSG_RESYNC_REQUEST, STRATEGY_STAR, Destination,
+                       EncryptedItem, KeyRecord, Message, OutboundMessage,
+                       WireError)
 from .pipeline import (KeyMaterialSource, RekeyPipeline, Sequencer,
                        make_signer, validate_signing)
+from .resync import RESYNC_NOT_MEMBER, RESYNC_OK, build_resync_reply
 from .strategies import STRATEGIES
 from .strategies.base import PlannedMessage, RekeyContext
 
@@ -120,6 +122,11 @@ class GroupKeyServer:
         self.suite = config.suite
         self.material = KeyMaterialSource(config.suite, config.seed,
                                           b"group-key-server")
+        # Dedicated IV stream for resync replies: serving a resync must
+        # not perturb the main rekey key/IV draws, so a chaos run's key
+        # state stays byte-identical to a fault-free control run's.
+        self.resync_material = KeyMaterialSource(config.suite, config.seed,
+                                                 b"resync-replies")
         self.history: List[RequestRecord] = []
         # Individual keys registered by the (out-of-band) authentication
         # exchange, for users not yet members.
@@ -167,6 +174,9 @@ class GroupKeyServer:
         self._m_message_bytes = registry.histogram(
             "rekey_message_bytes", "Rekey message size distribution.",
             bounds=SIZE_BUCKETS_BYTES, labels=("op",))
+        self._m_resyncs = registry.counter(
+            "resync_replies_total",
+            "Resync replies served, by status.", labels=("status",))
         self._sequencer = Sequencer()
         self.pipeline = RekeyPipeline(
             config.suite, self.material, signer=self._signer,
@@ -532,6 +542,47 @@ class GroupKeyServer:
         return OutboundMessage(Destination.to_all(), message,
                                tuple(self.members()), message.encode())
 
+    # -- resynchronization ---------------------------------------------------------
+
+    def resync(self, user_id: str) -> OutboundMessage:
+        """Serve one ``MSG_RESYNC_REPLY`` for ``user_id`` (paper §5 relaxed).
+
+        A member gets its full current key path (leaf parent up to the
+        group key) in one item under its individual key; a non-member
+        gets ``RESYNC_NOT_MEMBER`` so a dead-then-evicted client learns
+        it must rejoin rather than wait for keys that never come.
+        """
+        with self.instrumentation.tracer.span("resync.reply",
+                                              user=user_id) as span:
+            if not self.is_member(user_id):
+                self._m_resyncs.inc(status="not-member")
+                span.set("status", "not-member")
+                return build_resync_reply(
+                    self.suite, self._signer, self._sequencer,
+                    group_id=self.config.group_id, user_id=user_id,
+                    status=RESYNC_NOT_MEMBER, leaf_node_id=0)
+            if self.tree is not None:
+                leaf = self.tree.leaf_of(user_id)
+                individual_key = leaf.key
+                leaf_node_id = leaf.node_id
+                records = [KeyRecord(node.node_id, node.version, node.key)
+                           for node in leaf.path_to_root()[1:]]
+            else:
+                individual_key = self.star.individual_key(user_id)
+                leaf_node_id = INDIVIDUAL_KEY
+                records = [KeyRecord(STAR_GROUP_NODE,
+                                     self.star.group_key_version,
+                                     self.star.group_key)]
+            self._m_resyncs.inc(status="ok")
+            span.set("status", "ok").set("records", len(records))
+            return build_resync_reply(
+                self.suite, self._signer, self._sequencer,
+                group_id=self.config.group_id, user_id=user_id,
+                status=RESYNC_OK, leaf_node_id=leaf_node_id,
+                records=records, root_ref=self.group_key_ref(),
+                individual_key=individual_key,
+                iv=self.resync_material.new_iv())
+
     # -- datagram interface ------------------------------------------------------------
 
     def handle_datagram(self, data: bytes) -> List[OutboundMessage]:
@@ -561,4 +612,10 @@ class GroupKeyServer:
                 self._m_requests.inc(op="leave", status="denied")
                 return [self._control_message(MSG_LEAVE_DENIED, user_id)]
             return outcome.all_messages
+        if message.msg_type == MSG_RESYNC_REQUEST:
+            return [self.resync(user_id)]
+        if message.msg_type == MSG_HEARTBEAT:
+            # Heartbeats are consumed by a RecoveryManager when one is
+            # wired in front of the server; a bare server ignores them.
+            return []
         raise ServerError(f"unexpected message type {message.msg_type}")

@@ -1,0 +1,324 @@
+"""Server-side recovery loop: resync pushes, retries, eviction, shedding.
+
+The manager runs on *logical ticks* (the scenario/operator calls
+:meth:`RecoveryManager.tick` once per protocol round), which keeps every
+decision deterministic and testable — no wall-clock timers.
+
+Per tick it:
+
+1. marks members silent for more than ``dead_after`` ticks as dead and
+   queues them for eviction;
+2. sends every due resync push (a fresh reply is built per attempt, so
+   retries always carry *current* keys), backing off exponentially and
+   escalating to eviction when the per-member delivery budget runs out;
+3. drains the eviction queue — one leave rekey per member, or, when the
+   backend batches (:class:`~repro.recovery.backends.BatchBackend`) and
+   the queue is at least ``shed_threshold`` deep, **one** collapsed
+   group-oriented flush (overload shedding: a mass failure costs one
+   rekey, not N).
+
+Resyncs are also served pull-style: a member that detected its own gap
+sends ``MSG_RESYNC_REQUEST`` and gets an immediate reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.messages import (MSG_HEARTBEAT, MSG_RESYNC_REQUEST,
+                             MSG_RESYNC_REPLY, Message, OutboundMessage,
+                             WireError)
+from ..core.resync import RESYNC_NOT_MEMBER, parse_resync_body
+from ..observability import Instrumentation
+
+
+class RecoveryError(ValueError):
+    """Raised on invalid recovery configuration or datagrams."""
+
+
+@dataclass
+class RecoveryPolicy:
+    """Tunables of the recovery loop (all in logical ticks)."""
+
+    dead_after: int = 8          # heartbeat silence before eviction
+    max_attempts: int = 5        # per-member resync delivery budget
+    backoff_base: int = 1        # first retry delay
+    backoff_factor: int = 2      # exponential growth per retry
+    backoff_cap: int = 8         # retry delay ceiling
+    shed_threshold: int = 4      # queue depth that triggers a shed flush
+    evict_on_budget_exhausted: bool = True
+
+    def validate(self) -> None:
+        """Check field consistency; raises RecoveryError."""
+        if self.dead_after < 1:
+            raise RecoveryError("dead_after must be >= 1")
+        if self.max_attempts < 1:
+            raise RecoveryError("max_attempts must be >= 1")
+        if self.backoff_base < 1 or self.backoff_factor < 1:
+            raise RecoveryError("backoff parameters must be >= 1")
+        if self.shed_threshold < 2:
+            raise RecoveryError("shed_threshold must be >= 2")
+
+    def backoff(self, attempts: int) -> int:
+        """Delay before the next push after ``attempts`` sends."""
+        delay = self.backoff_base * self.backoff_factor ** max(
+            0, attempts - 1)
+        return min(delay, self.backoff_cap)
+
+
+class _Pending:
+    """One member's outstanding resync push."""
+
+    __slots__ = ("attempts", "due")
+
+    def __init__(self, due: int):
+        self.attempts = 0
+        self.due = due
+
+
+class RecoveryManager:
+    """Heartbeat-driven resynchronization and eviction for one backend."""
+
+    def __init__(self, backend, transport, *,
+                 policy: Optional[RecoveryPolicy] = None,
+                 instrumentation: Optional[Instrumentation] = None):
+        self.backend = backend
+        self.transport = transport
+        self.policy = policy if policy is not None else RecoveryPolicy()
+        self.policy.validate()
+        self.instrumentation = (instrumentation if instrumentation is not None
+                                else Instrumentation("recovery"))
+        registry = self.instrumentation.registry
+        self._m_resyncs = registry.counter(
+            "recovery_resyncs_total",
+            "Resync replies produced, by trigger.", labels=("trigger",))
+        self._m_retries = registry.counter(
+            "recovery_retries_total",
+            "Resync pushes retried after backoff.").labels()
+        self._m_evictions = registry.counter(
+            "recovery_evictions_total",
+            "Members evicted, by reason.", labels=("reason",))
+        self._m_sheds = registry.counter(
+            "recovery_shed_flushes_total",
+            "Eviction queues collapsed into one batch flush.").labels()
+        self._m_failures = registry.counter(
+            "recovery_backend_failures_total",
+            "Backend errors while serving recovery, by op.",
+            labels=("op",))
+        self._m_pending = registry.gauge(
+            "recovery_pending_resyncs",
+            "Members with an outstanding resync push.").labels()
+        self._m_tracked = registry.gauge(
+            "recovery_tracked_members",
+            "Members under heartbeat surveillance.").labels()
+
+        self.now = 0
+        self._last_seen: Dict[str, int] = {}
+        self._pending: Dict[str, _Pending] = {}
+        self._evict_queue: List[str] = []
+        self._evict_attempts: Dict[str, int] = {}
+        self.evicted: List[str] = []
+        self.sheds = 0
+
+    # -- surveillance ------------------------------------------------------
+
+    def track(self, user_id: str) -> None:
+        """Start heartbeat surveillance for a member (counts as seen now)."""
+        self._last_seen[user_id] = self.now
+        self._m_tracked.set(len(self._last_seen))
+
+    def untrack(self, user_id: str) -> None:
+        """Stop surveillance (clean leave or post-eviction)."""
+        self._last_seen.pop(user_id, None)
+        self._pending.pop(user_id, None)
+        self._evict_attempts.pop(user_id, None)
+        if user_id in self._evict_queue:
+            self._evict_queue.remove(user_id)
+        self._m_tracked.set(len(self._last_seen))
+        self._m_pending.set(len(self._pending))
+
+    @property
+    def pending_resyncs(self) -> int:
+        """Members with an outstanding resync push."""
+        return len(self._pending)
+
+    @property
+    def pending_evictions(self) -> int:
+        """Dead members queued for an eviction rekey."""
+        return len(self._evict_queue)
+
+    # -- datagram entry ----------------------------------------------------
+
+    def receive(self, data: bytes) -> List[OutboundMessage]:
+        """Handle one recovery datagram (heartbeat or resync request).
+
+        Returns the reply messages (unsent — the caller owns delivery,
+        matching ``handle_datagram`` semantics elsewhere).
+        """
+        try:
+            message = Message.decode(data)
+        except WireError as exc:
+            raise RecoveryError(f"malformed datagram: {exc}") from None
+        user_id = message.body.decode("utf-8", errors="replace")
+        if message.msg_type == MSG_HEARTBEAT:
+            self.heartbeat(user_id,
+                           (message.root_node_id, message.root_version))
+            return []
+        if message.msg_type == MSG_RESYNC_REQUEST:
+            reply = self.serve_request(user_id)
+            return [reply] if reply is not None else []
+        raise RecoveryError(
+            f"unexpected message type {message.msg_type}")
+
+    def heartbeat(self, user_id: str, root_ref) -> None:
+        """Fold one heartbeat in: liveness plus group-key staleness."""
+        self._last_seen[user_id] = self.now
+        self._m_tracked.set(len(self._last_seen))
+        if user_id in self._evict_queue and self.backend.is_member(user_id):
+            # Went silent, came back before the eviction fired.
+            self._evict_queue.remove(user_id)
+            self._evict_attempts.pop(user_id, None)
+        if not self.backend.is_member(user_id):
+            # Not a member (evicted while it was down, or never joined):
+            # one push tells it so (RESYNC_NOT_MEMBER, no retries).
+            self._schedule(user_id)
+            return
+        if tuple(root_ref) != tuple(self.backend.group_key_ref()):
+            self._schedule(user_id)
+        else:
+            # Confirmed current: cancel any outstanding push.
+            if self._pending.pop(user_id, None) is not None:
+                self._m_pending.set(len(self._pending))
+
+    def serve_request(self, user_id: str) -> Optional[OutboundMessage]:
+        """Answer a member-initiated resync request immediately."""
+        self._last_seen[user_id] = self.now
+        reply = self._build_reply(user_id, trigger="request")
+        if reply is not None and self._pending.pop(user_id, None) is not None:
+            self._m_pending.set(len(self._pending))
+        return reply
+
+    def _schedule(self, user_id: str) -> None:
+        if user_id not in self._pending:
+            self._pending[user_id] = _Pending(due=self.now)
+            self._m_pending.set(len(self._pending))
+
+    def _build_reply(self, user_id: str,
+                     trigger: str) -> Optional[OutboundMessage]:
+        try:
+            reply = self.backend.resync(user_id)
+        except Exception:
+            # Backend temporarily unable (e.g. owning shard failed and
+            # not yet promoted): the retry loop will come back.
+            self._m_failures.inc(op="resync")
+            return None
+        self._m_resyncs.inc(trigger=trigger)
+        return reply
+
+    # -- the tick loop -----------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one logical round: silence, pushes, evictions."""
+        self.now += 1
+        self._detect_dead()
+        self._push_due()
+        self._drain_evictions()
+
+    def _detect_dead(self) -> None:
+        for user_id, last in list(self._last_seen.items()):
+            if self.now - last <= self.policy.dead_after:
+                continue
+            del self._last_seen[user_id]
+            self._pending.pop(user_id, None)
+            if self.backend.is_member(user_id) \
+                    and user_id not in self._evict_queue:
+                self._evict_queue.append(user_id)
+                self._m_evictions.inc(reason="silence")
+        self._m_tracked.set(len(self._last_seen))
+        self._m_pending.set(len(self._pending))
+
+    def _push_due(self) -> None:
+        tracer = self.instrumentation.tracer
+        for user_id, entry in list(self._pending.items()):
+            if entry.due > self.now:
+                continue
+            with tracer.span("resync.push", user=user_id,
+                             attempt=entry.attempts + 1):
+                reply = self._build_reply(user_id, trigger="push")
+            if entry.attempts:
+                self._m_retries.inc()
+            entry.attempts += 1
+            if reply is not None:
+                self.transport.send(reply)
+                status, _leaf = parse_resync_body(reply.message.body)
+                if status == RESYNC_NOT_MEMBER:
+                    # Nothing to converge to; no point retrying.
+                    del self._pending[user_id]
+                    continue
+            if entry.attempts >= self.policy.max_attempts:
+                del self._pending[user_id]
+                if self.policy.evict_on_budget_exhausted \
+                        and self.backend.is_member(user_id) \
+                        and user_id not in self._evict_queue:
+                    self._evict_queue.append(user_id)
+                    self._m_evictions.inc(reason="budget")
+                continue
+            entry.due = self.now + self.policy.backoff(entry.attempts)
+        self._m_pending.set(len(self._pending))
+
+    def _drain_evictions(self) -> None:
+        if not self._evict_queue:
+            return
+        tracer = self.instrumentation.tracer
+        queue = [user_id for user_id in self._evict_queue
+                 if self.backend.is_member(user_id)]
+        if not queue:
+            self._evict_queue.clear()
+            return
+        if self.backend.supports_batch \
+                and len(queue) >= self.policy.shed_threshold:
+            # Overload shedding: the whole queue in one batch flush.
+            with tracer.span("resync.evict", members=len(queue),
+                             mode="shed"):
+                try:
+                    messages = self.backend.evict(queue)
+                except Exception:
+                    self._m_failures.inc(op="evict")
+                    self._bump_evict_attempts(queue)
+                    return
+            self._m_sheds.inc()
+            self.sheds += 1
+            self.transport.send_all(messages)
+            for user_id in queue:
+                self._finish_eviction(user_id)
+            return
+        for user_id in queue:
+            with tracer.span("resync.evict", user=user_id, mode="single"):
+                try:
+                    messages = self.backend.evict([user_id])
+                except Exception:
+                    self._m_failures.inc(op="evict")
+                    self._bump_evict_attempts([user_id])
+                    continue
+            self.transport.send_all(messages)
+            self._finish_eviction(user_id)
+
+    def _bump_evict_attempts(self, user_ids) -> None:
+        """Count a failed eviction try; give up past the budget."""
+        for user_id in user_ids:
+            attempts = self._evict_attempts.get(user_id, 0) + 1
+            if attempts >= self.policy.max_attempts:
+                if user_id in self._evict_queue:
+                    self._evict_queue.remove(user_id)
+                self._evict_attempts.pop(user_id, None)
+            else:
+                self._evict_attempts[user_id] = attempts
+
+    def _finish_eviction(self, user_id: str) -> None:
+        self.evicted.append(user_id)
+        if user_id in self._evict_queue:
+            self._evict_queue.remove(user_id)
+        self._evict_attempts.pop(user_id, None)
+        self._pending.pop(user_id, None)
+        self._last_seen.pop(user_id, None)

@@ -139,4 +139,6 @@ class ClientSimulator:
             total.keys_changed += stats.keys_changed
             total.verify_failures += stats.verify_failures
             total.processing_seconds += stats.processing_seconds
+            total.desyncs_detected += stats.desyncs_detected
+            total.resyncs += stats.resyncs
         return total

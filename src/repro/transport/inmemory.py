@@ -57,13 +57,20 @@ class InMemoryNetwork(Transport):
     def send(self, outbound: OutboundMessage) -> None:
         """Deliver to every receiver (loss applied per copy)."""
         payload = outbound.encoded or outbound.message.encode()
+        self.stats.bytes_sent += len(payload)
         if outbound.destination.kind == DEST_USER:
             self.stats.unicast_sends += 1
-        else:
-            self.stats.multicast_sends += 1
-        self.stats.bytes_sent += len(payload)
+            for user_id in outbound.receivers:
+                self.deliver_to(user_id, payload)
+            return
+        self.stats.multicast_sends += 1
+        # A multicast racing a just-detached member must not abort the
+        # fan-out: that copy is undeliverable, the rest still go out.
         for user_id in outbound.receivers:
-            self.deliver_to(user_id, payload)
+            try:
+                self.deliver_to(user_id, payload)
+            except UnknownReceiverError:
+                self.undeliverable += 1
 
     def deliver_to(self, user_id: str, payload: bytes) -> bool:
         """Deliver one copy; returns False if dropped or unaddressable."""

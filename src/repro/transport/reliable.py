@@ -8,46 +8,95 @@ retransmitted copy that raced a late original is processed once.
 
 The envelope is 12 bytes — sequence number (8) and attempt counter (4) —
 prepended to the payload.
+
+Deduplication state is a **bounded sliding window** per receiver (not an
+ever-growing set): sequence numbers at or below ``max_seen - window`` are
+treated as duplicates outright — by then any legitimate original or
+retransmission has long been superseded — so memory stays O(window) per
+receiver over an unbounded workload.
+
+The underlying transport only needs ``attach``/``detach``/``deliver_to``
+(duck-typed), so a :class:`~repro.chaos.faults.ChaosTransport` can sit
+between this layer and the raw bus.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, Set
+from typing import Callable, Dict
 
 from ..core.messages import OutboundMessage
 from .base import Transport
-from .inmemory import InMemoryNetwork
 
 _ENVELOPE = struct.Struct(">QI")
+
+#: Default dedup window width (sequence numbers remembered per receiver).
+DEFAULT_DEDUP_WINDOW = 1024
 
 
 class DeliveryFailure(RuntimeError):
     """Raised when a copy cannot be delivered within ``max_attempts``."""
 
 
-class ReliableDelivery(Transport):
-    """Ack/retransmit wrapper around an :class:`InMemoryNetwork`."""
+class _DedupWindow:
+    """Sliding-window duplicate detector over 64-bit sequence numbers.
 
-    def __init__(self, network: InMemoryNetwork, max_attempts: int = 16,
-                 registry=None):
+    Remembers at most ~2x ``window`` recent sequence numbers; anything
+    older than ``max_seen - window`` is reported as a duplicate without
+    being stored.  ``seen()`` both tests and records.
+    """
+
+    __slots__ = ("window", "max_seen", "_recent")
+
+    def __init__(self, window: int = DEFAULT_DEDUP_WINDOW):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.max_seen = 0
+        self._recent: set = set()
+
+    def __len__(self) -> int:
+        return len(self._recent)
+
+    def seen(self, seq: int) -> bool:
+        """True iff ``seq`` was already processed (or fell off the window)."""
+        if seq <= self.max_seen - self.window:
+            return True  # beyond the horizon: stale by construction
+        if seq in self._recent:
+            return True
+        self._recent.add(seq)
+        if seq > self.max_seen:
+            self.max_seen = seq
+            # Amortized prune: drop everything past the horizon once the
+            # set grows to twice the window.
+            if len(self._recent) > 2 * self.window:
+                horizon = self.max_seen - self.window
+                self._recent = {s for s in self._recent if s > horizon}
+        return False
+
+
+class ReliableDelivery(Transport):
+    """Ack/retransmit wrapper around an in-memory style transport."""
+
+    def __init__(self, network, max_attempts: int = 16,
+                 dedup_window: int = DEFAULT_DEDUP_WINDOW, registry=None):
         super().__init__(registry)
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         self._network = network
         self._max_attempts = max_attempts
+        self._dedup_window = dedup_window
         self._seq = 0
-        self._seen: Dict[str, Set[int]] = {}
+        self._seen: Dict[str, _DedupWindow] = {}
 
     def attach(self, user_id: str, handler: Callable[[bytes], None]) -> None:
         """Register a receiver behind the dedup layer."""
-        self._seen[user_id] = set()
+        self._seen[user_id] = _DedupWindow(self._dedup_window)
 
         def deduplicating_handler(enveloped: bytes) -> None:
             seq, _attempt = _ENVELOPE.unpack_from(enveloped, 0)
-            if seq in self._seen[user_id]:
+            if self._seen[user_id].seen(seq):
                 return  # duplicate of an already-processed copy
-            self._seen[user_id].add(seq)
             handler(enveloped[_ENVELOPE.size:])
 
         self._network.attach(user_id, deduplicating_handler)

@@ -1,0 +1,201 @@
+"""RecoveryManager: heartbeats, retries, eviction, overload shedding."""
+
+import pytest
+
+from repro.batch.rekeying import BatchRekeyServer
+from repro.core.client import GroupClient
+from repro.core.messages import MSG_RESYNC_REPLY, Message
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.crypto.suite import PAPER_SUITE_NO_SIG
+from repro.recovery import (BatchBackend, RecoveryManager, RecoveryPolicy,
+                            ServerBackend)
+from repro.recovery.manager import RecoveryError
+from repro.transport.inmemory import InMemoryNetwork
+
+
+def make_stack(n=8, policy=None, batch=False):
+    if batch:
+        server = BatchRekeyServer(degree=3, suite=PAPER_SUITE_NO_SIG,
+                                  seed=b"mgr-tests")
+        backend = BatchBackend(server)
+    else:
+        server = GroupKeyServer(ServerConfig(
+            degree=3, strategy="group", suite=PAPER_SUITE_NO_SIG,
+            signing="none", seed=b"mgr-tests"))
+        backend = ServerBackend(server)
+    members = [(f"u{i}", server.new_individual_key()) for i in range(n)]
+    server.bootstrap(members)
+    network = InMemoryNetwork(strict=False)
+    inboxes = {}
+    for uid, _key in members:
+        inboxes[uid] = []
+        network.attach(uid, inboxes[uid].append)
+    manager = RecoveryManager(backend, network, policy=policy)
+    for uid, _key in members:
+        manager.track(uid)
+    return server, manager, network, inboxes, dict(members)
+
+
+def test_policy_validation():
+    with pytest.raises(RecoveryError):
+        RecoveryPolicy(dead_after=0).validate()
+    with pytest.raises(RecoveryError):
+        RecoveryPolicy(max_attempts=0).validate()
+    with pytest.raises(RecoveryError):
+        RecoveryPolicy(backoff_factor=0).validate()
+    with pytest.raises(RecoveryError):
+        RecoveryPolicy(shed_threshold=1).validate()
+
+
+def test_backoff_progression_is_capped():
+    policy = RecoveryPolicy(backoff_base=1, backoff_factor=2, backoff_cap=8)
+    assert [policy.backoff(n) for n in range(1, 7)] == [1, 2, 4, 8, 8, 8]
+
+
+def test_current_heartbeat_schedules_nothing():
+    server, manager, _network, inboxes, _ = make_stack()
+    manager.heartbeat("u0", server.group_key_ref())
+    manager.tick()
+    assert manager.pending_resyncs == 0
+    assert inboxes["u0"] == []
+
+
+def test_stale_heartbeat_triggers_resync_push():
+    server, manager, _network, inboxes, _ = make_stack()
+    manager.heartbeat("u0", (0, 0))
+    manager.tick()
+    assert len(inboxes["u0"]) == 1
+    assert Message.decode(inboxes["u0"][0]).msg_type == MSG_RESYNC_REPLY
+    # The push keeps retrying (with backoff) until a heartbeat confirms.
+    for _ in range(3):
+        manager.tick()
+    assert len(inboxes["u0"]) >= 2
+    manager.heartbeat("u0", server.group_key_ref())
+    assert manager.pending_resyncs == 0
+
+
+def test_resync_push_actually_repairs_a_client(monkeypatch=None):
+    server, manager, _network, inboxes, members = make_stack()
+    client = GroupClient("u0", PAPER_SUITE_NO_SIG, verify=False)
+    client.set_individual_key(members["u0"])
+    manager.heartbeat("u0", (0, 0))
+    manager.tick()
+    client.process_resync(inboxes["u0"][0])
+    assert client.group_key() == server.group_key()
+
+
+def test_budget_exhaustion_escalates_to_eviction():
+    policy = RecoveryPolicy(max_attempts=3, backoff_base=1,
+                            backoff_factor=1, dead_after=100)
+    server, manager, _network, inboxes, _ = make_stack(policy=policy)
+    manager.heartbeat("u0", (0, 0))
+    for _ in range(6):
+        # Keep the member "alive" so silence detection stays out of it:
+        # this eviction must come from the delivery budget alone.
+        manager._last_seen["u0"] = manager.now
+        manager.tick()
+    assert len(inboxes["u0"]) == 3          # budget spent
+    assert "u0" in manager.evicted          # then escalated
+    assert not server.is_member("u0")
+    # The eviction produced a leave rekey for the remaining members.
+    assert any(inboxes[f"u{i}"] for i in range(1, 8))
+
+
+def test_silence_evicts_dead_member():
+    policy = RecoveryPolicy(dead_after=3)
+    server, manager, _network, _inboxes, _ = make_stack(policy=policy)
+    for _ in range(10):
+        for i in range(1, 8):
+            manager.heartbeat(f"u{i}", server.group_key_ref())
+        manager.tick()
+    assert manager.evicted == ["u0"]
+    assert not server.is_member("u0")
+    assert server.is_member("u1")
+
+
+def test_comeback_heartbeat_cancels_queued_eviction():
+    policy = RecoveryPolicy(dead_after=2)
+    server, manager, _network, _inboxes, _ = make_stack(policy=policy)
+
+    # Queue the eviction manually (detected dead) but have the member
+    # heartbeat before the drain would fire.
+    manager._evict_queue.append("u0")
+    manager.heartbeat("u0", server.group_key_ref())
+    manager.tick()
+    assert manager.evicted == []
+    assert server.is_member("u0")
+
+
+def test_deep_queue_sheds_to_one_batch_flush():
+    policy = RecoveryPolicy(dead_after=2, shed_threshold=3)
+    server, manager, _network, inboxes, _ = make_stack(policy=policy,
+                                                       batch=True)
+    flushes_before = len(server.flushes)
+    for _ in range(10):
+        for i in range(4, 8):
+            manager.heartbeat(f"u{i}", server.group_key_ref())
+        manager.tick()
+    assert sorted(manager.evicted) == ["u0", "u1", "u2", "u3"]
+    assert manager.sheds == 1
+    assert len(server.flushes) == flushes_before + 1  # one flush, not 4
+    for i in range(4):
+        assert not server.is_member(f"u{i}")
+
+
+def test_not_member_reply_is_not_retried():
+    server, manager, _network, inboxes, _ = make_stack()
+    network = InMemoryNetwork(strict=False)
+    ghost_inbox = []
+    manager.transport.attach("ghost", ghost_inbox.append)
+    manager.heartbeat("ghost", (0, 0))
+    for _ in range(5):
+        manager.tick()
+    assert len(ghost_inbox) == 1  # one NOT_MEMBER push, no retries
+    assert manager.pending_resyncs == 0
+
+
+def test_backend_failure_keeps_retrying():
+    server, manager, _network, inboxes, _ = make_stack()
+    calls = {"n": 0}
+    real_resync = manager.backend.resync
+
+    def flaky(user_id):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise RuntimeError("shard down")
+        return real_resync(user_id)
+
+    manager.backend.resync = flaky
+    manager.heartbeat("u0", (0, 0))
+    for _ in range(8):
+        manager.tick()
+    assert calls["n"] >= 3
+    assert len(inboxes["u0"]) >= 1  # eventually served
+
+
+def test_receive_dispatches_wire_datagrams():
+    server, manager, _network, _inboxes, _ = make_stack()
+    from repro.core.messages import MSG_HEARTBEAT, MSG_RESYNC_REQUEST
+    beat = Message(msg_type=MSG_HEARTBEAT, root_node_id=0, root_version=0,
+                   body=b"u0").encode()
+    assert manager.receive(beat) == []
+    assert manager.pending_resyncs == 1  # stale view scheduled a push
+    ask = Message(msg_type=MSG_RESYNC_REQUEST, body=b"u1").encode()
+    replies = manager.receive(ask)
+    assert len(replies) == 1
+    assert replies[0].message.msg_type == MSG_RESYNC_REPLY
+    with pytest.raises(RecoveryError):
+        manager.receive(Message(msg_type=6, body=b"u0").encode())
+    with pytest.raises(RecoveryError):
+        manager.receive(b"junk")
+
+
+def test_untrack_clears_all_state():
+    server, manager, _network, _inboxes, _ = make_stack()
+    manager.heartbeat("u0", (0, 0))
+    manager._evict_queue.append("u0")
+    manager.untrack("u0")
+    assert manager.pending_resyncs == 0
+    assert manager.pending_evictions == 0
+    manager.tick()
+    assert server.is_member("u0")

@@ -42,7 +42,25 @@ def test_detach_and_strictness():
     network.attach("a", lambda _data: None)
     network.detach("a")
     with pytest.raises(UnknownReceiverError):
-        network.send(outbound(("a",)))
+        network.send(outbound(("a",), kind="user"))
+
+
+def test_strict_multicast_survives_detached_receiver():
+    # A multicast racing a just-detached member must not abort the
+    # fan-out: the dead copy counts as undeliverable, the rest deliver.
+    network = InMemoryNetwork()
+    inboxes = {u: [] for u in "abc"}
+    for user in inboxes:
+        network.attach(user, inboxes[user].append)
+    network.detach("b")  # leaves between receiver resolution and send
+    network.send(outbound(("a", "b", "c")))
+    assert len(inboxes["a"]) == 1
+    assert len(inboxes["c"]) == 1
+    assert network.undeliverable == 1
+    assert network.stats.deliveries == 2
+    # Direct unicast to the departed member still fails loud.
+    with pytest.raises(UnknownReceiverError):
+        network.deliver_to("b", b"late")
 
 
 def test_non_strict_counts_undeliverable():

@@ -75,3 +75,39 @@ def test_detach():
 def test_max_attempts_validation():
     with pytest.raises(ValueError):
         ReliableDelivery(InMemoryNetwork(), max_attempts=0)
+
+
+def test_dedup_state_stays_bounded_over_long_workload():
+    # Regression: the per-receiver dedup set used to grow forever (one
+    # entry per message, per receiver).  It is now a sliding window.
+    network = InMemoryNetwork()
+    reliable = ReliableDelivery(network, dedup_window=64)
+    got = []
+    reliable.attach("a", got.append)
+    for i in range(10_000):
+        reliable.send(outbound(("a",), payload=b"m%d" % i))
+    assert len(got) == 10_000
+    # Bounded: at most 2x the window survives the amortized prune.
+    assert len(reliable._seen["a"]) <= 128
+
+
+def test_dedup_window_still_suppresses_recent_and_ancient_duplicates():
+    import struct
+    network = InMemoryNetwork()
+    reliable = ReliableDelivery(network, dedup_window=16)
+    got = []
+    reliable.attach("a", got.append)
+    for i in range(100):
+        reliable.send(outbound(("a",), payload=b"m%d" % i))
+    assert len(got) == 100
+    # A recent duplicate (within the window) is swallowed by the set...
+    network.deliver_to("a", struct.pack(">QI", 100, 0) + b"m99")
+    # ...and an ancient one (past the horizon) by the window bound.
+    network.deliver_to("a", struct.pack(">QI", 3, 0) + b"m2")
+    assert len(got) == 100
+
+
+def test_dedup_window_validation():
+    from repro.transport.reliable import _DedupWindow
+    with pytest.raises(ValueError):
+        _DedupWindow(0)
