@@ -41,7 +41,7 @@ from ..core.pipeline import (KeyMaterialSource, RekeyPipeline, make_signer)
 from ..core.resync import RESYNC_NOT_MEMBER, RESYNC_OK, build_resync_reply
 from ..core.strategies.base import PlannedMessage, RekeyContext
 from ..crypto.suite import PAPER_SUITE, CipherSuite
-from ..keygraph.tree import KeyTree, TreeNode
+from ..keygraph.backend import build_tree, make_tree
 from ..observability import Instrumentation
 
 
@@ -76,10 +76,12 @@ class BatchRekeyServer:
 
     def __init__(self, degree: int = 4, suite: CipherSuite = PAPER_SUITE,
                  signing: str = "none", seed: Optional[bytes] = None,
-                 instrumentation: Optional[Instrumentation] = None):
+                 instrumentation: Optional[Instrumentation] = None,
+                 backend: str = "object"):
         self.suite = suite
+        self.backend = backend
         self.material = KeyMaterialSource(suite, seed, b"batch-rekey")
-        self.tree = KeyTree(degree, self._new_key)
+        self.tree = make_tree(backend, degree, self._new_key)
         self._pending_joins: Dict[str, bytes] = {}
         self._pending_leaves: Set[str] = set()
         self.flushes: List[BatchResult] = []
@@ -152,8 +154,8 @@ class BatchRekeyServer:
         """Bulk-build the initial tree (no rekey traffic)."""
         if self.tree.n_users:
             raise BatchError("bootstrap requires an empty tree")
-        self.tree = KeyTree.build(list(members), self.tree.degree,
-                                  self._new_key)
+        self.tree = build_tree(self.backend, list(members),
+                               self.tree.degree, self._new_key)
 
     def request_join(self, user_id: str, individual_key: bytes) -> None:
         """Queue a join for the next flush."""
@@ -237,69 +239,43 @@ class BatchRekeyServer:
 
     def _plan_flush(self, ctx: RekeyContext, joins, leaves,
                     state: Dict[str, object]) -> List[PlannedMessage]:
-        """The plan stage: apply the batch edit, schedule all encryptions."""
+        """The plan stage: apply the batch edit, schedule all encryptions.
+
+        All tree surgery goes through the backend's named primitives
+        (detach/attach/split/splice), so the same plan runs unchanged
+        over the object tree and the flat array tree.
+        """
         # 1. Detach departing leaves, remembering vacated parents.
         dirty: Set[int] = set()
-        dirty_nodes: Dict[int, TreeNode] = {}
-        vacancies: List[TreeNode] = []
+        dirty_nodes: Dict[int, object] = {}
+        vacancies: List[object] = []
         for user_id in leaves:
-            leaf = self.tree.leaf_of(user_id)
-            parent = leaf.parent
-            parent.children.remove(leaf)
-            node = parent
-            while node is not None:
-                node.size -= 1
-                node = node.parent
-            del self.tree._leaves[user_id]
+            parent = self.tree.detach_user(user_id)
             if parent is not None:
                 vacancies.append(parent)
                 self._mark_path(parent, dirty, dirty_nodes)
 
         # 2. Attach joiners, preferring vacated positions.
-        new_leaves: Dict[str, TreeNode] = {}
+        new_leaves: Dict[str, object] = {}
         for user_id, key in joins:
             spot = None
             while vacancies:
                 candidate = vacancies.pop()
-                if (candidate.parent is not None or candidate is self.tree.root) \
-                        and len(candidate.children) < self.tree.degree:
+                if self.tree.is_attached(candidate) \
+                        and self.tree.has_room(candidate):
                     spot = candidate
                     break
-            leaf = TreeNode(self.tree._next_id, key, user_id)
-            self.tree._next_id += 1
+            leaf = self.tree.new_leaf(user_id, key)
             if self.tree.root is None:
-                root = TreeNode(self.tree._next_id, self._new_key())
-                self.tree._next_id += 1
-                leaf.parent = root
-                root.children.append(leaf)
-                root.size = 1
-                self.tree.root = root
-                self.tree._leaves[user_id] = leaf
+                root = self.tree.start_root(leaf)
                 new_leaves[user_id] = leaf
                 self._mark_path(root, dirty, dirty_nodes)
                 continue
             if spot is None:
-                spot, split = self.tree._find_joining_point()
+                spot, split = self.tree.find_joining_point()
                 if split is not None:
-                    parent = split.parent
-                    interior = TreeNode(self.tree._next_id, self._new_key())
-                    self.tree._next_id += 1
-                    if parent is None:
-                        self.tree.root = interior
-                    else:
-                        parent.children[parent.children.index(split)] = interior
-                        interior.parent = parent
-                    split.parent = interior
-                    interior.children.append(split)
-                    interior.size = split.size
-                    spot = interior
-            leaf.parent = spot
-            spot.children.append(leaf)
-            node = spot
-            while node is not None:
-                node.size += 1
-                node = node.parent
-            self.tree._leaves[user_id] = leaf
+                    spot = self.tree.split_node(split)
+            self.tree.attach_leaf(leaf, spot)
             new_leaves[user_id] = leaf
             self._mark_path(spot, dirty, dirty_nodes)
 
@@ -328,7 +304,7 @@ class BatchRekeyServer:
                 lambda: tuple(self.tree.users())))
         # 5. Unicast each joiner its full path.
         for user_id, leaf in new_leaves.items():
-            if user_id not in self.tree._leaves:
+            if not self.tree.has_user(user_id):
                 continue
             path = leaf.path_to_root()[1:]
             records = [KeyRecord(n.node_id, n.version, n.key) for n in path]
@@ -341,8 +317,8 @@ class BatchRekeyServer:
     # -- helpers ------------------------------------------------------------------
 
     @staticmethod
-    def _mark_path(node: Optional[TreeNode], dirty: Set[int],
-                   dirty_nodes: Dict[int, TreeNode]) -> None:
+    def _mark_path(node, dirty: Set[int],
+                   dirty_nodes: Dict[int, object]) -> None:
         while node is not None and node.node_id not in dirty:
             dirty.add(node.node_id)
             dirty_nodes[node.node_id] = node
@@ -351,36 +327,36 @@ class BatchRekeyServer:
         # already marked.)
 
     def _compact(self, dirty: Set[int],
-                 dirty_nodes: Dict[int, TreeNode]) -> None:
+                 dirty_nodes: Dict[int, object]) -> None:
         """Remove childless interiors; splice single-child interiors."""
         changed = True
         while changed:
             changed = False
             for node in list(dirty_nodes.values()):
-                if node.is_leaf or node.node_id not in dirty_nodes:
+                # node_id is read up front: once a slot-backed handle is
+                # dropped or spliced its storage may be recycled.
+                node_id = node.node_id
+                if node_id not in dirty_nodes or node.is_leaf:
                     continue
-                if node is self.tree.root:
-                    if not node.children and not self.tree._leaves:
-                        self.tree.root = None
+                if node == self.tree.root:
+                    if len(node.children) == 0 and self.tree.n_users == 0:
+                        self.tree.clear_root()
                         dirty_nodes.clear()
                         dirty.clear()
                         return
                     continue
-                if not node.children:
-                    node.parent.children.remove(node)
-                    del dirty_nodes[node.node_id]
-                    dirty.discard(node.node_id)
+                if len(node.children) == 0:
+                    self.tree.drop_childless(node)
+                    del dirty_nodes[node_id]
+                    dirty.discard(node_id)
                     changed = True
                 elif len(node.children) == 1:
-                    only = node.children[0]
-                    parent = node.parent
-                    parent.children[parent.children.index(node)] = only
-                    only.parent = parent
-                    del dirty_nodes[node.node_id]
-                    dirty.discard(node.node_id)
+                    self.tree.splice_out(node)
+                    del dirty_nodes[node_id]
+                    dirty.discard(node_id)
                     changed = True
 
-    def _dirty_top_down(self, dirty_nodes: Dict[int, TreeNode]) -> List[TreeNode]:
+    def _dirty_top_down(self, dirty_nodes: Dict[int, object]) -> List[object]:
         ordered = []
         if self.tree.root is None:
             return ordered

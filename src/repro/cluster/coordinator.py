@@ -54,6 +54,7 @@ from ..core.server import (AccessDenied, GroupKeyServer, RekeyOutcome,
                            ServerConfig, ServerError)
 from ..core.strategies.base import PlannedMessage, RekeyContext
 from ..crypto.suite import PAPER_SUITE, CipherSuite
+from ..keygraph.backend import BACKENDS, build_tree
 from ..keygraph.tree import KeyTree, TreeNode
 from ..observability import LATENCY_BUCKETS_S, Instrumentation
 from ..observability.export import build_snapshot
@@ -81,20 +82,20 @@ def shard_id_base(shard_id: int) -> int:
     return (shard_id + 1) * SHARD_ID_SPACE
 
 
-def namespace_tree(tree: KeyTree, base: int) -> None:
+def namespace_tree(tree, base: int) -> None:
     """Shift a key tree's node ids into the window starting at ``base``.
 
     Applied once, right after a tree is (re)built, so shard trees and
     the root-layer tree never collide in the members' flat key map.
-    Future allocations (``tree._next_id``) continue inside the window.
+    Future allocations continue inside the window.  Works on any
+    :class:`~repro.keygraph.backend.TreeBackend` via ``shift_node_ids``.
     """
     if base <= 0:
         return
     for node in tree.nodes():
         if node.node_id >= base:
             raise ClusterError("tree already namespaced")
-        node.node_id += base
-    tree._next_id += base
+    tree.shift_node_ids(base)
 
 
 # -- the root key layer --------------------------------------------------------
@@ -114,6 +115,7 @@ class RootKeyLayer:
     def __init__(self, suite: CipherSuite, shard_names: Sequence[str], *,
                  degree: int = 4, seed: Optional[bytes] = None,
                  signing: str = "none", group_id: int = 1,
+                 backend: str = "object",
                  instrumentation: Optional[Instrumentation] = None):
         if not shard_names:
             raise ClusterError("root layer needs at least one shard")
@@ -121,6 +123,7 @@ class RootKeyLayer:
             raise ClusterError("duplicate shard names")
         self.suite = suite
         self.degree = degree
+        self.backend = backend
         self.material = KeyMaterialSource(suite, seed, b"cluster-root-layer")
         self._signer, self.signing_keypair = make_signer(
             suite, signing, seed, error=ClusterError)
@@ -149,7 +152,8 @@ class RootKeyLayer:
         # An empty shard has no subtree root yet: its leaf gets an
         # undecryptable placeholder key (held by nobody) until the
         # shard's first member arrives and rekey() installs the real one.
-        self._tree = KeyTree.build(
+        self._tree = build_tree(
+            self.backend,
             [(name, leaves[name][1] if leaves[name][1] is not None
               else self.material.new_key()) for name in self._names],
             self.degree, self.material.new_key)
@@ -271,6 +275,7 @@ class ClusterConfig:
     signing: str = "none"
     seed: Optional[bytes] = None
     group_id: int = 1
+    backend: str = "object"           # tree storage, "object" or "flat"
 
     def validate(self) -> None:
         """Check field consistency; raises ClusterError."""
@@ -281,6 +286,8 @@ class ClusterConfig:
             raise ClusterError("vnodes must be >= 1")
         if self.root_degree < 2:
             raise ClusterError("root_degree must be >= 2")
+        if self.backend not in BACKENDS:
+            raise ClusterError(f"unknown tree backend {self.backend!r}")
 
 
 @dataclass
@@ -388,7 +395,8 @@ class ClusterCoordinator:
             server = GroupKeyServer(
                 ServerConfig(group_id=config.group_id, degree=config.degree,
                              strategy=config.strategy, suite=config.suite,
-                             signing=config.signing, seed=seed),
+                             signing=config.signing, seed=seed,
+                             backend=config.backend),
                 instrumentation=Instrumentation(f"shard-{shard_id}"))
             namespace_tree(server.tree, shard_id_base(shard_id))
             self.shards.append(Shard(shard_id, server))
@@ -398,6 +406,7 @@ class ClusterCoordinator:
             seed=(config.seed + b"/root" if config.seed is not None
                   else None),
             signing=config.signing, group_id=config.group_id,
+            backend=config.backend,
             instrumentation=self.instrumentation)
         if config.signing != "none":
             self._share_signing_identity()

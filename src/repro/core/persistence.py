@@ -17,12 +17,13 @@ storage key using the suite's own cipher.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from typing import Optional
 
 from ..crypto import modes
 from ..crypto.rsa import RsaPrivateKey
 from ..crypto.suite import CipherSuite
-from ..keygraph.tree import KeyTree, TreeNode
+from ..keygraph.backend import make_tree
+from ..keygraph.journal import ReplayKeySource, TreeJournal
 from .server import GroupKeyServer, ServerConfig
 
 FORMAT_VERSION = 1
@@ -32,7 +33,7 @@ class PersistenceError(ValueError):
     """Raised on malformed or incompatible snapshots."""
 
 
-def _tree_to_dict(tree: KeyTree) -> dict:
+def _tree_to_dict(tree) -> dict:
     nodes = []
     for node in tree.nodes():
         nodes.append({
@@ -47,34 +48,10 @@ def _tree_to_dict(tree: KeyTree) -> dict:
             "nodes": nodes}
 
 
-def _tree_from_dict(data: dict, keygen) -> KeyTree:
-    tree = KeyTree(data["degree"], keygen)
-    tree._next_id = data["next_id"]
-    by_id: Dict[int, TreeNode] = {}
-    for entry in data["nodes"]:
-        node = TreeNode(entry["id"], bytes.fromhex(entry["key"]),
-                        entry["user"])
-        node.version = entry["version"]
-        by_id[node.node_id] = node
-    for entry in data["nodes"]:
-        node = by_id[entry["id"]]
-        for child_id in entry["children"]:
-            child = by_id[child_id]
-            child.parent = node
-            node.children.append(child)
-    # Recompute subtree sizes bottom-up and rebuild the leaf registry.
-    def fill_size(node: TreeNode) -> int:
-        if node.is_leaf:
-            node.size = 1
-            tree._leaves[node.user_id] = node
-        else:
-            node.size = sum(fill_size(child) for child in node.children)
-        return node.size
-
-    if data["root"] is not None:
-        tree.root = by_id[data["root"]]
-        fill_size(tree.root)
-    tree.validate()
+def _tree_from_dict(data: dict, keygen, backend: str = "object"):
+    """Rebuild a tree on the named backend from snapshot entries."""
+    tree = make_tree(backend, data["degree"], keygen)
+    tree.load_nodes(data["nodes"], data["root"], data["next_id"])
     return tree
 
 
@@ -99,6 +76,7 @@ def snapshot(server: GroupKeyServer, reseed: bytes = b"failover") -> bytes:
             "signing": config.signing,
             "access_list": (sorted(config.access_list)
                             if config.access_list is not None else None),
+            "backend": config.backend,
         },
         "seq": server._seq,
         "reseed": reseed.hex(),
@@ -140,6 +118,8 @@ def restore(blob: bytes, seed: Optional[bytes] = None) -> GroupKeyServer:
               else bytes.fromhex(doc["reseed"])),
         access_list=(set(cfg["access_list"])
                      if cfg["access_list"] is not None else None),
+        # Snapshots from before the flat backend carry no backend key.
+        backend=cfg.get("backend", "object"),
     )
     server = GroupKeyServer(config)
     server._seq = doc["seq"]
@@ -152,7 +132,8 @@ def restore(blob: bytes, seed: Optional[bytes] = None) -> GroupKeyServer:
         # Re-point the signer at the restored keypair.
         server._signer.private_key = server.signing_keypair
     if "tree" in doc:
-        server.tree = _tree_from_dict(doc["tree"], server._new_key)
+        server.tree = _tree_from_dict(doc["tree"], server._new_key,
+                                      backend=config.backend)
     else:
         star = doc["star"]
         server.star._members = {user: bytes.fromhex(key)
@@ -179,3 +160,76 @@ def restore_encrypted(blob: bytes, storage_key: bytes, iv: bytes,
     except (modes.PaddingError, ValueError) as exc:
         raise PersistenceError(f"cannot decrypt snapshot: {exc}") from None
     return restore(plaintext, seed=seed)
+
+
+# -- journaling (restart by replay) ----------------------------------------
+
+def attach_journal(server: GroupKeyServer, path: str) -> TreeJournal:
+    """Journal every state-changing op of ``server`` to ``path``.
+
+    Writes an initial checkpoint snapshot, then the server appends one
+    op record per join/leave/refresh/register (plus sequence-counter
+    markers) until the journal is detached.  Restart with
+    :func:`restore_from_journal`.
+    """
+    if server.tree is None:
+        raise PersistenceError("journaling requires a tree-based server")
+    journal = TreeJournal(path)
+    server.attach_journal(journal)
+    return journal
+
+
+def restore_from_journal(path: str,
+                         seed: Optional[bytes] = None) -> GroupKeyServer:
+    """Rebuild a server byte-identically by replaying its journal.
+
+    Restores the last checkpoint, then re-applies each op record as a
+    pure tree edit with the *recorded* key material — no DRBG draws, no
+    strategy planning, no encryption — so a restart at n = 1M costs one
+    snapshot load plus O(ops · log n) array edits instead of re-running
+    the rekey pipeline over the whole history.
+    """
+    blob, ops = TreeJournal(path).load()
+    if blob is None:
+        raise PersistenceError(f"{path}: no checkpoint record to restore")
+    server = restore(blob, seed=seed)
+    tree = server.tree
+    if tree is None:
+        raise PersistenceError("journal replay requires a tree server")
+    seq = server._seq
+    original_keygen = tree._keygen
+    try:
+        for record in ops:
+            op = record.get("op")
+            if "seq" in record:
+                seq = record["seq"]
+            if op == "seq":
+                continue
+            if op == "register":
+                server._registered_keys[record["user_id"]] = \
+                    bytes.fromhex(record["individual_key"])
+                continue
+            source = ReplayKeySource(
+                [bytes.fromhex(k) for k in record.get("keys", [])])
+            tree._keygen = source
+            if op == "join":
+                # The original join may have consumed a registered key.
+                server._registered_keys.pop(record["user_id"], None)
+                tree.join(record["user_id"],
+                          bytes.fromhex(record["individual_key"]))
+            elif op == "leave":
+                tree.leave(record["user_id"])
+            elif op == "refresh":
+                if tree.root is None:
+                    raise PersistenceError(
+                        "refresh record on an empty tree")
+                tree.root.replace_key(source())
+            else:
+                raise PersistenceError(f"unknown journal op {op!r}")
+            if not source.exhausted:
+                raise PersistenceError(
+                    f"op {op!r} drew fewer keys than recorded")
+    finally:
+        tree._keygen = original_keygen
+    server._seq = seq
+    return server

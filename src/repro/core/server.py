@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..crypto.suite import PAPER_SUITE, CipherSuite
+from ..keygraph.backend import BACKENDS, build_tree, make_tree
 from ..keygraph.star import StarGroup
 from ..keygraph.tree import KeyTree
 from ..observability import SIZE_BUCKETS_BYTES, Instrumentation
@@ -66,6 +67,9 @@ class ServerConfig:
     signing: str = "merkle"           # none | per-message | merkle
     seed: Optional[bytes] = None      # deterministic DRBG seed
     access_list: Optional[Set[str]] = None  # None = open group
+    # Tree storage engine: "object" (one Python object per k-node) or
+    # "flat" (contiguous arrays + key arena; the million-member engine).
+    backend: str = "object"
     # Public key of a TicketAuthority (footnote 7): when set, joins must
     # present a valid ticket for this group instead of matching the ACL.
     ticket_authority: Optional[object] = None
@@ -76,6 +80,8 @@ class ServerConfig:
             raise ServerError(f"unknown graph class {self.graph!r}")
         if self.graph == "tree" and self.strategy not in STRATEGIES:
             raise ServerError(f"unknown strategy {self.strategy!r}")
+        if self.backend not in BACKENDS:
+            raise ServerError(f"unknown tree backend {self.backend!r}")
         validate_signing(self.signing, self.suite, error=ServerError)
 
 
@@ -131,10 +137,14 @@ class GroupKeyServer:
         # Individual keys registered by the (out-of-band) authentication
         # exchange, for users not yet members.
         self._registered_keys: Dict[str, bytes] = {}
+        # Optional append-only op journal (attach_journal); the tap
+        # captures tree-edit key draws while an op is being logged.
+        self._journal = None
+        self._journal_tap: Optional[List[bytes]] = None
 
         if config.graph == "tree":
-            self.tree: Optional[KeyTree] = KeyTree(config.degree,
-                                                   self._new_key)
+            self.tree: Optional[KeyTree] = make_tree(
+                config.backend, config.degree, self._new_key)
             self.star: Optional[StarGroup] = None
             self._strategy = STRATEGIES[config.strategy]()
             self._strategy_code = self._strategy.wire_code
@@ -186,7 +196,10 @@ class GroupKeyServer:
     # -- key material -------------------------------------------------------
 
     def _new_key(self) -> bytes:
-        return self.material.new_key()
+        key = self.material.new_key()
+        if self._journal_tap is not None:
+            self._journal_tap.append(key)
+        return key
 
     def _new_iv(self) -> bytes:
         return self.material.new_iv()
@@ -201,6 +214,32 @@ class GroupKeyServer:
             raise ServerError(
                 f"individual key must be {self.suite.key_size} bytes")
         self._registered_keys[user_id] = key
+        if self._journal is not None:
+            self._journal.append("register", user_id=user_id,
+                                 individual_key=key, seq=self._seq)
+
+    # -- journaling ---------------------------------------------------------
+
+    def attach_journal(self, journal) -> None:
+        """Log every state-changing op to ``journal`` from now on.
+
+        Writes an initial checkpoint (a full snapshot) so replay starts
+        from the server's current state.  See
+        :func:`repro.core.persistence.attach_journal` for the
+        file-backed convenience wrapper and
+        :func:`repro.core.persistence.restore_from_journal` for
+        recovery.
+        """
+        self._journal = journal
+        journal.checkpoint(self._checkpoint_blob())
+
+    def _checkpoint_blob(self) -> bytes:
+        from .persistence import snapshot
+        return snapshot(self)
+
+    def _journal_op(self, op: str, **fields) -> None:
+        if self._journal is not None:
+            self._journal.append(op, seq=self._seq, **fields)
 
     @property
     def public_key(self):
@@ -273,11 +312,15 @@ class GroupKeyServer:
                 raise AccessDenied(
                     f"user {user_id!r} not in access control list")
         if self.tree is not None:
-            self.tree = KeyTree.build(members, self.config.degree,
-                                      self._new_key)
+            self.tree = build_tree(self.config.backend, members,
+                                   self.config.degree, self._new_key)
         else:
             for user_id, key in members:
                 self.star.join(user_id, key)
+        if self._journal is not None:
+            # Bootstrapping rewrites the whole tree: checkpoint instead
+            # of logging an op (replay resumes from the checkpoint).
+            self._journal.checkpoint(self._checkpoint_blob())
 
     def _check_acl(self, user_id: str, ticket=None) -> None:
         authority_key = self.config.ticket_authority
@@ -373,6 +416,7 @@ class GroupKeyServer:
                     raise ServerError(f"no individual key for {user_id!r}")
             if self.is_member(user_id):
                 raise ServerError(f"user {user_id!r} is already a member")
+            state["individual_key"] = key
             if self.tree is not None:
                 result = self.tree.join(user_id, key)
                 state["changes"] = result.changes
@@ -385,13 +429,24 @@ class GroupKeyServer:
             state["leaf_id"] = INDIVIDUAL_KEY
             return self._star_join_plans(user_id, key, ctx)
 
-        run = self.pipeline.run("join", planner,
-                                strategy_code=self._strategy_code,
-                                root_ref=self.group_key_ref,
-                                user_id=user_id)
+        if self._journal is not None:
+            self._journal_tap = []
+        try:
+            run = self.pipeline.run("join", planner,
+                                    strategy_code=self._strategy_code,
+                                    root_ref=self.group_key_ref,
+                                    user_id=user_id)
+        except Exception:
+            self._journal_tap = None
+            raise
         ack = self._control_message(
             MSG_JOIN_ACK, user_id,
             body=int(state["leaf_id"]).to_bytes(4, "big"))
+        if self._journal is not None:
+            keys, self._journal_tap = self._journal_tap, None
+            self._journal_op("join", user_id=user_id,
+                             individual_key=state["individual_key"],
+                             keys=keys)
         key_changes = (self._key_changes_total(state["changes"], user_id)
                        if self.tree is not None
                        else self._star_key_changes(user_id))
@@ -436,11 +491,20 @@ class GroupKeyServer:
             state["changes"] = None
             return self._star_leave_plans(user_id, ctx)
 
-        run = self.pipeline.run("leave", planner,
-                                strategy_code=self._strategy_code,
-                                root_ref=self.group_key_ref,
-                                user_id=user_id)
+        if self._journal is not None:
+            self._journal_tap = []
+        try:
+            run = self.pipeline.run("leave", planner,
+                                    strategy_code=self._strategy_code,
+                                    root_ref=self.group_key_ref,
+                                    user_id=user_id)
+        except Exception:
+            self._journal_tap = None
+            raise
         ack = self._control_message(MSG_LEAVE_ACK, user_id)
+        if self._journal is not None:
+            keys, self._journal_tap = self._journal_tap, None
+            self._journal_op("leave", user_id=user_id, keys=keys)
         key_changes = (self._key_changes_total(state["changes"], user_id)
                        if self.tree is not None
                        else self._star_key_changes(user_id))
@@ -500,9 +564,18 @@ class GroupKeyServer:
                 Destination.to_all(), [item],
                 lambda: tuple(self.star.members()))]
 
-        run = self.pipeline.run("refresh", planner,
-                                strategy_code=self._strategy_code,
-                                root_ref=self.group_key_ref)
+        if self._journal is not None:
+            self._journal_tap = []
+        try:
+            run = self.pipeline.run("refresh", planner,
+                                    strategy_code=self._strategy_code,
+                                    root_ref=self.group_key_ref)
+        except Exception:
+            self._journal_tap = None
+            raise
+        if self._journal is not None:
+            keys, self._journal_tap = self._journal_tap, None
+            self._journal_op("refresh", keys=keys)
         record = self._record_from_run(run, key_changes_total=self.n_users)
         return RekeyOutcome(record, run.messages, [])
 
@@ -518,6 +591,7 @@ class GroupKeyServer:
                           root_node_id=root_id, root_version=root_version,
                           body=body)
         self._signer.seal([message])
+        self._journal_op("seq")
         return OutboundMessage(Destination.to_user(user_id), message,
                                (user_id,), message.encode())
 
@@ -539,6 +613,7 @@ class GroupKeyServer:
         message = self._base_message(MSG_DATA, 0)
         message.items = [item]
         self._signer.seal([message])
+        self._journal_op("seq")
         return OutboundMessage(Destination.to_all(), message,
                                tuple(self.members()), message.encode())
 
@@ -557,10 +632,12 @@ class GroupKeyServer:
             if not self.is_member(user_id):
                 self._m_resyncs.inc(status="not-member")
                 span.set("status", "not-member")
-                return build_resync_reply(
+                reply = build_resync_reply(
                     self.suite, self._signer, self._sequencer,
                     group_id=self.config.group_id, user_id=user_id,
                     status=RESYNC_NOT_MEMBER, leaf_node_id=0)
+                self._journal_op("seq")
+                return reply
             if self.tree is not None:
                 leaf = self.tree.leaf_of(user_id)
                 individual_key = leaf.key
@@ -575,13 +652,15 @@ class GroupKeyServer:
                                      self.star.group_key)]
             self._m_resyncs.inc(status="ok")
             span.set("status", "ok").set("records", len(records))
-            return build_resync_reply(
+            reply = build_resync_reply(
                 self.suite, self._signer, self._sequencer,
                 group_id=self.config.group_id, user_id=user_id,
                 status=RESYNC_OK, leaf_node_id=leaf_node_id,
                 records=records, root_ref=self.group_key_ref(),
                 individual_key=individual_key,
                 iv=self.resync_material.new_iv())
+            self._journal_op("seq")
+            return reply
 
     # -- datagram interface ------------------------------------------------------------
 

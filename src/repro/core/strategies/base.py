@@ -111,10 +111,11 @@ class RekeyContext:
             for item in pending:
                 padded, plaintext_len = padded_records_plaintext(
                     self.suite, item.records)
-                jobs.append((self.suite.new_cipher(item.key), padded,
-                             item.iv))
+                jobs.append((item.key, padded, item.iv))
                 lengths.append(plaintext_len)
-            ciphertexts = batchenc.cbc_encrypt_nopad_many(jobs)
+            # Raw-key jobs: AES suites vectorize the key expansion too
+            # (no per-item cipher objects); others build ciphers inside.
+            ciphertexts = batchenc.cbc_encrypt_keys_many(self.suite, jobs)
             for item, ciphertext, plaintext_len in zip(pending, ciphertexts,
                                                        lengths):
                 item.value = EncryptedItem(item.enc_node_id,
@@ -211,7 +212,7 @@ def join_frontier(tree: KeyTree, result: JoinResult, index: int):
         below = changes[index + 1].node
     else:
         below = result.leaf
-    has_audience = any(child is not below and child is not result.leaf
+    has_audience = any(child != below and child != result.leaf
                        for child in node.children)
     if not has_audience:
         return None
@@ -233,7 +234,7 @@ def requesting_user_message(result: JoinResult, ctx: RekeyContext) -> PlannedMes
 
 def other_children(node: TreeNode, excluded: Optional[TreeNode]) -> List[TreeNode]:
     """Children of ``node`` other than ``excluded`` (the rekeyed child)."""
-    return [child for child in node.children if child is not excluded]
+    return [child for child in node.children if child != excluded]
 
 
 def rekeyed_child(result: LeaveResult, index: int) -> Optional[TreeNode]:

@@ -34,7 +34,7 @@ class HybridStrategy:
     def _top_level_subtree(self, tree: KeyTree, node: TreeNode) -> TreeNode:
         """The root child whose subtree contains ``node`` (or root itself)."""
         current = node
-        while current.parent is not None and current.parent is not tree.root:
+        while current.parent is not None and current.parent != tree.root:
             current = current.parent
         return current
 
@@ -55,13 +55,13 @@ class HybridStrategy:
             deep_subtree = (self._top_level_subtree(tree, changes[-1].node)
                             if len(changes) > 1 else None)
             for top_child in tree.root.children:
-                if top_child is result.leaf:
+                if top_child == result.leaf:
                     continue
                 # Non-empty unless this top-level subtree holds only the
                 # joiner (then it IS the joiner's leaf, skipped above, or
                 # the fresh interior over the joiner alone - impossible:
                 # a split interior always keeps the displaced leaf too).
-                if deep_subtree is not None and top_child is deep_subtree:
+                if deep_subtree is not None and top_child == deep_subtree:
                     useful = items  # whole path changed inside this subtree
                 else:
                     useful = items[:1]  # only the new group key
@@ -92,7 +92,7 @@ class HybridStrategy:
                 else:
                     item = ctx.encrypt(child.key, [record],
                                        child.node_id, child.version)
-                if change.node is tree.root:
+                if change.node == tree.root:
                     # Items decryptable with a root-child key: useful to
                     # exactly that top-level subtree.
                     per_subtree.setdefault(child.node_id, []).append(item)

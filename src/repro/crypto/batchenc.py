@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from . import modes
-from .aes import _SBOX, _T0, _T1, _T2, _T3, AES
+from .aes import _RCON, _SBOX, _T0, _T1, _T2, _T3, AES
 from .des import (_E16_HI, _E16_LO, _FP_TABLES, _IP_TABLES, _SP12, DES)
 from .des3 import TripleDES
 
@@ -125,16 +125,57 @@ def _aes_rounds_batch(s0, s1, s2, s3, rk, rounds: int):
     return f0, f1, f2, f3
 
 
-def _aes_cbc_group(jobs, n_blocks: int) -> List[bytes]:
-    """CBC-encrypt a group of same-length AES jobs in one numpy pass."""
-    ciphers = [job[0] for job in jobs]
-    rounds = ciphers[0]._rounds
-    rk = _np.stack([_aes_schedule(c) for c in ciphers])
-    data = (_np.frombuffer(b"".join(job[1] for job in jobs), dtype=">u4")
-            .reshape(len(jobs), n_blocks, 4).astype(_np.uint32))
-    prev = (_np.frombuffer(b"".join(job[2] for job in jobs), dtype=">u4")
-            .reshape(len(jobs), 4).astype(_np.uint32))
-    out = _np.empty((len(jobs), n_blocks, 4), dtype=_np.uint32)
+#: AES rounds by key length in bytes (FIPS 197).
+_AES_KEY_ROUNDS = {16: 10, 24: 12, 32: 14}
+
+
+def _aes_subword_batch(words, sbox):
+    """SubWord over a (N,) uint32 batch."""
+    return ((sbox[words >> 24] << _np.uint32(24))
+            | (sbox[(words >> 16) & 0xFF] << _np.uint32(16))
+            | (sbox[(words >> 8) & 0xFF] << _np.uint32(8))
+            | sbox[words & 0xFF])
+
+
+def _aes_schedules_batch(keys: Sequence[bytes]):
+    """FIPS 197 key expansion vectorized across same-length keys.
+
+    Returns the (N, 4*(rounds+1)) round-key matrix with exactly the
+    packed-column-word layout of :meth:`repro.crypto.aes.AES._expand_key`
+    — the expansion recurrence runs once per schedule *word* but each
+    step covers the whole batch in one gather, so expanding N schedules
+    costs ~the scalar cost of one.
+    """
+    n = len(keys)
+    nk = len(keys[0]) // 4
+    rounds = _AES_KEY_ROUNDS[len(keys[0])]
+    total = 4 * (rounds + 1)
+    sbox = _tables()["aes_sbox"]
+    words = _np.empty((n, total), dtype=_np.uint32)
+    words[:, :nk] = (_np.frombuffer(b"".join(keys), dtype=">u4")
+                     .reshape(n, nk).astype(_np.uint32))
+    for i in range(nk, total):
+        temp = words[:, i - 1]
+        if i % nk == 0:
+            # RotWord then SubWord then Rcon on the top byte.
+            temp = (temp << _np.uint32(8)) | (temp >> _np.uint32(24))
+            temp = _aes_subword_batch(temp, sbox)
+            temp = temp ^ _np.uint32(_RCON[i // nk - 1] << 24)
+        elif nk > 6 and i % nk == 4:
+            temp = _aes_subword_batch(temp, sbox)
+        words[:, i] = words[:, i - nk] ^ temp
+    return words
+
+
+def _aes_cbc_run(rk, rounds: int, plaintexts: Sequence[bytes],
+                 ivs: Sequence[bytes], n_blocks: int) -> List[bytes]:
+    """CBC over a batch given the stacked round-key matrix."""
+    n = rk.shape[0]
+    data = (_np.frombuffer(b"".join(plaintexts), dtype=">u4")
+            .reshape(n, n_blocks, 4).astype(_np.uint32))
+    prev = (_np.frombuffer(b"".join(ivs), dtype=">u4")
+            .reshape(n, 4).astype(_np.uint32))
+    out = _np.empty((n, n_blocks, 4), dtype=_np.uint32)
     p0, p1, p2, p3 = prev[:, 0], prev[:, 1], prev[:, 2], prev[:, 3]
     for j in range(n_blocks):
         p0, p1, p2, p3 = _aes_rounds_batch(
@@ -143,7 +184,16 @@ def _aes_cbc_group(jobs, n_blocks: int) -> List[bytes]:
         out[:, j, 0], out[:, j, 1], out[:, j, 2], out[:, j, 3] = p0, p1, p2, p3
     raw = out.astype(">u4").tobytes()
     item = 16 * n_blocks
-    return [raw[i * item:(i + 1) * item] for i in range(len(jobs))]
+    return [raw[i * item:(i + 1) * item] for i in range(n)]
+
+
+def _aes_cbc_group(jobs, n_blocks: int) -> List[bytes]:
+    """CBC-encrypt a group of same-length AES jobs in one numpy pass."""
+    ciphers = [job[0] for job in jobs]
+    rounds = ciphers[0]._rounds
+    rk = _np.stack([_aes_schedule(c) for c in ciphers])
+    return _aes_cbc_run(rk, rounds, [job[1] for job in jobs],
+                        [job[2] for job in jobs], n_blocks)
 
 
 def _des_pass_batch(v, rk):
@@ -242,6 +292,48 @@ def cbc_encrypt_nopad_many(
                 _np.stack([_des_schedule(job[0]._third) for job in group_jobs]),
             ]
             encrypted = _des_cbc_group(group_jobs, n_blocks, schedules)
+        for index, ciphertext in zip(indices, encrypted):
+            results[index] = ciphertext
+    return results  # type: ignore[return-value]
+
+
+def cbc_encrypt_keys_many(
+        suite, jobs: Sequence[Tuple[bytes, bytes, bytes]]) -> List[bytes]:
+    """CBC-encrypt ``(key_bytes, padded_plaintext, iv)`` jobs under one suite.
+
+    The raw-key-bytes entry point for whole rekey plans: with an AES
+    suite and a big enough batch, *everything* — key schedule expansion
+    included — runs vectorized straight out of the key bytes (gathered,
+    e.g., from the flat backend's key arena), building no per-item
+    cipher objects at all.  Other suites and small groups fall back to
+    per-item ciphers via :func:`cbc_encrypt_nopad_many`, so the output
+    is always byte-identical to the scalar path.
+    """
+    name = getattr(suite, "cipher_name", None)
+    if not (HAVE_NUMPY and name in ("aes128", "aes256")
+            and len(jobs) >= _MIN_GROUP):
+        return cbc_encrypt_nopad_many(
+            [(suite.new_cipher(key), padded, iv)
+             for key, padded, iv in jobs])
+    results: List[Optional[bytes]] = [None] * len(jobs)
+    groups: dict = {}
+    for index, (key, padded, iv) in enumerate(jobs):
+        if len(padded) % 16:
+            raise ValueError("plaintext length is not a block multiple")
+        groups.setdefault((len(key), len(padded) // 16), []).append(index)
+    for (key_len, n_blocks), indices in groups.items():
+        if (len(indices) < _MIN_GROUP or n_blocks == 0
+                or key_len not in _AES_KEY_ROUNDS):
+            for index in indices:
+                key, padded, iv = jobs[index]
+                results[index] = modes.cbc_encrypt_nopad(
+                    suite.new_cipher(key), padded, iv)
+            continue
+        group = [jobs[i] for i in indices]
+        rk = _aes_schedules_batch([job[0] for job in group])
+        encrypted = _aes_cbc_run(rk, _AES_KEY_ROUNDS[key_len],
+                                 [job[1] for job in group],
+                                 [job[2] for job in group], n_blocks)
         for index, ciphertext in zip(indices, encrypted):
             results[index] = ciphertext
     return results  # type: ignore[return-value]

@@ -41,6 +41,7 @@ ALL_EXPERIMENTS = (
     ("Ablation: FEC rekey multicast", ablations.fec_vs_retransmission),
     ("Ablation: client-side work", ablations.client_side_work),
     ("Ablation: multicast addresses (§7)", ablations.multicast_addresses),
+    ("Ablation: feature flags", ablations.feature_flags),
 )
 
 __all__ = ["ALL_EXPERIMENTS", "QUICK", "PAPER", "Scale", "TableData",

@@ -10,7 +10,10 @@
 """
 
 from .analysis import TreeShape, assert_balanced, leaf_depth_histogram, measure
+from .backend import (BACKENDS, DEFAULT_BACKEND, TreeBackend, build_tree,
+                      make_tree, resolve_backend)
 from .complete import CompleteGroup, CompleteGroupError
+from .flat import FlatKeyTree, FlatNode, KeyArena
 from .covering import (CoverError, exact_cover, greedy_cover, is_cover,
                        tree_cover)
 from .graph import (K_NODE, U_NODE, KeyGraph, KeyGraphError, SecureGroup,
@@ -26,6 +29,9 @@ __all__ = [
     "U_NODE", "K_NODE",
     "KeyTree", "KeyTreeError", "TreeNode", "PathChange",
     "JoinResult", "LeaveResult",
+    "FlatKeyTree", "FlatNode", "KeyArena",
+    "TreeBackend", "BACKENDS", "DEFAULT_BACKEND",
+    "make_tree", "build_tree", "resolve_backend",
     "StarGroup", "StarError", "StarRekey",
     "CompleteGroup", "CompleteGroupError",
     "CoverError", "exact_cover", "greedy_cover", "is_cover", "tree_cover",

@@ -49,11 +49,13 @@ def measure(tree: KeyTree) -> TreeShape:
     n = tree.n_users
     if n == 0:
         raise ValueError("cannot measure an empty tree")
+    # One breadth-first pass with depths: no per-leaf root-path walks
+    # (O(n·h) and list churn), no recursion (depth-limited at scale).
     depths: List[int] = []
     interior_children: List[int] = []
-    for node in tree.nodes():
+    for node, depth in tree.nodes_with_depth():
         if node.is_leaf:
-            depths.append(len(node.path_to_root()))
+            depths.append(depth + 1)
         else:
             interior_children.append(len(node.children))
     optimal = 2 if n == 1 else math.ceil(math.log(n, tree.degree)) + 1
@@ -75,10 +77,9 @@ def measure(tree: KeyTree) -> TreeShape:
 def leaf_depth_histogram(tree: KeyTree) -> Dict[int, int]:
     """Number of users at each key-path length."""
     histogram: Dict[int, int] = {}
-    for node in tree.nodes():
+    for node, depth in tree.nodes_with_depth():
         if node.is_leaf:
-            depth = len(node.path_to_root())
-            histogram[depth] = histogram.get(depth, 0) + 1
+            histogram[depth + 1] = histogram.get(depth + 1, 0) + 1
     return histogram
 
 

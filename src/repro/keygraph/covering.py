@@ -146,7 +146,7 @@ def tree_cover(tree: KeyTree, excluded_user: str) -> List[TreeNode]:
     node = leaf
     while node.parent is not None:
         for sibling in node.parent.children:
-            if sibling is not node:
+            if sibling != node:
                 cover.append(sibling)
         node = node.parent
     return cover

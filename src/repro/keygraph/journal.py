@@ -1,0 +1,210 @@
+"""Append-only on-disk tree journal: restart by replay, not rebuild.
+
+At n = 1M, reconstructing a server by re-running its whole request
+history through the full rekey pipeline (planning, encryption, signing)
+takes minutes; rebuilding via ``bootstrap`` produces a *different* tree
+(fresh keys).  The journal makes restart cheap and exact:
+
+* the file opens with a **checkpoint record** — an opaque snapshot blob
+  (produced by :func:`repro.core.persistence.snapshot`) of the server at
+  attach time;
+* every subsequent state-changing op appends one **op record** carrying
+  the op name, its arguments, the key material the tree edit drew from
+  the DRBG, and the server's sequence counter after the op.
+
+Replay restores the last checkpoint, then re-applies each op as a pure
+tree edit — the recorded keys are installed verbatim (no DRBG, no
+pipeline), so the reconstructed server is byte-identical to the one
+that wrote the journal regardless of whether the original ran seeded.
+
+Record framing (binary, little-endian):
+
+    +--------+--------+----------------+
+    | length | crc32  | payload (JSON) |
+    | u32 LE | u32 LE | ``length`` B   |
+    +--------+--------+----------------+
+
+preceded by an 8-byte file magic ``b"KGJRNL1\\n"``.  A torn final
+record (crash mid-append) is detected by the CRC/length check and
+dropped; everything before it replays normally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Iterator, List, Optional, Tuple
+
+MAGIC = b"KGJRNL1\n"
+_FRAME = struct.Struct("<II")
+
+# Record types.
+CHECKPOINT = "checkpoint"
+
+
+class JournalError(ValueError):
+    """Raised on malformed journal files."""
+
+
+class TreeJournal:
+    """Writer/reader for the append-only op journal."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+
+    # -- writing -----------------------------------------------------------
+
+    def _ensure_open(self):
+        if self._fh is None:
+            fresh = not os.path.exists(self.path) \
+                or os.path.getsize(self.path) == 0
+            self._fh = open(self.path, "ab")
+            if fresh:
+                self._fh.write(MAGIC)
+                self._fh.flush()
+        return self._fh
+
+    def _write_record(self, payload: bytes) -> None:
+        fh = self._ensure_open()
+        fh.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        fh.write(payload)
+        fh.flush()
+
+    def checkpoint(self, blob: bytes) -> None:
+        """Append a checkpoint record; replay resumes from the last one."""
+        payload = json.dumps(
+            {"op": CHECKPOINT, "blob": blob.hex()},
+            separators=(",", ":")).encode("utf-8")
+        self._write_record(payload)
+
+    def append(self, op: str, **fields) -> None:
+        """Append one op record.
+
+        ``bytes`` values (individual keys, drawn key material) are
+        hex-encoded; lists of bytes likewise.
+        """
+        doc = {"op": op}
+        for name, value in fields.items():
+            if isinstance(value, (bytes, bytearray, memoryview)):
+                doc[name] = bytes(value).hex()
+            elif isinstance(value, (list, tuple)) and all(
+                    isinstance(v, (bytes, bytearray, memoryview))
+                    for v in value):
+                doc[name] = [bytes(v).hex() for v in value]
+            else:
+                doc[name] = value
+        payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+        self._write_record(payload)
+
+    def close(self) -> None:
+        """Close the underlying file (appends reopen it)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TreeJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------
+
+    def records(self) -> Iterator[dict]:
+        """Yield every intact record; stops cleanly at a torn tail."""
+        with open(self.path, "rb") as fh:
+            magic = fh.read(len(MAGIC))
+            if magic != MAGIC:
+                raise JournalError(
+                    f"{self.path}: not a key-graph journal")
+            while True:
+                header = fh.read(_FRAME.size)
+                if len(header) < _FRAME.size:
+                    return  # clean EOF or torn header: stop
+                length, crc = _FRAME.unpack(header)
+                payload = fh.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    return  # torn record: drop the tail
+                try:
+                    yield json.loads(payload.decode("utf-8"))
+                except ValueError as exc:  # pragma: no cover - crc guards
+                    raise JournalError(
+                        f"{self.path}: corrupt record: {exc}") from None
+
+    def load(self) -> Tuple[Optional[bytes], List[dict]]:
+        """(last checkpoint blob, op records after it)."""
+        blob: Optional[bytes] = None
+        ops: List[dict] = []
+        for record in self.records():
+            if record.get("op") == CHECKPOINT:
+                blob = bytes.fromhex(record["blob"])
+                ops = []
+            else:
+                ops.append(record)
+        return blob, ops
+
+
+class ReplayKeySource:
+    """A keygen that replays recorded key draws, in order."""
+
+    __slots__ = ("_keys", "_cursor")
+
+    def __init__(self, keys: List[bytes]):
+        self._keys = keys
+        self._cursor = 0
+
+    def __call__(self) -> bytes:
+        if self._cursor >= len(self._keys):
+            raise JournalError("journal replay ran out of recorded keys")
+        key = self._keys[self._cursor]
+        self._cursor += 1
+        return key
+
+    @property
+    def exhausted(self) -> bool:
+        """True iff every recorded key was consumed."""
+        return self._cursor == len(self._keys)
+
+
+def replay_into_tree(tree, ops: List[dict]) -> int:
+    """Re-apply op records to ``tree``; returns the final seq (or -1).
+
+    Only the tree-editing part of each op runs: recorded keys are
+    installed through a :class:`ReplayKeySource` swapped in for the
+    tree's keygen, so no DRBG draws happen and no rekey messages are
+    produced.  ``register``/``seq`` records are skipped here (the
+    server-level replay in ``core.persistence`` consumes them).
+    """
+    seq = -1
+    original_keygen = tree._keygen
+    try:
+        for record in ops:
+            op = record.get("op")
+            if "seq" in record:
+                seq = record["seq"]
+            if op in ("register", "seq"):
+                continue
+            source = ReplayKeySource(
+                [bytes.fromhex(k) for k in record.get("keys", [])])
+            tree._keygen = source
+            if op == "join":
+                tree.join(record["user_id"],
+                          bytes.fromhex(record["individual_key"]))
+            elif op == "leave":
+                tree.leave(record["user_id"])
+            elif op == "refresh":
+                root = tree.root
+                if root is None:
+                    raise JournalError("refresh record on an empty tree")
+                root.replace_key(source())
+            else:
+                raise JournalError(f"unknown journal op {op!r}")
+            if not source.exhausted:
+                raise JournalError(
+                    f"op {op!r} drew fewer keys than recorded")
+    finally:
+        tree._keygen = original_keygen
+    return seq

@@ -46,6 +46,7 @@ from ..core.pipeline import KeyMaterialSource, RekeyPipeline
 from ..core.strategies.base import PlannedMessage, RekeyContext
 from ..observability import Instrumentation
 from .covering import CoverError, greedy_cover
+from .flat import KeyArena
 from .graph import KeyGraph, KeyGraphError
 
 
@@ -82,8 +83,11 @@ class MaterializedKeyGraph:
         self._iv = iv_source
         self.graph = KeyGraph()
         self.group_id = group_id
-        # k-node name -> (integer wire id, version, key bytes)
-        self._material: Dict[str, Tuple[int, int, bytes]] = {}
+        # k-node name -> (integer wire id, version); the key bytes live
+        # in a flat arena indexed by wire id (same storage engine as the
+        # flat tree backend), not as per-key heap objects.
+        self._material: Dict[str, Tuple[int, int]] = {}
+        self._arena = KeyArena()
         self._next_wire_id = 1
         # user -> individual key (the leaf-equivalent, outside the graph)
         self._individual: Dict[str, bytes] = {}
@@ -107,8 +111,10 @@ class MaterializedKeyGraph:
     def add_key(self, name: str) -> None:
         """Create a k-node with fresh key material."""
         self.graph.add_k_node(name)
-        self._material[name] = (self._next_wire_id, 0, self._keygen())
+        wire_id = self._next_wire_id
         self._next_wire_id += 1
+        self._material[name] = (wire_id, 0)
+        self._arena.store(wire_id, self._keygen())
 
     def add_user(self, name: str, individual_key: bytes,
                  keys: Iterable[str]) -> None:
@@ -141,19 +147,19 @@ class MaterializedKeyGraph:
 
     def wire_ref(self, name: str) -> Tuple[int, int]:
         """(wire id, version) of a k-node, as rekey items reference it."""
-        wire_id, version, _key = self._material[name]
-        return wire_id, version
+        return self._material[name]
 
     def key_bytes(self, name: str) -> bytes:
         """Current key material of a k-node."""
-        return self._material[name][2]
+        return self._arena.get(self._material[name][0])
 
     def key_records(self, names: Iterable[str]) -> List[KeyRecord]:
         """Wire key records for the named k-nodes."""
         records = []
         for name in names:
-            wire_id, version, key = self._material[name]
-            records.append(KeyRecord(wire_id, version, key))
+            wire_id, version = self._material[name]
+            records.append(KeyRecord(wire_id, version,
+                                     self._arena.get(wire_id)))
         return records
 
     def validate(self) -> None:
@@ -166,9 +172,11 @@ class MaterializedKeyGraph:
 
     def _replace(self, name: str) -> Tuple[int, int, bytes, bytes]:
         """Rotate a key; returns (wire id, new version, old key, new key)."""
-        wire_id, version, old_key = self._material[name]
+        wire_id, version = self._material[name]
+        old_key = self._arena.get(wire_id)
         new_key = self._keygen()
-        self._material[name] = (wire_id, version + 1, new_key)
+        self._material[name] = (wire_id, version + 1)
+        self._arena.store(wire_id, new_key)
         return wire_id, version + 1, old_key, new_key
 
     def _topological_k_order(self, names: Iterable[str]) -> List[str]:
@@ -208,6 +216,7 @@ class MaterializedKeyGraph:
             for name in sorted(old_keyset):
                 if not self.graph.userset(name):
                     self.graph.remove_node(name)
+                    self._arena.discard(self._material[name][0])
                     del self._material[name]
                 else:
                     compromised.append(name)
@@ -232,10 +241,10 @@ class MaterializedKeyGraph:
                         and k != name]
                 cover = self._cover(secure, target, safe)
                 for cover_name in cover:
-                    cover_id, cover_version, cover_key = \
-                        self._material[cover_name]
+                    cover_id, cover_version = self._material[cover_name]
                     items.append(ctx.encrypt(
-                        cover_key, [KeyRecord(wire_id, version, new_key)],
+                        self._arena.get(cover_id),
+                        [KeyRecord(wire_id, version, new_key)],
                         cover_id, cover_version))
             state["replaced"] = replaced
             if not items:

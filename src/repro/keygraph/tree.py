@@ -21,7 +21,6 @@ messages can reference keys unambiguously.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .graph import KeyGraph
@@ -72,22 +71,53 @@ class TreeNode:
             node = node.parent
         return path
 
+    def __eq__(self, other: object) -> bool:
+        # Node ids are unique within a tree, so id equality is node
+        # equality; handle-based backends (FlatKeyTree) produce fresh
+        # handle objects per access, which makes identity useless as an
+        # equality test across the tree-consuming code.
+        if isinstance(other, TreeNode):
+            return self.node_id == other.node_id
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         tag = f" user={self.user_id}" if self.user_id else ""
         return f"<TreeNode {self.node_id} v{self.version}{tag}>"
 
 
-@dataclass
 class PathChange:
-    """One rekeyed node: its old key material and the fresh key."""
+    """One rekeyed node: its old key material and the fresh key.
 
-    node: TreeNode
-    old_key: bytes
-    old_version: int
-    new_key: bytes
+    A plain ``__slots__`` class (not a dataclass): rekey bursts allocate
+    one per changed node, and large-n churn makes the per-instance dict
+    overhead measurable.
+    """
+
+    __slots__ = ("node", "old_key", "old_version", "new_key")
+
+    def __init__(self, node, old_key: bytes, old_version: int,
+                 new_key: bytes):
+        self.node = node
+        self.old_key = old_key
+        self.old_version = old_version
+        self.new_key = new_key
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PathChange):
+            return (self.node == other.node
+                    and self.old_key == other.old_key
+                    and self.old_version == other.old_version
+                    and self.new_key == other.new_key)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"PathChange(node={self.node!r}, "
+                f"old_version={self.old_version})")
 
 
-@dataclass
 class JoinResult:
     """Outcome of a join edit.
 
@@ -99,18 +129,25 @@ class JoinResult:
     interior node.
     """
 
-    user_id: str
-    leaf: TreeNode
-    changes: List[PathChange]
-    split_leaf: Optional[TreeNode] = None
+    __slots__ = ("user_id", "leaf", "changes", "split_leaf")
+
+    def __init__(self, user_id: str, leaf, changes: List[PathChange],
+                 split_leaf=None):
+        self.user_id = user_id
+        self.leaf = leaf
+        self.changes = changes
+        self.split_leaf = split_leaf
 
     @property
-    def joining_point(self) -> TreeNode:
+    def joining_point(self):
         """The k-node the new leaf was attached to."""
         return self.changes[-1].node if self.changes else self.leaf
 
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"JoinResult(user_id={self.user_id!r}, "
+                f"changes={len(self.changes)})")
 
-@dataclass
+
 class LeaveResult:
     """Outcome of a leave edit.
 
@@ -120,19 +157,29 @@ class LeaveResult:
     nodes removed because they were left with a single child.
     """
 
-    user_id: str
-    removed_leaf: TreeNode
-    changes: List[PathChange]
-    spliced: List[TreeNode] = field(default_factory=list)
+    __slots__ = ("user_id", "removed_leaf", "changes", "spliced")
+
+    def __init__(self, user_id: str, removed_leaf,
+                 changes: List[PathChange], spliced=None):
+        self.user_id = user_id
+        self.removed_leaf = removed_leaf
+        self.changes = changes
+        self.spliced = spliced if spliced is not None else []
 
     @property
-    def leaving_point(self) -> Optional[TreeNode]:
+    def leaving_point(self):
         """The rekeyed parent of the removed leaf."""
         return self.changes[-1].node if self.changes else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LeaveResult(user_id={self.user_id!r}, "
+                f"changes={len(self.changes)})")
 
 
 class KeyTree:
     """Single-root key tree with bounded degree and balance maintenance."""
+
+    backend_name = "object"
 
     def __init__(self, degree: int, keygen: Callable[[], bytes]):
         if degree < 2:
@@ -170,36 +217,89 @@ class KeyTree:
         for node in leaves:
             tree._leaves[node.user_id] = node
 
-        def attach(parent: "TreeNode", nodes: List["TreeNode"]) -> None:
+        # Iterative top-down division (an explicit stack instead of
+        # recursion, so degree-2 builds at large n cannot hit Python's
+        # recursion limit).  Frames are (parent, nodes, needs_interior);
+        # chunks are pushed in reverse so pops occur in chunk order,
+        # and a multi-node chunk draws its interior key at the moment
+        # its frame is popped — before any of its descendants.  That
+        # reproduces the recursive version's DFS pre-order keygen call
+        # sequence (and node-id assignment) exactly, so every derived
+        # key byte is identical to the recursive build's.
+        root = tree._new_node(keygen())
+        tree.root = root
+        stack: List[Tuple[TreeNode, List[TreeNode], bool]] = [
+            (root, leaves, False)]
+        while stack:
+            parent, nodes, needs_interior = stack.pop()
+            if needs_interior:
+                interior = tree._new_node(keygen())
+                interior.parent = parent
+                parent.children.append(interior)
+                parent = interior
             if len(nodes) <= degree:
                 for node in nodes:
                     node.parent = parent
                     parent.children.append(node)
-                    parent.size += node.size
-                return
+                continue
             # Split into d nearly equal chunks; wrap multi-node chunks
-            # in a subgroup-key interior.
+            # in a subgroup-key interior (when their frame is popped).
             quotient, remainder = divmod(len(nodes), degree)
+            chunks = []
             start = 0
             for index in range(degree):
                 length = quotient + (1 if index < remainder else 0)
-                chunk = nodes[start:start + length]
+                chunks.append(nodes[start:start + length])
                 start += length
-                if len(chunk) == 1:
-                    chunk[0].parent = parent
-                    parent.children.append(chunk[0])
-                    parent.size += chunk[0].size
-                else:
-                    interior = tree._new_node(keygen())
-                    attach(interior, chunk)
-                    interior.parent = parent
-                    parent.children.append(interior)
-                    parent.size += interior.size
-
-        root = tree._new_node(keygen())
-        attach(root, leaves)
-        tree.root = root
+            for chunk in reversed(chunks):
+                stack.append((parent, chunk, len(chunk) > 1))
+        # Subtree sizes cannot be filled during the pre-order pass (an
+        # interior's final size is unknown until its subtree is built),
+        # so fill them bottom-up afterwards: reversed BFS order visits
+        # every child before its parent.
+        order = list(tree.nodes())
+        for node in reversed(order):
+            if not node.is_leaf:
+                node.size = sum(child.size for child in node.children)
         return tree
+
+    def load_nodes(self, entries: List[dict], root_id: Optional[int],
+                   next_id: int) -> None:
+        """Reconstruct topology from snapshot entries (persistence).
+
+        Entries carry ``id``/``version``/``key`` (hex)/``user``/
+        ``children`` (ids).  Sizes are filled bottom-up and the member
+        registry rebuilt in DFS pre-order — both iteratively, so a
+        degree-2 tree at large n cannot hit the recursion limit.
+        """
+        by_id: Dict[int, TreeNode] = {}
+        for entry in entries:
+            node = TreeNode(entry["id"], bytes.fromhex(entry["key"]),
+                            entry["user"])
+            node.version = entry["version"]
+            by_id[node.node_id] = node
+        for entry in entries:
+            node = by_id[entry["id"]]
+            for child_id in entry["children"]:
+                child = by_id[child_id]
+                child.parent = node
+                node.children.append(child)
+        self._next_id = next_id
+        if root_id is not None:
+            self.root = by_id[root_id]
+            order = list(self.nodes())
+            for node in reversed(order):
+                if node.is_leaf:
+                    node.size = 1
+                else:
+                    node.size = sum(child.size for child in node.children)
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    self._leaves[node.user_id] = node
+                stack.extend(reversed(node.children))
+        self.validate()
 
     # -- queries -------------------------------------------------------------
 
@@ -242,6 +342,24 @@ class KeyTree:
             yield node
             queue.extend(node.children)
 
+    def nodes_with_depth(self) -> Iterable[Tuple[TreeNode, int]]:
+        """(node, depth) pairs, breadth-first; root depth 0.
+
+        The iterative traversal helper shape metrics build on: one
+        queue-driven pass hands every node its depth, so callers never
+        re-walk a root path per leaf (O(n·h)) nor recurse (a height-h
+        call stack overflows CPython's recursion limit long before the
+        million-member trees the flat backend targets).
+        """
+        if self.root is None:
+            return
+        queue = deque([(self.root, 0)])
+        while queue:
+            node, depth = queue.popleft()
+            yield node, depth
+            for child in node.children:
+                queue.append((child, depth + 1))
+
     @property
     def n_keys(self) -> int:
         """Total number of keys held by the server (Table 1 'Tree' row)."""
@@ -253,14 +371,13 @@ class KeyTree:
         The u-node hangs below its leaf k-node, so h is one more than the
         deepest leaf's k-node depth... precisely: a user's key count is
         its leaf depth + 1 (leaf itself plus ancestors), which equals the
-        number of edges from the u-node to the root.
+        number of edges from the u-node to the root.  Computed in one
+        breadth-first pass (not a per-leaf path walk).
         """
-        if self.root is None:
-            return 0
         best = 0
-        for leaf in self._leaves.values():
-            depth = len(leaf.path_to_root())
-            best = max(best, depth)
+        for node, depth in self.nodes_with_depth():
+            if node.is_leaf:
+                best = max(best, depth + 1)
         return best
 
     def user_key_path(self, user_id: str) -> List[TreeNode]:
@@ -285,6 +402,113 @@ class KeyTree:
     def subtree_size(self, node: TreeNode) -> int:
         """Number of users below ``node`` (O(1): maintained on the node)."""
         return node.size
+
+    # -- surgery primitives (the TreeBackend protocol surface) -------------
+    #
+    # Callers that edit the tree (the per-request join/leave below, the
+    # batch flush in ``batch.rekeying``, cluster namespacing) go through
+    # these named operations instead of reaching into node internals, so
+    # an array-backed tree (``flat.FlatKeyTree``) can implement the same
+    # surface over indices instead of objects.
+
+    def new_leaf(self, user_id: str, key: bytes) -> TreeNode:
+        """Allocate and register a (detached) leaf for ``user_id``."""
+        if user_id in self._leaves:
+            raise KeyTreeError(f"user {user_id!r} is already a member")
+        leaf = self._new_node(key, user_id)
+        self._leaves[user_id] = leaf
+        return leaf
+
+    def start_root(self, leaf: TreeNode) -> TreeNode:
+        """Create the root (group key) node above a first, sole leaf."""
+        root = self._new_node(self._keygen())
+        leaf.parent = root
+        root.children.append(leaf)
+        root.size = leaf.size
+        self.root = root
+        return root
+
+    def attach_leaf(self, leaf: TreeNode, spot: TreeNode) -> None:
+        """Attach a detached leaf below ``spot``; updates subtree sizes."""
+        leaf.parent = spot
+        spot.children.append(leaf)
+        node: Optional[TreeNode] = spot
+        while node is not None:
+            node.size += 1
+            node = node.parent
+
+    def split_node(self, victim: TreeNode) -> TreeNode:
+        """Replace ``victim`` with a fresh interior that adopts it.
+
+        Draws one key for the new interior.  Used when the joining
+        heuristic must split a leaf to make room.
+        """
+        parent = victim.parent
+        interior = self._new_node(self._keygen())
+        if parent is None:
+            self.root = interior
+        else:
+            parent.children[parent.children.index(victim)] = interior
+            interior.parent = parent
+        victim.parent = interior
+        interior.children.append(victim)
+        interior.size = victim.size
+        return interior
+
+    def detach_user(self, user_id: str) -> Optional[TreeNode]:
+        """Detach a member's leaf; returns the vacated parent.
+
+        Returns ``None`` (and empties the tree) when the leaf had no
+        parent.  Subtree sizes along the path are updated.
+        """
+        leaf = self.leaf_of(user_id)
+        del self._leaves[user_id]
+        parent = leaf.parent
+        leaf.parent = None
+        if parent is None:
+            self.root = None
+            return None
+        parent.children.remove(leaf)
+        node: Optional[TreeNode] = parent
+        while node is not None:
+            node.size -= 1
+            node = node.parent
+        return parent
+
+    def splice_out(self, node: TreeNode) -> TreeNode:
+        """Splice a single-child interior out; returns its parent."""
+        only_child = node.children[0]
+        parent = node.parent
+        parent.children[parent.children.index(node)] = only_child
+        only_child.parent = parent
+        return parent
+
+    def drop_childless(self, node: TreeNode) -> None:
+        """Remove a childless interior from its parent."""
+        node.parent.children.remove(node)
+        node.parent = None
+
+    def clear_root(self) -> None:
+        """Forget the root (the tree has no members left)."""
+        self.root = None
+
+    def has_room(self, node: TreeNode) -> bool:
+        """True iff ``node`` can take another child."""
+        return len(node.children) < self.degree
+
+    def is_attached(self, node: TreeNode) -> bool:
+        """True iff ``node`` is still part of the tree."""
+        return node.parent is not None or node == self.root
+
+    def find_joining_point(self) -> Tuple[TreeNode, Optional[TreeNode]]:
+        """Public alias of the joining-point heuristic (batch flush)."""
+        return self._find_joining_point()
+
+    def shift_node_ids(self, base: int) -> None:
+        """Add ``base`` to every node id (cluster shard namespacing)."""
+        for node in self.nodes():
+            node.node_id += base
+        self._next_id += base
 
     # -- joining ---------------------------------------------------------------
 
@@ -320,18 +544,11 @@ class KeyTree:
         member must not be able to read past traffic).  Returns the edit
         record the rekeying strategies consume.
         """
-        if user_id in self._leaves:
-            raise KeyTreeError(f"user {user_id!r} is already a member")
-        leaf = self._new_node(individual_key, user_id)
-        self._leaves[user_id] = leaf
+        leaf = self.new_leaf(user_id, individual_key)
 
         if self.root is None:
             # First member: root (group key) above the single leaf.
-            root = self._new_node(self._keygen())
-            leaf.parent = root
-            root.children.append(leaf)
-            root.size = 1
-            self.root = root
+            root = self.start_root(leaf)
             return JoinResult(user_id, leaf, changes=[
                 PathChange(root, root.key, root.version, root.key)])
 
@@ -340,28 +557,10 @@ class KeyTree:
         if leaf_to_split is not None:
             # Split: new interior node replaces the leaf in its parent,
             # adopting the displaced leaf and the new one.
-            parent = leaf_to_split.parent
-            interior = self._new_node(self._keygen())
-            if parent is None:
-                # Splitting the root (only when the root is a leaf —
-                # cannot happen with the group-root invariant, but kept
-                # for safety).
-                self.root = interior
-            else:
-                parent.children[parent.children.index(leaf_to_split)] = interior
-                interior.parent = parent
-            leaf_to_split.parent = interior
-            interior.children.append(leaf_to_split)
-            interior.size = leaf_to_split.size
-            joining_point = interior
+            joining_point = self.split_node(leaf_to_split)
             split_leaf = leaf_to_split
 
-        leaf.parent = joining_point
-        joining_point.children.append(leaf)
-        ancestor = joining_point
-        while ancestor is not None:
-            ancestor.size += 1
-            ancestor = ancestor.parent
+        self.attach_leaf(leaf, joining_point)
 
         changes = []
         for node in reversed(joining_point.path_to_root()):  # root first
@@ -380,18 +579,10 @@ class KeyTree:
         out so the tree stays compact.
         """
         leaf = self.leaf_of(user_id)
-        del self._leaves[user_id]
-        parent = leaf.parent
+        parent = self.detach_user(user_id)
         if parent is None:
             # Sole node: empty the tree.
-            self.root = None
             return LeaveResult(user_id, leaf, changes=[])
-        parent.children.remove(leaf)
-        leaf.parent = None
-        ancestor = parent
-        while ancestor is not None:
-            ancestor.size -= 1
-            ancestor = ancestor.parent
 
         spliced = []
         leaving_point = parent
@@ -399,12 +590,8 @@ class KeyTree:
             # Splice out the now-redundant interior node: its single
             # child takes its place.  (The root is kept even with one
             # child so the group key node id stays stable.)
-            only_child = leaving_point.children[0]
-            grandparent = leaving_point.parent
-            grandparent.children[grandparent.children.index(leaving_point)] = only_child
-            only_child.parent = grandparent
             spliced.append(leaving_point)
-            leaving_point = grandparent
+            leaving_point = self.splice_out(leaving_point)
 
         if not self._leaves:
             self.root = None

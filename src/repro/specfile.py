@@ -21,6 +21,7 @@ The format is ``key = value`` lines with ``#`` comments:
     signing           = merkle       # none | per-message | merkle
     seed              = sigcomm98    # deterministic runs; omit for random
     access-list       = alice, bob   # omit for an open group
+    backend           = object       # object | flat (tree storage engine)
 """
 
 from __future__ import annotations
@@ -36,7 +37,7 @@ class SpecError(ValueError):
 
 _KNOWN_KEYS = {
     "group-id", "graph", "initial-size", "degree", "strategy", "cipher",
-    "digest", "signature", "signing", "seed", "access-list",
+    "digest", "signature", "signing", "seed", "access-list", "backend",
 }
 
 _DEFAULTS = {
@@ -49,6 +50,7 @@ _DEFAULTS = {
     "digest": "md5",
     "signature": "rsa-512",
     "signing": "merkle",
+    "backend": "object",
 }
 
 
@@ -116,6 +118,7 @@ def config_from_spec(text: str) -> Tuple[ServerConfig, int]:
         signing=values["signing"],
         seed=seed.encode("utf-8") if seed is not None else None,
         access_list=access_list,
+        backend=values["backend"],
     )
     try:
         config.validate()

@@ -1,0 +1,96 @@
+"""Vectorized AES key expansion and the raw-key-bytes batch CBC path."""
+
+import random
+
+import pytest
+
+from repro.crypto import batchenc, modes
+from repro.crypto.aes import AES
+from repro.crypto.suite import CipherSuite
+
+numpy = pytest.importorskip("numpy")
+pytestmark = pytest.mark.skipif(not batchenc.HAVE_NUMPY,
+                                reason="batch path needs numpy")
+
+
+def random_keys(n, length, seed):
+    rng = random.Random(seed)
+    return [rng.randbytes(length) for _ in range(n)]
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_batch_schedules_match_reference_expansion(key_len):
+    """Every row of the batched schedule equals AES._expand_key."""
+    keys = random_keys(9, key_len, seed=key_len)
+    schedules = batchenc._aes_schedules_batch(keys)
+    for row, key in enumerate(keys):
+        reference = AES(key)._rk
+        assert schedules.shape[1] == len(reference)
+        assert [int(word) for word in schedules[row]] == list(reference)
+
+
+def suite_for(cipher):
+    return CipherSuite(cipher, "sha1", 512)
+
+
+def jobs_for(suite, n, n_blocks=2, seed=0):
+    rng = random.Random(n * 1009 + n_blocks * 31 + seed)
+    lengths = {"aes128": 16, "aes256": 32, "des": 8, "des3": 24}
+    key_len = lengths[suite.cipher_name]
+    block = 16 if suite.cipher_name.startswith("aes") else 8
+    return [(rng.randbytes(key_len), rng.randbytes(block * n_blocks),
+             rng.randbytes(block)) for _ in range(n)]
+
+
+@pytest.mark.parametrize("cipher", ["aes128", "aes256", "des", "des3"])
+@pytest.mark.parametrize("n", [1, 3, 8, 40])
+def test_keys_many_matches_scalar_path(cipher, n):
+    """cbc_encrypt_keys_many == per-job scalar CBC for every suite and
+    batch size, above and below the vectorization threshold."""
+    suite = suite_for(cipher)
+    jobs = jobs_for(suite, n, n_blocks=3, seed=n)
+    got = batchenc.cbc_encrypt_keys_many(suite, jobs)
+    expected = [modes.cbc_encrypt_nopad(suite.new_cipher(key), padded, iv)
+                for key, padded, iv in jobs]
+    assert got == expected
+
+
+def test_keys_many_mixed_shapes_group_correctly():
+    """Jobs with different plaintext lengths vectorize per group and
+    come back in input order."""
+    suite = suite_for("aes128")
+    rng = random.Random(77)
+    jobs = []
+    for index in range(30):
+        n_blocks = 1 + index % 3
+        jobs.append((rng.randbytes(16), rng.randbytes(16 * n_blocks),
+                     rng.randbytes(16)))
+    got = batchenc.cbc_encrypt_keys_many(suite, jobs)
+    expected = [modes.cbc_encrypt_nopad(suite.new_cipher(key), padded, iv)
+                for key, padded, iv in jobs]
+    assert got == expected
+
+
+def test_keys_many_rejects_partial_blocks():
+    suite = suite_for("aes128")
+    jobs = [(bytes(16), bytes(17), bytes(16))] * batchenc._MIN_GROUP
+    with pytest.raises(ValueError, match="block multiple"):
+        batchenc.cbc_encrypt_keys_many(suite, jobs)
+
+
+def test_keys_many_empty_plaintext_falls_back():
+    suite = suite_for("aes128")
+    jobs = [(bytes([i]) * 16, b"", bytes(16))
+            for i in range(batchenc._MIN_GROUP)]
+    assert batchenc.cbc_encrypt_keys_many(suite, jobs) == \
+        [b""] * batchenc._MIN_GROUP
+
+
+def test_keys_many_odd_key_length_falls_back():
+    """Keys outside the AES schedule table go through scalar ciphers
+    (and raise exactly like the scalar path would)."""
+    suite = suite_for("aes128")
+    jobs = [(bytes([i]) * 20, bytes(16), bytes(16))
+            for i in range(batchenc._MIN_GROUP)]
+    with pytest.raises(ValueError):
+        batchenc.cbc_encrypt_keys_many(suite, jobs)

@@ -1,0 +1,267 @@
+"""Flat array-backed key tree: arena, handles, descent, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.keygraph.flat import _INF, FlatKeyTree, FlatNode, KeyArena
+from repro.keygraph.tree import KeyTree, KeyTreeError
+
+
+def make_keygen(seed=b"flat-test"):
+    source = HmacDrbg(seed)
+    return lambda: source.generate(8)
+
+
+def build(n, degree=3, seed=b"flat-test"):
+    keygen = make_keygen(seed)
+    return FlatKeyTree.build([(f"u{i}", keygen()) for i in range(n)],
+                             degree, keygen)
+
+
+# -- KeyArena ---------------------------------------------------------------
+
+def test_arena_store_get_roundtrip():
+    arena = KeyArena()
+    arena.store(0, b"aaaaaaaa")
+    arena.store(5, b"bbbbbbbb")
+    assert arena.stride == 8
+    assert arena.get(0) == b"aaaaaaaa"
+    assert arena.get(5) == b"bbbbbbbb"
+    # Slots never written read as zero bytes, not garbage.
+    assert arena.get(2) == b"\x00" * 8
+
+
+def test_arena_overwrite_in_place():
+    arena = KeyArena()
+    arena.store(3, b"x" * 8)
+    before = arena.nbytes
+    arena.store(3, b"y" * 8)
+    assert arena.get(3) == b"y" * 8
+    assert arena.nbytes == before
+
+
+def test_arena_odd_length_overflow():
+    arena = KeyArena()
+    arena.store(0, b"standard")          # stride locks to 8
+    arena.store(1, b"a-very-long-key-indeed")
+    assert arena.get(1) == b"a-very-long-key-indeed"
+    # Replacing with a stride-sized key clears the overflow entry.
+    arena.store(1, b"regular!")
+    assert arena.get(1) == b"regular!"
+    assert not arena._odd
+
+
+def test_arena_view_and_discard():
+    arena = KeyArena()
+    arena.store(0, b"12345678")
+    assert bytes(arena.view(0)) == b"12345678"
+    arena.store(1, b"odd")
+    assert bytes(arena.view(1)) == b"odd"
+    arena.discard(1)
+    assert 1 not in arena._odd
+
+
+# -- handles ----------------------------------------------------------------
+
+def test_handles_compare_by_slot_not_identity():
+    tree = build(9)
+    a = tree.root
+    b = tree.root
+    assert a is not b
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != tree.leaf_of("u0")
+    assert a != None  # noqa: E711 - NotImplemented fallback must work
+
+
+def test_handle_matches_treenode_by_node_id():
+    flat = build(9)
+    obj = KeyTree.build([(f"u{i}", bytes([i]) * 8) for i in range(9)], 3,
+                        make_keygen())
+    assert flat.root == obj.root
+    assert flat.leaf_of("u4") == obj.leaf_of("u4")
+    assert flat.leaf_of("u4") != obj.leaf_of("u5")
+
+
+def test_handle_surface_matches_treenode():
+    tree = build(10)
+    leaf = tree.leaf_of("u7")
+    assert leaf.is_leaf and leaf.user_id == "u7" and leaf.size == 1
+    path = leaf.path_to_root()
+    assert path[0] == leaf and path[-1] == tree.root
+    root = tree.root
+    assert not root.is_leaf and root.parent is None
+    assert sum(child.size for child in root.children) == root.size == 10
+    old_version, old_key = root.version, root.key
+    root.replace_key(b"fresh-k!")
+    assert root.version == old_version + 1
+    assert root.key == b"fresh-k!" != old_key
+
+
+# -- queries ----------------------------------------------------------------
+
+def test_n_keys_and_height_match_object_backend():
+    keygen_a, keygen_b = make_keygen(), make_keygen()
+    members = [(f"u{i}", bytes([i]) * 8) for i in range(23)]
+    flat = FlatKeyTree.build(members, 4, keygen_a)
+    obj = KeyTree.build(members, 4, keygen_b)
+    assert flat.n_keys == obj.n_keys
+    assert flat.height() == obj.height()
+    flat_depths = sorted((n.node_id, d) for n, d in flat.nodes_with_depth())
+    obj_depths = sorted((n.node_id, d) for n, d in obj.nodes_with_depth())
+    assert flat_depths == obj_depths
+
+
+def test_userset_and_subtree_size():
+    tree = build(12, degree=3)
+    for node in tree.nodes():
+        userset = tree.userset(node)
+        assert len(userset) == tree.subtree_size(node)
+    assert sorted(tree.userset(tree.root)) == sorted(tree.users())
+
+
+# -- joining-point descent --------------------------------------------------
+
+def _bfs_joining_point(tree):
+    """Reference: the paper's breadth-first scan (object-backend logic)."""
+    from collections import deque
+    queue = deque([tree.root])
+    while queue:
+        node = queue.popleft()
+        if not node.is_leaf and len(node.children) < tree.degree:
+            return node, None
+        queue.extend(node.children)
+    queue = deque([tree.root])
+    while queue:
+        node = queue.popleft()
+        if node.is_leaf:
+            return node, node
+        queue.extend(node.children)
+    raise AssertionError("unreachable on a non-empty tree")
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_descent_matches_breadth_first_scan(data):
+    """The O(log n) aggregate descent lands on the exact node the
+    paper's O(n) breadth-first scan would pick, at every churn step."""
+    degree = data.draw(st.integers(min_value=2, max_value=4))
+    n = data.draw(st.integers(min_value=1, max_value=30))
+    tree = build(n, degree, seed=b"descent")
+    keygen = make_keygen(b"descent-ops")
+    alive = [f"u{i}" for i in range(n)]
+    for step in range(data.draw(st.integers(min_value=0, max_value=15))):
+        expected_spot, expected_split = _bfs_joining_point(tree)
+        spot, split = tree.find_joining_point()
+        assert spot == expected_spot
+        assert split == expected_split
+        if data.draw(st.booleans()) or len(alive) <= 1:
+            name = f"x{step}"
+            tree.join(name, keygen())
+            alive.append(name)
+        else:
+            index = data.draw(
+                st.integers(min_value=0, max_value=len(alive) - 1))
+            tree.leave(alive.pop(index))
+        tree.validate()
+
+
+# -- surgery and slot recycling --------------------------------------------
+
+def test_leave_recycles_slots_and_ids_stay_increasing():
+    tree = build(8, degree=2)
+    slots_before = len(tree._parent)
+    high_id = max(node.node_id for node in tree.nodes())
+    for i in range(4):
+        tree.leave(f"u{i}")
+    for i in range(4):
+        tree.join(f"r{i}", bytes([i]) * 8)
+    tree.validate()
+    # Rejoins reuse freed slots instead of growing the arrays...
+    assert len(tree._parent) <= slots_before + 1
+    # ...but node ids keep increasing (never reused).
+    new_ids = [tree.leaf_of(f"r{i}").node_id for i in range(4)]
+    assert min(new_ids) > high_id
+    assert len(set(new_ids)) == 4
+
+
+def test_leave_result_snapshots_survive_recycling():
+    tree = build(6, degree=2)
+    result = tree.leave("u3")
+    removed_id = result.removed_leaf.node_id
+    removed_key = result.removed_leaf.key
+    tree.join("fresh", b"fresh-k!")  # may recycle the freed slot
+    assert result.removed_leaf.node_id == removed_id
+    assert result.removed_leaf.key == removed_key
+
+
+def test_shift_node_ids():
+    tree = build(5)
+    before = {node.node_id for node in tree.nodes()}
+    tree.shift_node_ids(1000)
+    after = {node.node_id for node in tree.nodes()}
+    assert after == {node_id + 1000 for node_id in before}
+    assert tree._next_id >= max(after)
+    tree.validate()
+
+
+def test_empty_tree_edge_cases():
+    tree = FlatKeyTree(3, make_keygen())
+    assert tree.root is None and tree.n_users == 0 and tree.n_keys == 0
+    assert tree.height() == 0
+    assert list(tree.nodes()) == list(tree.nodes_with_depth()) == []
+    with pytest.raises(KeyTreeError):
+        tree.group_key_node()
+    with pytest.raises(KeyTreeError):
+        tree.leave("ghost")
+    tree.validate()
+
+
+def test_last_leave_clears_root():
+    tree = build(1)
+    tree.leave("u0")
+    assert tree.root is None and tree.n_users == 0
+    tree.validate()
+    tree.join("back", b"back-key")
+    assert tree.n_users == 1 and tree.root is not None
+
+
+# -- validation -------------------------------------------------------------
+
+def test_validate_catches_stale_size():
+    tree = build(9)
+    tree._size[tree._root] += 1
+    with pytest.raises(KeyTreeError, match="size cache stale"):
+        tree.validate()
+
+
+def test_validate_catches_stale_aggregates():
+    tree = build(9)
+    tree._open_d[tree._root] = _INF - 1
+    with pytest.raises(KeyTreeError, match="aggregates stale"):
+        tree.validate()
+
+
+def test_validate_catches_registry_drift():
+    tree = build(4)
+    tree._leaves["phantom"] = tree._leaves["u0"]
+    with pytest.raises(KeyTreeError, match="leaf registry"):
+        tree.validate()
+
+
+def test_storage_bytes_accounts_arrays_and_arena():
+    tree = build(50, degree=4)
+    total = tree.storage_bytes()
+    assert total >= tree.arena.nbytes > 0
+    # Flat storage at n=50 stays far under one object-node per key.
+    assert total < 50 * 200
+
+
+def test_duplicate_join_rejected():
+    tree = build(3)
+    with pytest.raises(KeyTreeError, match="already a member"):
+        tree.join("u1", b"dup-key!")
+    with pytest.raises(KeyTreeError, match="already a member"):
+        tree.new_leaf("u2", b"dup-key!")

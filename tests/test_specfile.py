@@ -76,11 +76,23 @@ def test_access_list():
     ("signing = merkle\ndigest = none\nsignature = none", "signing"),
     ("access-list = ,", "empty"),
     ("initial-size = -4", ">= 0"),
+    ("backend = columnar", "backend"),
 ])
 def test_rejections(bad, fragment):
     with pytest.raises(SpecError) as excinfo:
         config_from_spec(bad)
     assert fragment.lower() in str(excinfo.value).lower()
+
+
+def test_backend_selection():
+    config, _ = config_from_spec(PAPER_SPEC)
+    assert config.backend == "object"          # the default engine
+    config, _ = config_from_spec(PAPER_SPEC + "backend = flat\n")
+    assert config.backend == "flat"
+    server = GroupKeyServer(config)
+    server.bootstrap([("alice", b"\x01" * 8), ("bob", b"\x02" * 8)])
+    assert server.tree.backend_name == "flat"
+    assert sorted(server.members()) == ["alice", "bob"]
 
 
 def test_load_spec_from_disk(tmp_path):
