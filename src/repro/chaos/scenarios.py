@@ -33,7 +33,7 @@ from ..recovery import (BatchBackend, RecoveryManager, RecoveryPolicy,
 from ..transport.inmemory import InMemoryNetwork
 from .faults import PROFILES, ChaosError, ChaosTransport, FaultProfile
 
-STACKS = ("server", "batch", "cluster")
+STACKS = ("server", "batch", "cluster", "serve")
 
 
 @dataclass
@@ -354,6 +354,12 @@ class _Harness:
 
 def run_scenario(config: ScenarioConfig) -> ScenarioReport:
     """Run one chaos scenario end to end and report what happened."""
+    if config.stack == "serve":
+        # The async front end has its own harness (event loop, socket
+        # fanout drop filter, in-memory control run for byte-identity).
+        from .serve_scenario import run_serve_scenario
+        config.validate()
+        return run_serve_scenario(config)
     _harness, report = _execute(config)
     return report
 
@@ -412,6 +418,8 @@ def quick_matrix() -> List[ScenarioConfig]:
         ScenarioConfig(name="shard-crash", stack="cluster",
                        profile="drop10", n_initial=18, rounds=10,
                        n_shards=3, fail_shard_at={3: 1}, promote_at={6: 1}),
+        ScenarioConfig(name="drop10-serve", stack="serve",
+                       profile="drop10", n_initial=12, rounds=12),
     ]
 
 

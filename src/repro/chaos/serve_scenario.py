@@ -1,0 +1,200 @@
+"""Chaos through the async front end: the ``serve`` scenario stack.
+
+The PR5 scenarios inject faults on an in-memory bus; this module runs
+the same fault profiles against :class:`~repro.serve.core.
+ImmediateServingCore` instead, using the :class:`~repro.serve.fanout.
+SocketFanout` per-copy ``drop_filter`` as the loss point.  The headline
+claim is stronger than "it recovers": a second, in-memory *control*
+server with the same seed is driven through the identical op sequence
+with no serving layer at all, and the live server's final group key
+must match the control's **byte for byte** — the async front end
+(event-loop planning, executor encrypt/seal, admission control) must
+not perturb a single DRBG draw.
+
+Clients replay exactly what their reply path received (acks and
+multicasts, minus the dropped copies) through the ordinary
+:class:`~repro.core.client.GroupClient` state machine, then repair via
+resync requests submitted back through the core — the same path a real
+lossy client takes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Tuple
+
+from ..core.client import GroupClient
+from ..core.messages import (MSG_JOIN_ACK, MSG_JOIN_DENIED,
+                             MSG_JOIN_REQUEST, MSG_LEAVE_ACK,
+                             MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST,
+                             MSG_REKEY, MSG_RESYNC_REQUEST, Message)
+from ..core.server import GroupKeyServer, ServerConfig
+from ..crypto import drbg
+from .faults import FaultProfile
+
+#: Rate decisions use the same 20-bit fixed-point draw as ChaosTransport.
+_RATE_BITS = 1 << 20
+
+
+def serve_workload(config) -> List[Tuple[str, str]]:
+    """The deterministic op sequence for a serve scenario.
+
+    ``n_initial`` joins, then ``rounds`` churn ops: every third op
+    leaves the oldest current member, the rest join fresh users.
+    """
+    ops = [("join", f"m{i}") for i in range(config.n_initial)]
+    present = [user for _op, user in ops]
+    for index in range(config.rounds):
+        if index % 3 == 2 and len(present) > 2:
+            ops.append(("leave", present.pop(0)))
+        else:
+            user = f"g{index}"
+            ops.append(("join", user))
+            present.append(user)
+    return ops
+
+
+def _server_config(config) -> ServerConfig:
+    return ServerConfig(signing="none", seed=config.seed, backend="flat")
+
+
+def _individual_keys(ops, suite) -> Dict[str, bytes]:
+    """Constant per-user keys: no DRBG draws, identical on both runs."""
+    keys = {}
+    for _op, user in ops:
+        if user not in keys:
+            keys[user] = bytes([(len(keys) % 255) + 1]) * suite.key_size
+    return keys
+
+
+def _control_run(config, ops, keys):
+    """Drive a plain in-memory server through the same op sequence."""
+    server = GroupKeyServer(_server_config(config))
+    for op, user in ops:
+        if op == "join":
+            server.register_individual_key(user, keys[user])
+            server.join(user)
+        else:
+            server.leave(user)
+    return server
+
+
+def run_serve_scenario(config) -> "ScenarioReport":
+    """Run one serve-stack chaos scenario; see module docstring."""
+    from .scenarios import ScenarioReport  # circular at module load
+
+    from ..serve import ImmediateServingCore, ServeConfig
+
+    profile: FaultProfile = config.fault_profile()
+    ops = serve_workload(config)
+    server = GroupKeyServer(_server_config(config))
+    keys = _individual_keys(ops, server.config.suite)
+    control = _control_run(config, ops, keys)
+
+    injected = {"drop": 0}
+    random = drbg.make_source(profile.seed, b"serve-chaos")
+
+    def drop_filter(_user_id: str, _payload: bytes) -> bool:
+        hit = random.randint_below(_RATE_BITS) \
+            < int(profile.drop_rate * _RATE_BITS)
+        if hit:
+            injected["drop"] += 1
+        return hit
+
+    async def drive():
+        core = ImmediateServingCore(
+            server, ServeConfig(tick_interval=0, open_enroll=False))
+        core.fanout.drop_filter = drop_filter
+        streams: Dict[str, list] = {}
+
+        def attach(user):
+            streams.setdefault(user, [])
+            core.fanout.attach(user, streams[user].append,
+                               path_id=f"path-{user}")
+
+        resyncs = 0
+        desyncs = 0
+        recovery_rounds = 0
+        try:
+            # Serial submits: the plan order (and so every DRBG draw)
+            # matches the control run; only deliveries differ.
+            for op, user in ops:
+                if op == "join":
+                    server.register_individual_key(user, keys[user])
+                    attach(user)
+                    msg_type = MSG_JOIN_REQUEST
+                else:
+                    msg_type = MSG_LEAVE_REQUEST
+                request = Message(msg_type=msg_type,
+                                  body=user.encode()).encode()
+                await core.submit(request, streams[user].append,
+                                  path_id=None)
+
+            expected = server.group_key()
+            clients: Dict[str, GroupClient] = {}
+            for user in streams:
+                if not server.is_member(user):
+                    continue
+                client = GroupClient(user, server.config.suite)
+                client.set_individual_key(keys[user])
+                for payload in streams[user]:
+                    try:
+                        message = Message.decode(payload)
+                    except Exception:
+                        continue
+                    try:
+                        if message.msg_type == MSG_REKEY:
+                            client.process_message(payload)
+                        elif message.msg_type in (MSG_JOIN_ACK,
+                                                  MSG_LEAVE_ACK,
+                                                  MSG_JOIN_DENIED,
+                                                  MSG_LEAVE_DENIED):
+                            client.process_control(message)
+                    except Exception:
+                        client.desynced = True
+                clients[user] = client
+                if client.desynced:
+                    desyncs += 1
+
+            def pending():
+                return [user for user, client in clients.items()
+                        if client.desynced
+                        or client.group_key() != expected]
+
+            # Repair through the front end: resync requests submitted
+            # to the core, replies applied client-side.
+            while pending() and recovery_rounds < config.max_recovery_rounds:
+                recovery_rounds += 1
+                for user in pending():
+                    box: list = []
+                    request = Message(msg_type=MSG_RESYNC_REQUEST,
+                                      body=user.encode()).encode()
+                    await core.submit(request, box.append, path_id=None)
+                    if box:
+                        clients[user].process_resync(box[0])
+                        resyncs += 1
+
+            converged = not pending() \
+                and server.group_key() == control.group_key() \
+                and server.group_key_ref() == control.group_key_ref()
+            data_ok = False
+            if converged:
+                sealed = server.seal_group_message(b"probe")
+                wire = sealed.encoded or sealed.message.encode()
+                data_ok = all(
+                    clients[user].open_data(wire) == b"probe"
+                    for user in clients)
+            return clients, converged, data_ok, resyncs, desyncs, \
+                recovery_rounds
+        finally:
+            await core.aclose()
+
+    clients, converged, data_ok, resyncs, desyncs, recovery_rounds = \
+        asyncio.run(drive())
+    return ScenarioReport(
+        name=config.name, stack="serve", profile=profile.name,
+        converged=converged, data_ok=data_ok,
+        workload_rounds=config.rounds,
+        recovery_rounds=recovery_rounds,
+        survivors=len(clients), resyncs=resyncs, desyncs=desyncs,
+        evicted=[], shed_flushes=0, injected=dict(injected))

@@ -54,6 +54,10 @@ MSG_STATS_RESPONSE = 10
 MSG_RESYNC_REQUEST = 11
 MSG_RESYNC_REPLY = 12
 MSG_HEARTBEAT = 13
+# Admission control (async serving layer): the server is saturated and
+# shed this request without processing it.  The client may retry after
+# backing off; no group state changed.
+MSG_BUSY = 14
 
 # Rekeying strategies (wire codes).
 STRATEGY_NONE = 0

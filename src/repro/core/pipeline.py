@@ -42,6 +42,7 @@ duplicated between ``ServerConfig.validate`` and ``BatchRekeyServer``).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -164,17 +165,74 @@ def make_signer(suite, signing: str, seed: Optional[bytes] = None,
 
 
 class Sequencer:
-    """A shared message sequence counter (survives snapshot/restore)."""
+    """A shared message sequence counter (survives snapshot/restore).
 
-    __slots__ = ("value",)
+    ``next`` is atomic: the async serving layer seals concurrent runs
+    from executor threads, and two runs drawing the same sequence
+    number would collide at the client's replay guard.  ``value``
+    remains a plain attribute for snapshot/restore.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self, start: int = 0):
         self.value = start
+        self._lock = threading.Lock()
 
     def next(self) -> int:
         """The next sequence number (first call returns start + 1)."""
-        self.value += 1
-        return self.value
+        with self._lock:
+            self.value += 1
+            return self.value
+
+
+class SealTurnstile:
+    """Admits seal stages strictly in plan order.
+
+    Overlapped staged runs finish their encrypt stage in whatever
+    order the worker pool happens to schedule, but sequence numbers
+    (for the rekey messages *and* the op's ack) must be drawn in plan
+    order or the overlapped path diverges byte-wise from the
+    synchronous one.  Each run takes a ``ticket`` at plan time (plans
+    are serialized by the caller); ``wait`` blocks until every earlier
+    ticket has been retired.  ``retire`` is how a run passes the turn
+    on — including runs that abort before sealing, so a failed op
+    never wedges the ops planned after it.
+
+    No deadlock under a FIFO worker pool: tasks are submitted in plan
+    order, so whenever a run is waiting its turn, every earlier run
+    has already started on some worker and will retire its ticket.
+    """
+
+    __slots__ = ("_cond", "_next", "_serving", "_retired")
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._next = 0
+        self._serving = 0
+        self._retired = set()
+
+    def ticket(self) -> int:
+        """Reserve the next turn (call in plan order)."""
+        with self._cond:
+            ticket = self._next
+            self._next += 1
+            return ticket
+
+    def wait(self, ticket: int) -> None:
+        """Block until every ticket before ``ticket`` is retired."""
+        with self._cond:
+            while self._serving < ticket:
+                self._cond.wait()
+
+    def retire(self, ticket: int) -> None:
+        """Pass the turn on; out-of-order retires (aborts) are fine."""
+        with self._cond:
+            self._retired.add(ticket)
+            while self._serving in self._retired:
+                self._retired.discard(self._serving)
+                self._serving += 1
+            self._cond.notify_all()
 
 
 @dataclass
@@ -215,6 +273,131 @@ class PipelineRun:
 PipelineHook = Callable[[PipelineRun], None]
 
 
+class StagedRun:
+    """One rekey operation with caller-driven stage execution.
+
+    :meth:`RekeyPipeline.begin` already ran the plan stage (graph edit
+    + scheduled encryptions) on the calling thread.  The caller then
+    drives:
+
+    :meth:`encrypt`
+        Materializes this run's scheduled encryptions.  Touches only
+        per-run state, so independent runs may encrypt concurrently on
+        worker threads — this is the stage the async serving layer
+        offloads via ``run_in_executor``.
+    :meth:`seal`
+        Assembles wire messages (drawing sequence numbers) and signs
+        them.  Seals are admitted strictly in plan order by the
+        pipeline's :class:`SealTurnstile` (and serialized under its
+        seal lock), so sequence numbers and signer state evolve
+        exactly as they would on the synchronous path; then encodes
+        the outbound messages and stops the processing clock.  The
+        run's turn stays held until :meth:`release_turn` (or
+        :meth:`finish` / :meth:`abort`), letting a caller draw this
+        op's ack sequence number before the next op seals.
+    :meth:`finish`
+        Resolves receiver lists (outside the timed region), fires the
+        dispatch hook and records the run's metrics.  Returns the
+        completed :class:`PipelineRun`.
+
+    Any stage that raises records the partial timings as an errored
+    run (mirroring the synchronous path) before propagating.  The
+    synchronous :meth:`RekeyPipeline.run` is exactly
+    ``begin -> encrypt -> seal -> finish`` on one thread, so both
+    paths share one implementation and produce identical bytes.
+    """
+
+    __slots__ = ("pipeline", "run", "clock", "root_span", "_root_ref",
+                 "_done", "_seal_ticket")
+
+    def __init__(self, pipeline: "RekeyPipeline", run: PipelineRun,
+                 clock: StageClock, root_span, root_ref):
+        self.pipeline = pipeline
+        self.run = run
+        self.clock = clock
+        self.root_span = root_span
+        self._root_ref = root_ref
+        self._done = False
+        self._seal_ticket = None
+
+    def encrypt(self) -> "StagedRun":
+        """Run the encrypt stage (safe on a worker thread)."""
+        tracer = self.pipeline.instrumentation.tracer
+        try:
+            with self.clock.stage(STAGE_ENCRYPT), \
+                    tracer.span(STAGE_ENCRYPT, parent=self.root_span):
+                self.run.context.materialize()
+            self.pipeline._fire(STAGE_ENCRYPT, self.run)
+        except BaseException:
+            self.abort()
+            raise
+        return self
+
+    def seal(self) -> "StagedRun":
+        """Run the sign + dispatch-encode stages and stop the clock."""
+        pipeline = self.pipeline
+        tracer = pipeline.instrumentation.tracer
+        run = self.run
+        try:
+            if self._seal_ticket is not None:
+                pipeline.seal_order.wait(self._seal_ticket)
+            with pipeline.seal_lock:
+                with self.clock.stage(STAGE_SIGN), \
+                        tracer.span(STAGE_SIGN, parent=self.root_span):
+                    run.wire_messages = pipeline._assemble(run,
+                                                           self._root_ref)
+                    run.signatures = pipeline._seal(run.wire_messages)
+                pipeline._fire(STAGE_SIGN, run)
+            with self.clock.stage(STAGE_DISPATCH), \
+                    tracer.span(STAGE_DISPATCH, parent=self.root_span):
+                run.messages = [
+                    OutboundMessage(plan.destination, message, (),
+                                    message.encode())
+                    for plan, message in zip(run.plans, run.wire_messages)]
+            run.seconds = self.clock.stop()
+            self.root_span.set("messages", len(run.messages))
+            self.root_span.finish()
+        except BaseException:
+            self.abort()
+            raise
+        return self
+
+    def release_turn(self) -> None:
+        """Retire this run's seal turn (idempotent).
+
+        Called automatically by :meth:`finish` and :meth:`abort`; call
+        it earlier — after any post-seal sequence draws for this op —
+        to let the next planned op start sealing sooner.
+        """
+        ticket, self._seal_ticket = self._seal_ticket, None
+        if ticket is not None:
+            self.pipeline.seal_order.retire(ticket)
+
+    def finish(self) -> PipelineRun:
+        """Resolve receivers, fire the dispatch hook, record the run."""
+        self.release_turn()
+        run = self.run
+        for outbound, plan in zip(run.messages, run.plans):
+            outbound.receivers = plan.resolve_receivers()
+        self.pipeline._fire(STAGE_DISPATCH, run)
+        run.stage_seconds = dict(self.clock.stages)
+        self.pipeline.instrumentation.record_run(run.op, self.clock)
+        self._done = True
+        return run
+
+    def abort(self) -> None:
+        """Record the run as errored (idempotent; safe after any stage)."""
+        self.release_turn()
+        if self._done:
+            return
+        self._done = True
+        self.clock.error = True
+        self.run.seconds = self.clock.stop()
+        self.root_span.finish(error=True)
+        self.run.stage_seconds = dict(self.clock.stages)
+        self.pipeline.instrumentation.record_run(self.run.op, self.clock)
+
+
 class RekeyPipeline:
     """plan -> encrypt -> sign -> dispatch, with per-stage hook points.
 
@@ -241,6 +424,14 @@ class RekeyPipeline:
                                 else NULL_INSTRUMENTATION)
         self._hooks: Dict[str, List[PipelineHook]] = {
             stage: [] for stage in STAGES}
+        # Serializes the sign stage across concurrently staged runs
+        # (the signer — Merkle batching, signature counters — is
+        # stateful); the turnstile additionally admits seals strictly
+        # in plan order, so sequence numbers are drawn exactly as the
+        # synchronous path would draw them no matter how the worker
+        # pool interleaves the encrypt stages.
+        self.seal_lock = threading.Lock()
+        self.seal_order = SealTurnstile()
 
     # -- hooks -------------------------------------------------------------
 
@@ -284,55 +475,55 @@ class RekeyPipeline:
         failed rekeys are visible in the timing aggregates and
         histograms rather than silently dropped.
         """
+        staged = self.begin(op, planner, strategy_code=strategy_code,
+                            root_ref=root_ref, user_id=user_id)
+        staged.encrypt()
+        staged.seal()
+        return staged.finish()
+
+    def begin(self, op: str,
+              planner: Callable[[RekeyContext], List[PlannedMessage]], *,
+              strategy_code: int = STRATEGY_NONE,
+              root_ref: Optional[Callable[[], Tuple[int, int]]] = None,
+              user_id: str = "") -> StagedRun:
+        """Run the plan stage now; hand back the remaining stages.
+
+        The plan stage is the graph edit, so it must run serialized by
+        the caller (the async layer keeps it on the event loop); the
+        returned :class:`StagedRun`'s encrypt stage is then free to run
+        on a worker thread.  The DRBG draws (new keys, IVs) all happen
+        here, so staged runs consume key material in submission order —
+        byte-identical to a sequence of synchronous runs.
+        """
         clock = StageClock()
         ctx = self.new_context()
         run = PipelineRun(op=op, user_id=user_id,
                           strategy_code=strategy_code, context=ctx)
         tracer = self.instrumentation.tracer
+        root = tracer.span(f"rekey.{op}", op=op, user=user_id)
+        run.trace_id = root.trace_id
+        run.span_id = root.span_id
+        staged = StagedRun(self, run, clock, root, root_ref)
+        # Keep the root span active on this thread during planning so
+        # spans opened inside the planner parent to it, exactly as the
+        # single-shot path did.  NullTracer has no stack to maintain.
+        push = getattr(tracer, "_push", None)
+        pop = getattr(tracer, "_pop", None)
         try:
-            with tracer.span(f"rekey.{op}", op=op, user=user_id) as root:
-                run.trace_id = root.trace_id
-                run.span_id = root.span_id
-
+            if push is not None:
+                push(root)
+            try:
                 with clock.stage(STAGE_PLAN), tracer.span(STAGE_PLAN):
                     run.plans = list(planner(ctx))
-                self._fire(STAGE_PLAN, run)
-
-                with clock.stage(STAGE_ENCRYPT), tracer.span(STAGE_ENCRYPT):
-                    ctx.materialize()
-                self._fire(STAGE_ENCRYPT, run)
-
-                with clock.stage(STAGE_SIGN), tracer.span(STAGE_SIGN):
-                    run.wire_messages = self._assemble(run, root_ref)
-                    run.signatures = self._seal(run.wire_messages)
-                self._fire(STAGE_SIGN, run)
-
-                with clock.stage(STAGE_DISPATCH), tracer.span(STAGE_DISPATCH):
-                    run.messages = [
-                        OutboundMessage(plan.destination, message, (),
-                                        message.encode())
-                        for plan, message in zip(run.plans,
-                                                 run.wire_messages)]
-                run.seconds = clock.stop()
-                root.set("messages", len(run.messages))
+            finally:
+                if pop is not None:
+                    pop(root)
+            self._fire(STAGE_PLAN, run)
         except BaseException:
-            # A hook can raise between stages: flag the run regardless
-            # of whether a stage span already did.
-            clock.error = True
-            run.seconds = clock.stop()
-            run.stage_seconds = dict(clock.stages)
-            self.instrumentation.record_run(op, clock)
+            staged.abort()
             raise
-
-        # Simulation accounting, outside the timed region: enumerate
-        # each message's receivers via the plan's lazy resolver.
-        for outbound, plan in zip(run.messages, run.plans):
-            outbound.receivers = plan.resolve_receivers()
-        self._fire(STAGE_DISPATCH, run)
-
-        run.stage_seconds = dict(clock.stages)
-        self.instrumentation.record_run(op, clock)
-        return run
+        staged._seal_ticket = self.seal_order.ticket()
+        return staged
 
     # -- stage internals ---------------------------------------------------
 

@@ -70,6 +70,10 @@ class ServerConfig:
     # Tree storage engine: "object" (one Python object per k-node) or
     # "flat" (contiguous arrays + key arena; the million-member engine).
     backend: str = "object"
+    # Worker-pool size for the async serving layer's encrypt/sign
+    # offload (0 = a sensible default chosen by the serving layer).
+    # The synchronous server ignores it.
+    workers: int = 0
     # Public key of a TicketAuthority (footnote 7): when set, joins must
     # present a valid ticket for this group instead of matching the ACL.
     ticket_authority: Optional[object] = None
@@ -82,6 +86,8 @@ class ServerConfig:
             raise ServerError(f"unknown strategy {self.strategy!r}")
         if self.backend not in BACKENDS:
             raise ServerError(f"unknown tree backend {self.backend!r}")
+        if self.workers < 0:
+            raise ServerError("workers must be >= 0")
         validate_signing(self.signing, self.suite, error=ServerError)
 
 
@@ -116,6 +122,97 @@ class RekeyOutcome:
     def all_messages(self) -> List[OutboundMessage]:
         """Control messages followed by rekey messages."""
         return self.control_messages + self.rekey_messages
+
+
+class StagedRekeyOp:
+    """A join/leave whose encrypt/sign stages are still pending.
+
+    Produced by :meth:`GroupKeyServer.begin_join` /
+    :meth:`~GroupKeyServer.begin_leave`.  The plan stage — access
+    control, the key-graph edit, and every DRBG draw — already ran on
+    the calling thread; what remains is per-op work the async serving
+    layer offloads to worker threads:
+
+    * :meth:`encrypt` — materialize this op's scheduled encryptions
+      (touches only per-op state; independent ops may overlap),
+    * :meth:`seal` — assemble + sign + encode (admitted in plan order
+      by the pipeline's seal turnstile and serialized under its seal
+      lock, so sequence numbers are drawn exactly as the synchronous
+      path draws them),
+    * :meth:`finish` — build the ack (which draws this op's ack
+      sequence number before the turn is passed on), journal the op
+      and record the request statistics; returns the
+      :class:`RekeyOutcome`.
+
+    ``begin_join(u).encrypt().seal().finish()`` is byte-identical to
+    ``join(u)`` — the synchronous methods are implemented exactly that
+    way.  Statistics frozen at plan time (key-change counts, group
+    size, the ack's root reference) describe *this* op's edit even
+    when later ops plan before this one finishes.
+    """
+
+    __slots__ = ("server", "staged", "op", "user_id", "_state",
+                 "_journal_keys", "_key_changes", "_root_ref",
+                 "_n_users_after")
+
+    def __init__(self, server: "GroupKeyServer", staged, op: str,
+                 user_id: str, state: Dict[str, object],
+                 journal_keys: Optional[List[bytes]],
+                 key_changes: int, root_ref: Tuple[int, int],
+                 n_users_after: int):
+        self.server = server
+        self.staged = staged
+        self.op = op
+        self.user_id = user_id
+        self._state = state
+        self._journal_keys = journal_keys
+        self._key_changes = key_changes
+        self._root_ref = root_ref
+        self._n_users_after = n_users_after
+
+    def encrypt(self) -> "StagedRekeyOp":
+        """Run the encrypt stage (safe on a worker thread)."""
+        self.staged.encrypt()
+        return self
+
+    def seal(self) -> "StagedRekeyOp":
+        """Run the sign + dispatch stages (internally serialized)."""
+        self.staged.seal()
+        return self
+
+    def finish(self) -> RekeyOutcome:
+        """Complete the op: ack, journal entry, request record."""
+        server = self.server
+        # The ack draws a sequence number, so it must be built while
+        # this op still holds its seal turn — before the next planned
+        # op is admitted to seal — to keep the overlapped path
+        # byte-identical to the synchronous one.
+        if self.op == "join":
+            ack = server._control_message(
+                MSG_JOIN_ACK, self.user_id,
+                body=int(self._state["leaf_id"]).to_bytes(4, "big"),
+                root_ref=self._root_ref)
+        else:
+            ack = server._control_message(MSG_LEAVE_ACK, self.user_id,
+                                          root_ref=self._root_ref)
+        self.staged.release_turn()
+        run = self.staged.finish()
+        if server._journal is not None:
+            if self.op == "join":
+                server._journal_op(
+                    "join", user_id=self.user_id,
+                    individual_key=self._state["individual_key"],
+                    keys=self._journal_keys)
+            else:
+                server._journal_op("leave", user_id=self.user_id,
+                                   keys=self._journal_keys)
+        record = server._record_from_run(run, self._key_changes,
+                                         n_users_after=self._n_users_after)
+        return RekeyOutcome(record, run.messages, [ack])
+
+    def abort(self) -> None:
+        """Record the op as errored (idempotent)."""
+        self.staged.abort()
 
 
 class GroupKeyServer:
@@ -369,7 +466,9 @@ class GroupKeyServer:
                 total -= 1
         return total
 
-    def _record_from_run(self, run, key_changes_total: int) -> RequestRecord:
+    def _record_from_run(self, run, key_changes_total: int,
+                         n_users_after: Optional[int] = None
+                         ) -> RequestRecord:
         """Derive the paper-facing request record from a pipeline run."""
         record = RequestRecord(
             op=run.op, user_id=run.user_id, seconds=run.seconds,
@@ -378,7 +477,8 @@ class GroupKeyServer:
             max_message_bytes=run.max_message_bytes,
             encryptions=run.encryptions, signatures=run.signatures,
             key_changes_total=key_changes_total,
-            n_users_after=self.n_users,
+            n_users_after=(n_users_after if n_users_after is not None
+                           else self.n_users),
             stage_seconds=run.stage_seconds,
         )
         self.history.append(record)
@@ -405,6 +505,19 @@ class GroupKeyServer:
         :class:`~repro.core.tickets.Ticket`) is required when the server
         is configured with a ticket authority (footnote 7).
         """
+        return (self.begin_join(user_id, individual_key, ticket)
+                .encrypt().seal().finish())
+
+    def begin_join(self, user_id: str,
+                   individual_key: Optional[bytes] = None,
+                   ticket=None) -> StagedRekeyOp:
+        """Plan a join now; the remaining stages run on the caller's terms.
+
+        The graph edit and every DRBG draw happen here, so ``begin_*``
+        calls must be serialized by the caller (the async serving layer
+        keeps them on the event loop); the returned op's encrypt stage
+        may then overlap with other ops' on worker threads.
+        """
         state: Dict[str, object] = {}
 
         def planner(ctx: RekeyContext) -> List[PlannedMessage]:
@@ -429,29 +542,7 @@ class GroupKeyServer:
             state["leaf_id"] = INDIVIDUAL_KEY
             return self._star_join_plans(user_id, key, ctx)
 
-        if self._journal is not None:
-            self._journal_tap = []
-        try:
-            run = self.pipeline.run("join", planner,
-                                    strategy_code=self._strategy_code,
-                                    root_ref=self.group_key_ref,
-                                    user_id=user_id)
-        except Exception:
-            self._journal_tap = None
-            raise
-        ack = self._control_message(
-            MSG_JOIN_ACK, user_id,
-            body=int(state["leaf_id"]).to_bytes(4, "big"))
-        if self._journal is not None:
-            keys, self._journal_tap = self._journal_tap, None
-            self._journal_op("join", user_id=user_id,
-                             individual_key=state["individual_key"],
-                             keys=keys)
-        key_changes = (self._key_changes_total(state["changes"], user_id)
-                       if self.tree is not None
-                       else self._star_key_changes(user_id))
-        record = self._record_from_run(run, key_changes)
-        return RekeyOutcome(record, run.messages, [ack])
+        return self._begin_op("join", user_id, planner, state)
 
     def _star_key_changes(self, requester: str) -> int:
         return len(self.star) - (1 if self.star.has_user(requester) else 0)
@@ -479,6 +570,10 @@ class GroupKeyServer:
 
     def leave(self, user_id: str) -> RekeyOutcome:
         """Expel/release a user and rekey (Figures 4, 8, 9)."""
+        return self.begin_leave(user_id).encrypt().seal().finish()
+
+    def begin_leave(self, user_id: str) -> StagedRekeyOp:
+        """Plan a leave now; see :meth:`begin_join` for the contract."""
         state: Dict[str, object] = {}
 
         def planner(ctx: RekeyContext) -> List[PlannedMessage]:
@@ -491,25 +586,41 @@ class GroupKeyServer:
             state["changes"] = None
             return self._star_leave_plans(user_id, ctx)
 
+        return self._begin_op("leave", user_id, planner, state)
+
+    def _begin_op(self, op: str, user_id: str, planner,
+                  state: Dict[str, object]) -> StagedRekeyOp:
+        """Shared begin path: plan under the journal tap, freeze stats.
+
+        The root reference handed to the pipeline's sign stage is
+        frozen *here*, right after the plan — under concurrency a later
+        op may advance the root before this op seals, and its rekey
+        messages must still advertise the root their items install.
+        """
+        frozen: Dict[str, Tuple[int, int]] = {}
         if self._journal is not None:
             self._journal_tap = []
         try:
-            run = self.pipeline.run("leave", planner,
-                                    strategy_code=self._strategy_code,
-                                    root_ref=self.group_key_ref,
-                                    user_id=user_id)
+            staged = self.pipeline.begin(op, planner,
+                                         strategy_code=self._strategy_code,
+                                         root_ref=lambda: frozen["ref"],
+                                         user_id=user_id)
         except Exception:
             self._journal_tap = None
             raise
-        ack = self._control_message(MSG_LEAVE_ACK, user_id)
-        if self._journal is not None:
-            keys, self._journal_tap = self._journal_tap, None
-            self._journal_op("leave", user_id=user_id, keys=keys)
+        keys, self._journal_tap = self._journal_tap, None
+        try:
+            root_ref = self.group_key_ref()
+        except ServerError:
+            # The op emptied the group (last member left): no plans
+            # were produced, so the pipeline never asks for the ref.
+            root_ref = (0, 0)
+        frozen["ref"] = root_ref
         key_changes = (self._key_changes_total(state["changes"], user_id)
                        if self.tree is not None
                        else self._star_key_changes(user_id))
-        record = self._record_from_run(run, key_changes)
-        return RekeyOutcome(record, run.messages, [ack])
+        return StagedRekeyOp(self, staged, op, user_id, state, keys,
+                             key_changes, root_ref, self.n_users)
 
     def _star_leave_plans(self, user_id: str,
                           ctx: RekeyContext) -> List[PlannedMessage]:
@@ -580,17 +691,24 @@ class GroupKeyServer:
         return RekeyOutcome(record, run.messages, [])
 
     def _control_message(self, msg_type: int, user_id: str,
-                         body: bytes = b"") -> OutboundMessage:
-        try:
-            root_id, root_version = self.group_key_ref()
-        except ServerError:
-            root_id, root_version = 0, 0
+                         body: bytes = b"",
+                         root_ref: Optional[Tuple[int, int]] = None
+                         ) -> OutboundMessage:
+        if root_ref is None:
+            try:
+                root_ref = self.group_key_ref()
+            except ServerError:
+                root_ref = (0, 0)
+        root_id, root_version = root_ref
         message = Message(msg_type=msg_type, group_id=self.config.group_id,
                           seq=self._next_seq(),
                           timestamp_us=time.time_ns() // 1000,
                           root_node_id=root_id, root_version=root_version,
                           body=body)
-        self._signer.seal([message])
+        # The signer is stateful and shared with pipeline runs that may
+        # be sealing on worker threads; serialize with them.
+        with self.pipeline.seal_lock:
+            self._signer.seal([message])
         self._journal_op("seq")
         return OutboundMessage(Destination.to_user(user_id), message,
                                (user_id,), message.encode())
@@ -632,10 +750,11 @@ class GroupKeyServer:
             if not self.is_member(user_id):
                 self._m_resyncs.inc(status="not-member")
                 span.set("status", "not-member")
-                reply = build_resync_reply(
-                    self.suite, self._signer, self._sequencer,
-                    group_id=self.config.group_id, user_id=user_id,
-                    status=RESYNC_NOT_MEMBER, leaf_node_id=0)
+                with self.pipeline.seal_lock:
+                    reply = build_resync_reply(
+                        self.suite, self._signer, self._sequencer,
+                        group_id=self.config.group_id, user_id=user_id,
+                        status=RESYNC_NOT_MEMBER, leaf_node_id=0)
                 self._journal_op("seq")
                 return reply
             if self.tree is not None:
@@ -652,13 +771,14 @@ class GroupKeyServer:
                                      self.star.group_key)]
             self._m_resyncs.inc(status="ok")
             span.set("status", "ok").set("records", len(records))
-            reply = build_resync_reply(
-                self.suite, self._signer, self._sequencer,
-                group_id=self.config.group_id, user_id=user_id,
-                status=RESYNC_OK, leaf_node_id=leaf_node_id,
-                records=records, root_ref=self.group_key_ref(),
-                individual_key=individual_key,
-                iv=self.resync_material.new_iv())
+            with self.pipeline.seal_lock:
+                reply = build_resync_reply(
+                    self.suite, self._signer, self._sequencer,
+                    group_id=self.config.group_id, user_id=user_id,
+                    status=RESYNC_OK, leaf_node_id=leaf_node_id,
+                    records=records, root_ref=self.group_key_ref(),
+                    individual_key=individual_key,
+                    iv=self.resync_material.new_iv())
             self._journal_op("seq")
             return reply
 

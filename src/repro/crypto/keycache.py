@@ -35,6 +35,7 @@ current without taxing ``get``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Optional, Tuple
 
@@ -58,6 +59,9 @@ class KeyScheduleCache:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        # The async serving layer encrypts independent runs on worker
+        # threads; the shared cache must survive concurrent lookups.
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Tuple[str, bytes], object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -101,22 +105,28 @@ class KeyScheduleCache:
         raises (wrong key length, say) inserts nothing.
         """
         entry_key = (cipher_name, bytes(key))
-        cipher = self._entries.get(entry_key)
-        if cipher is not None:
-            self.hits += 1
-            self._entries.move_to_end(entry_key)
-            return cipher
+        with self._lock:
+            cipher = self._entries.get(entry_key)
+            if cipher is not None:
+                self.hits += 1
+                self._entries.move_to_end(entry_key)
+                return cipher
+        # Construct outside the lock: expansion is the expensive part,
+        # and two threads racing a miss just build the same pure object
+        # twice (last insert wins — both are equivalent).
         cipher = factory(key)
-        self.misses += 1
-        self._entries[entry_key] = cipher
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self.misses += 1
+            self._entries[entry_key] = cipher
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return cipher
 
     def clear(self) -> None:
         """Drop every cached schedule (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict:
         """Counters snapshot, for observability and the benchmark report."""

@@ -1,0 +1,41 @@
+"""Async concurrent serving: event-loop front end over pipelined rekeying.
+
+The PR2 UDP layer serves one request at a time on a thread; this
+package is the concurrent successor — an asyncio front end that parses
+and *plans* on the event loop, ships the expensive encrypt/sign stages
+to a worker pool (:class:`~repro.core.server.StagedRekeyOp`), applies
+admission control (bounded in-flight budget, per-client rate caps,
+``MSG_BUSY`` shedding), and optionally coalesces concurrent
+joins/leaves into one batch rekey.
+
+Quick start (a live single-server group on loopback)::
+
+    from repro.serve import (ImmediateServingCore, AsyncKeyService,
+                             ServeConfig)
+    core = ImmediateServingCore(server, ServeConfig())
+    async with AsyncKeyService(core) as service:
+        print("serving on", service.udp_address)
+        ...
+
+``python -m repro.serve`` runs a service from a spec file;
+``python -m repro.serve.loadgen`` drives one with 10k simulated
+clients.
+"""
+
+from .config import (DEFAULT_WORKERS, ServeConfig, ServeError,
+                     default_server_config, from_spec_file, worker_count)
+from .core import (AsyncServingCore, ClusterServingCore,
+                   CoalescingServingCore, ImmediateServingCore)
+from .endpoint import AsyncClusterService, AsyncKeyService
+from .fanout import SocketFanout
+from .wire import (CORR_TRAILER_SIZE, FramingError, attach_corr_trailer,
+                   frame, read_frame, split_corr_trailer)
+
+__all__ = [
+    "AsyncClusterService", "AsyncKeyService", "AsyncServingCore",
+    "CORR_TRAILER_SIZE", "ClusterServingCore", "CoalescingServingCore",
+    "DEFAULT_WORKERS", "FramingError", "ImmediateServingCore",
+    "ServeConfig", "ServeError", "SocketFanout", "attach_corr_trailer",
+    "default_server_config", "frame", "from_spec_file", "read_frame",
+    "split_corr_trailer", "worker_count",
+]

@@ -1,0 +1,94 @@
+"""CLI for the async serving layer.
+
+    python -m repro.serve keyserver.spec [--host H] [--udp-port P]
+        [--tcp-port P] [--coalesce] [--max-inflight N] [--rate R]
+        [--trace]
+
+Runs one spec-configured group key server behind the asyncio front
+end until interrupted.  Unknown joiners are enrolled on first contact
+(``--closed`` disables that and requires pre-registered keys, like
+``python -m repro serve``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from ..core.server import GroupKeyServer
+from ..observability.instrumentation import Instrumentation
+from ..observability.spans import Tracer
+from .config import ServeConfig, from_spec_file, worker_count
+from .core import CoalescingServingCore, ImmediateServingCore
+from .endpoint import AsyncKeyService
+
+
+async def _amain(args) -> int:
+    config, initial_size = from_spec_file(args.spec)
+    serve_config = ServeConfig(
+        host=args.host, udp_port=args.udp_port, tcp_port=args.tcp_port,
+        max_inflight=args.max_inflight, client_rate=args.rate,
+        coalesce=args.coalesce, open_enroll=not args.closed)
+    instrumentation = Instrumentation(
+        "serve", tracer=Tracer() if args.trace else None)
+    if args.coalesce:
+        from ..batch.rekeying import BatchRekeyServer
+        server = BatchRekeyServer(
+            degree=config.degree, suite=config.suite, seed=config.seed,
+            signing=config.signing, instrumentation=instrumentation,
+            backend=config.backend)
+        core = CoalescingServingCore(server, serve_config,
+                                     workers=worker_count(config))
+    else:
+        server = GroupKeyServer(config, instrumentation=instrumentation)
+        core = ImmediateServingCore(server, serve_config)
+        if initial_size:
+            roster = [(f"user-{index:04d}", server.new_individual_key())
+                      for index in range(initial_size)]
+            server.bootstrap(roster)
+    async with AsyncKeyService(core) as service:
+        print(f"async key server on udp {service.udp_address}"
+              + (f", tcp {service.tcp_address}"
+                 if service.tcp_address else ""))
+        print(f"  mode={core.flavor} workers={worker_count(config)} "
+              f"backend={config.backend} "
+              f"open-enroll={serve_config.open_enroll}")
+        print("  scrape: python -m repro.observability report --scrape "
+              f"{service.udp_address[0]}:{service.udp_address[1]}")
+        try:
+            await asyncio.Event().wait()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve a spec-configured group key server over "
+                    "asyncio UDP/TCP endpoints.")
+    parser.add_argument("spec", help="keyserver spec file (paper §5)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--udp-port", type=int, default=0)
+    parser.add_argument("--tcp-port", type=int, default=0)
+    parser.add_argument("--max-inflight", type=int, default=64)
+    parser.add_argument("--rate", type=float, default=0.0,
+                        help="per-client state-change rate cap (0 = off)")
+    parser.add_argument("--coalesce", action="store_true",
+                        help="fold concurrent joins/leaves into batch "
+                             "flushes")
+    parser.add_argument("--closed", action="store_true",
+                        help="require pre-registered individual keys")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable span tracing")
+    args = parser.parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

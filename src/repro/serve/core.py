@@ -1,0 +1,673 @@
+"""The async serving core: event-loop front end over pipelined rekeying.
+
+One :class:`AsyncServingCore` sits behind any number of socket
+endpoints (:mod:`repro.serve.endpoint`).  Endpoints hand it raw
+datagrams/frames plus a reply callable; the core parses, admits,
+dispatches, and routes the outputs — direct replies back through the
+callable, group traffic through a :class:`~repro.serve.fanout.
+SocketFanout`.
+
+Concurrency model (one process, GIL, possibly one core):
+
+* **Parsing, admission and rekey *planning* run on the event loop.**
+  Planning must be serialized anyway (it reads and edits the key tree),
+  and it is cheap — the tree edit plus key draws.  Keeping it on the
+  loop costs nothing and needs no locks against other loop work.
+* **Encrypt/sign/dispatch stages run on a worker pool** via
+  ``run_in_executor`` as a :class:`~repro.core.server.StagedRekeyOp`.
+  The expensive stages of request *N* overlap the planning and parsing
+  of request *N+1* — the paper's observation that rekey encryption
+  dominates server cost, turned into pipeline overlap.
+* **One op lock** (a plain ``threading.Lock``) guards every tree/DRBG
+  mutation: planning, recovery ticks, batch flushes.  The loop only
+  ever *tries* the lock; when an executor thread holds it (a tick, a
+  flush), the whole op falls back to the executor instead of blocking
+  the loop.
+
+Admission control:
+
+* a bounded in-flight budget for rekey operations — beyond it the
+  server sheds with an immediate (unsigned — shedding must be cheap)
+  ``MSG_BUSY`` reply instead of queueing unboundedly;
+* an optional per-client token bucket over state-changing requests
+  (join/leave/resync).  Heartbeats are never capped: punishing
+  liveness signals under load would manufacture false evictions.
+
+Three flavors share the skeleton: :class:`ImmediateServingCore` (one
+:class:`~repro.core.server.GroupKeyServer`, staged per-request
+rekeying), :class:`CoalescingServingCore` (a :class:`~repro.batch.
+rekeying.BatchRekeyServer`; concurrent joins/leaves fold into one
+flush), and :class:`ClusterServingCore` (a PR4 sharded
+:class:`~repro.cluster.coordinator.ClusterCoordinator`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..batch.rekeying import BatchError, BatchRekeyServer
+from ..cluster.coordinator import ClusterCoordinator, ClusterError
+from ..core.messages import (DEST_USER, MSG_BUSY, MSG_HEARTBEAT,
+                             MSG_JOIN_ACK, MSG_JOIN_DENIED,
+                             MSG_JOIN_REQUEST, MSG_LEAVE_ACK,
+                             MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST,
+                             MSG_RESYNC_REQUEST, MSG_STATS_REQUEST,
+                             MSG_STATS_RESPONSE, Message, OutboundMessage,
+                             WireError)
+from ..core.server import GroupKeyServer, ServerError
+from ..observability.export import build_snapshot
+from ..observability.instrumentation import Instrumentation
+from ..observability.spans import attach_trace_trailer
+from ..recovery.backends import BatchBackend, ClusterBackend, ServerBackend
+from ..recovery.manager import RecoveryManager, RecoveryPolicy
+from .config import DEFAULT_WORKERS, ServeConfig, worker_count
+from .fanout import SocketFanout
+from .wire import attach_corr_trailer, split_corr_trailer
+
+_TYPE_NAMES = {
+    MSG_JOIN_REQUEST: "join", MSG_LEAVE_REQUEST: "leave",
+    MSG_HEARTBEAT: "heartbeat", MSG_RESYNC_REQUEST: "resync",
+    MSG_STATS_REQUEST: "stats",
+}
+
+#: Reply types that go straight back on the requester's socket (with
+#: the request's correlation token echoed) instead of the fan-out.
+_DIRECT_TYPES = frozenset({
+    MSG_JOIN_ACK, MSG_JOIN_DENIED, MSG_LEAVE_ACK, MSG_LEAVE_DENIED,
+    MSG_BUSY,
+})
+
+
+def _corr(payload: bytes, token: Optional[int]) -> bytes:
+    """Echo the request's correlation token, when it carried one."""
+    if token is None:
+        return payload
+    return attach_corr_trailer(payload, token)
+
+
+class AsyncServingCore:
+    """Shared skeleton: parse, admit, dispatch, route (see module doc)."""
+
+    flavor = "serve"
+
+    def __init__(self, config: ServeConfig,
+                 instrumentation: Instrumentation,
+                 workers: int = DEFAULT_WORKERS,
+                 recovery_policy: Optional[RecoveryPolicy] = None):
+        config.validate()
+        self.config = config
+        self.instrumentation = instrumentation
+        registry = instrumentation.registry
+        self._m_requests = registry.counter(
+            "serve_requests_total",
+            "Requests received by the async front end, by type.",
+            labels=("type",))
+        self._m_shed = registry.counter(
+            "serve_shed_total",
+            "Requests shed with MSG_BUSY, by reason.", labels=("reason",))
+        self._m_errors = registry.counter(
+            "serve_errors_total",
+            "Serving-side failures, by operation.", labels=("op",))
+        self._m_inflight = registry.gauge(
+            "serve_inflight",
+            "Admitted rekey operations not yet completed.").labels()
+        # Heartbeats dominate a live group's request mix; bind their
+        # series once instead of resolving labels per datagram.
+        self._m_heartbeats = self._m_requests.labels(type="heartbeat")
+        self.fanout = SocketFanout(registry)
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-serve")
+        # Guards every tree/DRBG mutation across loop and executor:
+        # plan, whole-op fallback, recovery tick, batch flush.
+        self._op_lock = threading.Lock()
+        self._inflight = 0
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._tick_task: Optional[asyncio.Task] = None
+        self.recovery = RecoveryManager(
+            self._recovery_backend(), self.fanout,
+            policy=recovery_policy, instrumentation=instrumentation)
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _recovery_backend(self):
+        raise NotImplementedError
+
+    async def _rekey(self, op: str, user_id: str, payload: bytes,
+                     reply, token: Optional[int]) -> None:
+        raise NotImplementedError
+
+    def _stats_document(self) -> dict:
+        tracer = self.instrumentation.tracer
+        spans = tracer.export() if tracer.enabled else None
+        return build_snapshot(self.instrumentation.registry,
+                              label=self.instrumentation.name, spans=spans)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start background work (the recovery ticker)."""
+        if self.config.tick_interval > 0 and self._tick_task is None:
+            self._tick_task = asyncio.get_running_loop().create_task(
+                self._tick_loop())
+
+    async def aclose(self) -> None:
+        """Stop background work and the worker pool."""
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            try:
+                await self._tick_task
+            except asyncio.CancelledError:
+                pass
+            self._tick_task = None
+        self.executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- helpers -----------------------------------------------------------
+
+    async def _in_executor(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self.executor, fn, *args)
+
+    async def _locked(self, fn, *args):
+        """Run ``fn`` under the op lock without ever blocking the loop.
+
+        Free lock: run inline (the common case — ticks and flushes are
+        rare).  Held lock: run on the executor, where waiting is fine.
+        """
+        if self._op_lock.acquire(blocking=False):
+            try:
+                return fn(*args)
+            finally:
+                self._op_lock.release()
+
+        def call():
+            with self._op_lock:
+                return fn(*args)
+        return await self._in_executor(call)
+
+    def _admit_rate(self, user_id: str) -> bool:
+        """Per-client token bucket (state-changing requests only)."""
+        rate = self.config.client_rate
+        if rate <= 0:
+            return True
+        now = time.monotonic()
+        burst = float(self.config.client_burst)
+        tokens, last = self._buckets.get(user_id, (burst, now))
+        tokens = min(burst, tokens + (now - last) * rate)
+        if tokens < 1.0:
+            self._buckets[user_id] = (tokens, now)
+            return False
+        self._buckets[user_id] = (tokens - 1.0, now)
+        return True
+
+    def _prune_buckets(self) -> None:
+        # A bucket back at full burst carries no state worth keeping.
+        now = time.monotonic()
+        rate = self.config.client_rate
+        burst = float(self.config.client_burst)
+        full = [user_id for user_id, (tokens, last) in self._buckets.items()
+                if tokens + (now - last) * rate >= burst]
+        for user_id in full:
+            del self._buckets[user_id]
+
+    def _shed(self, user_id: str, reply, token: Optional[int],
+              reason: str) -> None:
+        self._m_shed.inc(reason=reason)
+        busy = Message(msg_type=MSG_BUSY, body=user_id.encode("utf-8"))
+        reply(_corr(busy.encode(), token))
+
+    def _route(self, outputs: Sequence[OutboundMessage], user_id: str,
+               reply, token: Optional[int], trace=None) -> None:
+        """Direct replies back to the requester; the rest to the fan-out."""
+        for out in outputs:
+            payload = out.encoded or out.message.encode()
+            if trace is not None:
+                payload = attach_trace_trailer(payload, trace)
+            if (out.message.msg_type in _DIRECT_TYPES
+                    and out.destination.kind == DEST_USER
+                    and out.destination.user_id == user_id):
+                reply(_corr(payload, token))
+            else:
+                self.fanout.send(out, payload=payload)
+
+    async def _tick_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.tick_interval)
+            try:
+                await self._locked(self.recovery.tick)
+            except Exception:
+                self._m_errors.inc(op="tick")
+            self._prune_buckets()
+
+    # -- the front door ----------------------------------------------------
+
+    def submit_nowait(self, data: bytes, reply, path_id=None) -> bool:
+        """Inline fast path for cheap datagrams; True when fully served.
+
+        Heartbeats dominate a live group's request mix and touch only
+        the recovery tables, so when the op lock is free they are
+        served synchronously on the calling loop iteration — no task,
+        no executor hop, no await.  Anything else (or a held op lock)
+        returns False and the caller falls back to :meth:`submit` on a
+        task.  Malformed payloads are consumed here too: they deserve
+        a counter bump, not a task.
+        """
+        payload, _token = split_corr_trailer(data)
+        try:
+            message = Message.decode(payload)
+        except WireError:
+            self._m_requests.inc(type="malformed")
+            return True
+        if message.msg_type != MSG_HEARTBEAT:
+            return False
+        if not self._op_lock.acquire(blocking=False):
+            return False
+        try:
+            self._m_heartbeats.inc()
+            user_id = message.body.decode("utf-8", errors="replace")
+            if path_id is not None:
+                self.fanout.attach(user_id, reply, path_id)
+            self.recovery.heartbeat(
+                user_id, (message.root_node_id, message.root_version))
+        finally:
+            self._op_lock.release()
+        return True
+
+    async def submit(self, data: bytes, reply,
+                     path_id=None) -> None:
+        """Serve one inbound payload.
+
+        ``reply`` writes one payload back on the requester's path (it
+        must be loop-thread-safe — see :mod:`repro.serve.endpoint`);
+        ``path_id`` identifies that path for fan-out registration and
+        multicast dedup (None = do not register, e.g. one-shot tools).
+        """
+        payload, token = split_corr_trailer(data)
+        try:
+            message = Message.decode(payload)
+        except WireError:
+            self._m_requests.inc(type="malformed")
+            return
+        msg_type = message.msg_type
+        self._m_requests.inc(type=_TYPE_NAMES.get(msg_type, "other"))
+        if msg_type == MSG_STATS_REQUEST:
+            body = await self._in_executor(self._stats_body)
+            response = Message(msg_type=MSG_STATS_RESPONSE, body=body)
+            reply(_corr(response.encode(), token))
+            return
+        user_id = message.body.decode("utf-8", errors="replace")
+        if msg_type == MSG_HEARTBEAT:
+            if path_id is not None:
+                self.fanout.attach(user_id, reply, path_id)
+            await self._locked(
+                self.recovery.heartbeat, user_id,
+                (message.root_node_id, message.root_version))
+            return
+        if msg_type == MSG_RESYNC_REQUEST:
+            if not self._admit_rate(user_id):
+                self._shed(user_id, reply, token, "rate-cap")
+                return
+            if path_id is not None:
+                self.fanout.attach(user_id, reply, path_id)
+            out = await self._locked(self.recovery.serve_request, user_id)
+            if out is not None:
+                reply(_corr(out.encoded or out.message.encode(), token))
+            return
+        if msg_type in (MSG_JOIN_REQUEST, MSG_LEAVE_REQUEST):
+            op = "join" if msg_type == MSG_JOIN_REQUEST else "leave"
+            if not self._admit_rate(user_id):
+                self._shed(user_id, reply, token, "rate-cap")
+                return
+            if self._inflight >= self.config.max_inflight:
+                self._shed(user_id, reply, token, "saturated")
+                return
+            if path_id is not None and op == "join":
+                self.fanout.attach(user_id, reply, path_id)
+            self._inflight += 1
+            self._m_inflight.set(self._inflight)
+            try:
+                await self._rekey(op, user_id, payload, reply, token)
+            except Exception:
+                self._m_errors.inc(op=op)
+            finally:
+                self._inflight -= 1
+                self._m_inflight.set(self._inflight)
+            return
+        # Known-to-wire but not servable here (MSG_REKEY, MSG_DATA, ...).
+
+    def _stats_body(self) -> bytes:
+        return json.dumps(self._stats_document(),
+                          sort_keys=True).encode("utf-8")
+
+    async def _track(self, op: str, user_id: str) -> None:
+        if op == "join":
+            await self._locked(self.recovery.track, user_id)
+        else:
+            await self._locked(self.recovery.untrack, user_id)
+            self.fanout.detach(user_id)
+
+
+class ImmediateServingCore(AsyncServingCore):
+    """Per-request staged rekeying over one :class:`GroupKeyServer`."""
+
+    flavor = "immediate"
+
+    def __init__(self, server: GroupKeyServer,
+                 config: Optional[ServeConfig] = None,
+                 workers: Optional[int] = None,
+                 recovery_policy: Optional[RecoveryPolicy] = None):
+        self.server = server
+        super().__init__(
+            config if config is not None else ServeConfig(),
+            server.instrumentation,
+            workers if workers is not None else worker_count(server.config),
+            recovery_policy)
+
+    def _recovery_backend(self):
+        return ServerBackend(self.server)
+
+    def _ensure_enrolled(self, user_id: str) -> None:
+        server = self.server
+        if (self.config.open_enroll and not server.is_member(user_id)
+                and user_id not in server._registered_keys):
+            server.register_individual_key(
+                user_id, server.new_individual_key())
+
+    async def _rekey(self, op, user_id, payload, reply, token):
+        server = self.server
+        tracer = self.instrumentation.tracer
+        # A journaled server must append ops in plan order, which the
+        # overlapped path cannot guarantee — serialize the whole op.
+        serialized = getattr(server, "_journal", None) is not None
+        trace = None
+        if not serialized and self._op_lock.acquire(blocking=False):
+            # Fast path: plan here on the loop, then ship the heavy
+            # encrypt/sign/dispatch stages to the pool.  The next
+            # request plans while these stages run.
+            staged = None
+            try:
+                with tracer.span("serve.request", op=op,
+                                 user=user_id) as span:
+                    try:
+                        if op == "join":
+                            self._ensure_enrolled(user_id)
+                            staged = server.begin_join(user_id)
+                        else:
+                            staged = server.begin_leave(user_id)
+                    except ServerError:
+                        staged = None
+                    trace = span.context if span.trace_id else None
+            finally:
+                self._op_lock.release()
+            if staged is None:
+                await self._deny(op, user_id, reply, token)
+                return
+            outcome = await self._in_executor(
+                lambda: staged.encrypt().seal().finish())
+        else:
+            def run():
+                with self._op_lock:
+                    with tracer.span("serve.request", op=op,
+                                     user=user_id) as span:
+                        if op == "join":
+                            self._ensure_enrolled(user_id)
+                            out = server.join(user_id)
+                        else:
+                            out = server.leave(user_id)
+                        return out, (span.context if span.trace_id
+                                     else None)
+            try:
+                outcome, trace = await self._in_executor(run)
+            except ServerError:
+                await self._deny(op, user_id, reply, token)
+                return
+        self._route(outcome.all_messages, user_id, reply, token, trace)
+        await self._track(op, user_id)
+
+    async def _deny(self, op, user_id, reply, token):
+        server = self.server
+        server._m_requests.inc(op=op, status="denied")
+        msg_type = MSG_JOIN_DENIED if op == "join" else MSG_LEAVE_DENIED
+        out = await self._locked(server._control_message, msg_type, user_id)
+        reply(_corr(out.encoded or out.message.encode(), token))
+
+
+class CoalescingServingCore(AsyncServingCore):
+    """Fold concurrent joins/leaves into one batch flush.
+
+    Requests queue into a :class:`BatchRekeyServer` on arrival (cheap,
+    on the loop) and the flush loop rekeys once per
+    ``coalesce_interval`` — or as soon as ``coalesce_max`` requests
+    are pending.  Joiners are answered with their path-keys unicast
+    from the flush; leavers (and joins cancelled by a same-interval
+    leave) get a synthesized signed ack.  ``max_inflight`` should be
+    at least ``coalesce_max`` or admission will cap batch size first.
+    """
+
+    flavor = "coalesce"
+
+    def __init__(self, server: BatchRekeyServer,
+                 config: Optional[ServeConfig] = None,
+                 workers: int = DEFAULT_WORKERS,
+                 recovery_policy: Optional[RecoveryPolicy] = None):
+        self.server = server
+        super().__init__(
+            config if config is not None else ServeConfig(coalesce=True),
+            server.instrumentation, workers, recovery_policy)
+        registry = self.instrumentation.registry
+        self._m_pending = registry.gauge(
+            "serve_coalesce_pending",
+            "Rekey requests queued for the next flush.").labels()
+        self._m_flushes = registry.counter(
+            "serve_flushes_total",
+            "Coalesced rekey flushes executed.").labels()
+        self._registered: Dict[str, bytes] = {}
+        self._waiters: List[tuple] = []
+        self._flush_event = asyncio.Event()
+        self._flush_task: Optional[asyncio.Task] = None
+
+    def _recovery_backend(self):
+        return BatchBackend(self.server)
+
+    def register_individual_key(self, user_id: str, key: bytes) -> None:
+        """Pre-register a joiner's key (the auth-exchange stand-in)."""
+        self._registered[user_id] = key
+
+    async def start(self):
+        await super().start()
+        if self._flush_task is None:
+            self._flush_task = asyncio.get_running_loop().create_task(
+                self._flush_loop())
+
+    async def aclose(self):
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            try:
+                await self._flush_task
+            except asyncio.CancelledError:
+                pass
+            self._flush_task = None
+        for waiter in self._waiters:
+            if not waiter[4].done():
+                waiter[4].set_result(None)
+        self._waiters = []
+        await super().aclose()
+
+    def _enroll_key(self, user_id: str) -> bytes:
+        registered = self._registered.pop(user_id, None)
+        if registered is not None:
+            return registered
+        if not self.config.open_enroll:
+            raise BatchError(f"{user_id}: no registered individual key")
+        # Under the op lock (the DRBG is shared with the flush).
+        return self.server.material.new_individual_key()
+
+    def _control(self, msg_type: int, user_id: str) -> bytes:
+        """A synthesized signed control reply against the batch tree."""
+        server = self.server
+        try:
+            root_id, root_version = server.group_key_ref()
+        except Exception:
+            root_id, root_version = 0, 0
+        message = Message(
+            msg_type=msg_type, group_id=1,
+            seq=server.pipeline.sequencer.next(),
+            timestamp_us=time.time_ns() // 1000,
+            root_node_id=root_id, root_version=root_version,
+            body=user_id.encode("utf-8"))
+        with server.pipeline.seal_lock:
+            server._signer.seal([message])
+        return message.encode()
+
+    async def _deny(self, op, user_id, reply, token):
+        msg_type = MSG_JOIN_DENIED if op == "join" else MSG_LEAVE_DENIED
+        payload = await self._in_executor(self._control, msg_type, user_id)
+        reply(_corr(payload, token))
+
+    async def _rekey(self, op, user_id, payload, reply, token):
+        server = self.server
+
+        def enqueue():
+            if op == "join":
+                server.request_join(user_id, self._enroll_key(user_id))
+            else:
+                server.request_leave(user_id)
+        try:
+            await self._locked(enqueue)
+        except BatchError:
+            await self._deny(op, user_id, reply, token)
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append((op, user_id, reply, token, future))
+        self._m_pending.set(len(self._waiters))
+        if len(self._waiters) >= self.config.coalesce_max:
+            self._flush_event.set()
+        await future
+
+    async def _flush_loop(self):
+        while True:
+            try:
+                await asyncio.wait_for(self._flush_event.wait(),
+                                       timeout=self.config.coalesce_interval)
+            except asyncio.TimeoutError:
+                pass
+            self._flush_event.clear()
+            if not self._waiters:
+                continue
+            waiters, self._waiters = self._waiters, []
+            self._m_pending.set(0)
+            await self._flush(waiters)
+
+    async def _flush(self, waiters):
+        server = self.server
+
+        def do_flush():
+            with self._op_lock:
+                return server.flush()
+        try:
+            result = await self._in_executor(do_flush)
+        except Exception:
+            self._m_errors.inc(op="flush")
+            for _op, _user, _reply, _token, future in waiters:
+                if not future.done():
+                    future.set_result(None)
+            return
+        self._m_flushes.inc()
+        joiner_payloads = {
+            out.destination.user_id: out.encoded or out.message.encode()
+            for out in result.joiner_messages
+            if out.destination.kind == DEST_USER}
+
+        def build_acks():
+            acks = {}
+            for op, user_id, _reply, _token, _future in waiters:
+                if op == "leave" or user_id not in joiner_payloads:
+                    msg_type = (MSG_LEAVE_ACK if op == "leave"
+                                else MSG_JOIN_ACK)
+                    acks[(op, user_id)] = self._control(msg_type, user_id)
+            return acks
+        acks = await self._in_executor(build_acks)
+        if result.rekey_message is not None:
+            self.fanout.send(result.rekey_message)
+        joins: List[str] = []
+        leaves: List[str] = []
+        for op, user_id, reply, token, future in waiters:
+            payload = joiner_payloads.get(user_id) if op == "join" else None
+            if payload is None:
+                payload = acks[(op, user_id)]
+            reply(_corr(payload, token))
+            (joins if op == "join" else leaves).append(user_id)
+            if not future.done():
+                future.set_result(None)
+
+        def apply_tracking():
+            for user_id in joins:
+                self.recovery.track(user_id)
+            for user_id in leaves:
+                self.recovery.untrack(user_id)
+        await self._locked(apply_tracking)
+        for user_id in leaves:
+            self.fanout.detach(user_id)
+
+
+class ClusterServingCore(AsyncServingCore):
+    """The PR4 sharded cluster behind the async front end.
+
+    Cluster ops compose a shard rekey with a root-layer rekey, so the
+    whole request runs on the executor under the op lock — the loop
+    stays free for heartbeats and parsing, and intra-cluster ordering
+    stays exactly the coordinator's.
+    """
+
+    flavor = "cluster"
+
+    def __init__(self, coordinator: ClusterCoordinator,
+                 config: Optional[ServeConfig] = None,
+                 workers: int = DEFAULT_WORKERS,
+                 recovery_policy: Optional[RecoveryPolicy] = None):
+        self.coordinator = coordinator
+        super().__init__(
+            config if config is not None else ServeConfig(),
+            coordinator.instrumentation, workers, recovery_policy)
+
+    def _recovery_backend(self):
+        return ClusterBackend(self.coordinator)
+
+    def _stats_document(self) -> dict:
+        return self.coordinator.stats_document()
+
+    def _ensure_enrolled(self, user_id: str) -> None:
+        coordinator = self.coordinator
+        if (self.config.open_enroll
+                and user_id not in coordinator._registered_keys
+                and not coordinator.shard_of(user_id)
+                        .server.is_member(user_id)):
+            coordinator.register_individual_key(
+                user_id, coordinator.new_individual_key())
+
+    async def _rekey(self, op, user_id, payload, reply, token):
+        coordinator = self.coordinator
+        tracer = self.instrumentation.tracer
+
+        def run():
+            with self._op_lock:
+                with tracer.span("serve.request", op=op,
+                                 user=user_id) as span:
+                    if op == "join":
+                        self._ensure_enrolled(user_id)
+                    outputs = coordinator.handle_datagram(payload)
+                    return outputs, (span.context if span.trace_id
+                                     else None)
+        try:
+            outputs, trace = await self._in_executor(run)
+        except ClusterError:
+            self._m_errors.inc(op=op)
+            return
+        self._route(outputs, user_id, reply, token, trace)
+        ack_type = MSG_JOIN_ACK if op == "join" else MSG_LEAVE_ACK
+        if any(out.message.msg_type == ack_type for out in outputs):
+            await self._track(op, user_id)

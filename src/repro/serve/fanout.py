@@ -1,0 +1,118 @@
+"""Socket fan-out: the async serving layer's outbound transport.
+
+The simulation transports (:mod:`repro.transport.inmemory`) deliver by
+calling member handlers; a live server instead *sends* — each member's
+join registered a reply path (a UDP source address or a TCP stream),
+and a rekey multicast fans out one datagram per distinct reply path.
+
+:class:`SocketFanout` implements the :class:`~repro.transport.base.
+Transport` interface over such reply paths, which makes the PR5
+recovery stack work unmodified against live sockets: a
+:class:`~repro.recovery.manager.RecoveryManager` pushes resyncs and
+eviction rekeys through ``send``/``send_all`` exactly as it does over
+the in-memory bus.
+
+Two serving-specific behaviours:
+
+* **Address-level dedup** — the load generator multiplexes thousands
+  of simulated clients over a few sockets, so a group-wide rekey to
+  10,000 members must not become 10,000 loopback datagrams to 32
+  addresses.  ``send`` emits one copy per *distinct* reply path, which
+  is exactly real multicast semantics (the paper's server sends to a
+  group address, not per member).
+* **A per-copy drop filter** — the chaos harness injects loss between
+  the serialized message and the socket (``drop_filter(user_id,
+  payload) -> bool``), so the PR5 fault profiles apply to the async
+  front end without a custom lossy socket layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..core.messages import OutboundMessage
+from ..observability.metrics import MetricRegistry
+from ..transport.base import Transport
+
+#: A registered reply path: a hashable identity (e.g. a UDP address)
+#: plus the callable that writes one payload to it.
+SendFn = Callable[[bytes], None]
+
+
+class SocketFanout(Transport):
+    """Fan outbound messages out to registered per-user reply paths."""
+
+    def __init__(self, registry: Optional[MetricRegistry] = None):
+        super().__init__(registry)
+        # user id -> (path identity, send callable).  Identity is kept
+        # separate from the callable so dedup works across users that
+        # share a socket (callables are fresh closures per attach).
+        self._paths: Dict[str, Tuple[Hashable, SendFn]] = {}
+        #: Optional chaos hook: ``drop_filter(user_id, payload)`` True
+        #: drops that user's copy before the socket write.
+        self.drop_filter: Optional[Callable[[str, bytes], bool]] = None
+
+    def attach(self, user_id: str, handler: SendFn,
+               path_id: Optional[Hashable] = None) -> None:
+        """Register ``user_id``'s reply path.
+
+        ``handler`` writes one payload; ``path_id`` identifies the
+        underlying socket/peer for multicast dedup (defaults to the
+        handler object itself, which disables sharing).
+        """
+        self._paths[user_id] = (path_id if path_id is not None else handler,
+                                handler)
+
+    def detach(self, user_id: str) -> None:
+        """Remove a reply path (no-op when absent)."""
+        self._paths.pop(user_id, None)
+
+    def known(self, user_id: str) -> bool:
+        """True iff ``user_id`` has a registered reply path."""
+        return user_id in self._paths
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def send(self, outbound: OutboundMessage,
+             payload: Optional[bytes] = None) -> None:
+        """Deliver ``outbound`` once per distinct receiver reply path.
+
+        ``payload`` overrides the wire bytes (used to append trailers);
+        default is the outbound's encoded message.
+        """
+        data = payload if payload is not None else (
+            outbound.encoded or outbound.message.encode())
+        seen = set()
+        targets: List[SendFn] = []
+        dropped = 0
+        for user_id in outbound.receivers:
+            path = self._paths.get(user_id)
+            if path is None:
+                continue
+            path_id, send_fn = path
+            if path_id in seen:
+                continue
+            if self.drop_filter is not None \
+                    and self.drop_filter(user_id, data):
+                # Count the drop but still dedup: a real lost multicast
+                # datagram is lost for every member behind that path.
+                seen.add(path_id)
+                dropped += 1
+                continue
+            seen.add(path_id)
+            targets.append(send_fn)
+        if len(targets) + dropped > 1:
+            self.stats.multicast_sends += 1
+        elif targets or dropped:
+            self.stats.unicast_sends += 1
+        self.stats.drops += dropped
+        for send_fn in targets:
+            try:
+                send_fn(data)
+            except OSError:
+                self.stats.drops += 1
+                continue
+            self.stats.bytes_sent += len(data)
+            self.stats.deliveries += 1
+            self.stats.bytes_delivered += len(data)

@@ -1,0 +1,76 @@
+"""Out-of-band wire helpers for the async serving layer.
+
+Two small mechanisms, both riding *after* the encoded protocol message
+(``Message.decode`` ignores trailing bytes, so the message proper is
+unchanged on the wire — the same trick the PR3 trace trailer uses):
+
+* **Correlation trailer** — magic + a caller-chosen 64-bit token.  The
+  load generator multiplexes thousands of simulated clients over a few
+  sockets; a request carries a token, the server echoes it on the
+  *direct* reply (ack, denial, busy, resync reply, stats response), and
+  the client side demultiplexes replies to the issuing client without
+  per-client sockets.  Multicast rekey traffic carries no token.
+* **TCP framing** — UDP keeps one-message-per-datagram for free; over a
+  stream each payload is length-prefixed with 4 big-endian bytes.
+
+Trailers stack: a payload may carry a trace trailer and then a
+correlation trailer.  The correlation trailer is always appended last
+(stripped first), so either side can be absent independently.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+CORR_MAGIC = b"KGC1"
+_CORR = struct.Struct(">Q")
+CORR_TRAILER_SIZE = len(CORR_MAGIC) + _CORR.size
+
+_FRAME = struct.Struct(">I")
+#: Upper bound on one framed payload (a rekey message for a very deep
+#: tree plus trailers stays far below this).
+MAX_FRAME = 1 << 24
+
+
+class FramingError(ValueError):
+    """Raised on malformed stream frames."""
+
+
+def attach_corr_trailer(payload: bytes, token: int) -> bytes:
+    """Append a correlation trailer carrying ``token``."""
+    return payload + CORR_MAGIC + _CORR.pack(token & 0xFFFFFFFFFFFFFFFF)
+
+
+def split_corr_trailer(payload: bytes) -> Tuple[bytes, Optional[int]]:
+    """Strip a correlation trailer if present: ``(payload, token|None)``."""
+    if (len(payload) >= CORR_TRAILER_SIZE
+            and payload[-CORR_TRAILER_SIZE:-_CORR.size] == CORR_MAGIC):
+        (token,) = _CORR.unpack(payload[-_CORR.size:])
+        return payload[:-CORR_TRAILER_SIZE], token
+    return payload, None
+
+
+def frame(payload: bytes) -> bytes:
+    """Length-prefix one payload for stream transports."""
+    if len(payload) > MAX_FRAME:
+        raise FramingError(f"payload of {len(payload)} bytes exceeds "
+                           f"the {MAX_FRAME}-byte frame bound")
+    return _FRAME.pack(len(payload)) + payload
+
+
+async def read_frame(reader) -> Optional[bytes]:
+    """Read one length-prefixed payload; ``None`` on clean EOF."""
+    import asyncio
+    try:
+        header = await reader.readexactly(_FRAME.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _FRAME.unpack(header)
+    if length > MAX_FRAME:
+        raise FramingError(f"frame of {length} bytes exceeds the "
+                           f"{MAX_FRAME}-byte bound")
+    try:
+        return await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None

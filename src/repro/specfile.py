@@ -22,6 +22,7 @@ The format is ``key = value`` lines with ``#`` comments:
     seed              = sigcomm98    # deterministic runs; omit for random
     access-list       = alice, bob   # omit for an open group
     backend           = object       # object | flat (tree storage engine)
+    workers           = 0            # serve-layer worker pool (0 = auto)
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ class SpecError(ValueError):
 _KNOWN_KEYS = {
     "group-id", "graph", "initial-size", "degree", "strategy", "cipher",
     "digest", "signature", "signing", "seed", "access-list", "backend",
+    "workers",
 }
 
 _DEFAULTS = {
@@ -51,6 +53,7 @@ _DEFAULTS = {
     "signature": "rsa-512",
     "signing": "merkle",
     "backend": "object",
+    "workers": "0",
 }
 
 
@@ -119,6 +122,7 @@ def config_from_spec(text: str) -> Tuple[ServerConfig, int]:
         seed=seed.encode("utf-8") if seed is not None else None,
         access_list=access_list,
         backend=values["backend"],
+        workers=_parse_int(values, "workers", 0),
     )
     try:
         config.validate()

@@ -243,17 +243,35 @@ class UdpGroupMember:
         return count
 
 
-def scrape_stats(address: Tuple[str, int], timeout: float = 5.0) -> dict:
-    """Pull a live ``repro-metrics/1`` snapshot from a UdpKeyServer."""
+def scrape_stats(address: Tuple[str, int], timeout: float = 5.0,
+                 retries: int = 2) -> dict:
+    """Pull a live ``repro-metrics/1`` snapshot from a UdpKeyServer.
+
+    Stats requests and responses are single datagrams; either can be
+    dropped.  ``timeout`` bounds each attempt and the request is
+    re-sent up to ``retries`` further times before
+    :class:`UdpTransportError` — a lossy network delays the scrape
+    instead of hanging (or permanently failing) the caller.  Scrapes
+    are idempotent reads, so duplicated requests are harmless.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
     sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
     try:
         sock.settimeout(timeout)
-        sock.sendto(Message(msg_type=MSG_STATS_REQUEST).encode(), address)
-        try:
-            data, _source = sock.recvfrom(_BUFFER)
-        except socket.timeout:
+        request = Message(msg_type=MSG_STATS_REQUEST).encode()
+        data = None
+        for _attempt in range(retries + 1):
+            sock.sendto(request, address)
+            try:
+                data, _source = sock.recvfrom(_BUFFER)
+                break
+            except socket.timeout:
+                continue
+        if data is None:
             raise UdpTransportError(
-                f"no stats response from {address}") from None
+                f"no stats response from {address} "
+                f"after {retries + 1} attempts") from None
     finally:
         sock.close()
     message = Message.decode(data)

@@ -1,0 +1,109 @@
+"""Drop10 through the async front end: byte-identical convergence.
+
+The PR5 fault profiles apply to the live serving layer via the fanout
+drop filter.  The acceptance claim has two halves:
+
+* the live server, despite shedding-free but lossy delivery, ends with
+  a group key **byte-identical** to an in-memory control server driven
+  through the same ops with no serving layer at all (the async split
+  must not perturb the DRBG draw order);
+* every surviving member recovers through resync requests submitted
+  back through the front end, and then decrypts a group data probe.
+"""
+
+import asyncio
+
+from repro.chaos.faults import PROFILES
+from repro.chaos.scenarios import ScenarioConfig, run_scenario
+from repro.chaos.serve_scenario import (_control_run, _individual_keys,
+                                        serve_workload)
+from repro.core.messages import (MSG_JOIN_REQUEST, MSG_LEAVE_REQUEST,
+                                 Message)
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.serve import ImmediateServingCore, ServeConfig
+
+
+def _config(**overrides):
+    defaults = dict(name="drop10-serve", stack="serve",
+                    profile="drop10", n_initial=12, rounds=12)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def test_drop10_serve_scenario_passes():
+    report = run_scenario(_config())
+    assert report.passed, report.summary()
+    assert report.stack == "serve"
+    assert report.injected["drop"] > 0, \
+        "drop10 must actually lose copies for the test to mean anything"
+    assert report.survivors > 0
+    # Lost copies force desyncs; recovery repairs them via resync.
+    assert report.resyncs >= report.desyncs > 0
+
+
+def test_serve_scenario_seeded_reruns_are_identical():
+    first = run_scenario(_config())
+    second = run_scenario(_config())
+    assert first.injected == second.injected
+    assert first.resyncs == second.resyncs
+    assert first.desyncs == second.desyncs
+    assert first.recovery_rounds == second.recovery_rounds
+
+
+def test_live_server_key_matches_control_despite_drops():
+    """The byte-identity half, asserted directly on key material."""
+    config = _config()
+    ops = serve_workload(config)
+    server = GroupKeyServer(ServerConfig(
+        signing="none", seed=config.seed, backend="flat"))
+    keys = _individual_keys(ops, server.config.suite)
+    control = _control_run(config, ops, keys)
+
+    async def drive():
+        core = ImmediateServingCore(
+            server, ServeConfig(tick_interval=0, open_enroll=False))
+        drops = {"n": 0}
+
+        def drop_everything(_user, _payload):
+            drops["n"] += 1
+            return True
+
+        # Worst case: *every* multicast copy is lost.  The server's
+        # draws must still match the control run exactly.
+        core.fanout.drop_filter = drop_everything
+        sink = []
+        try:
+            for op, user in ops:
+                if op == "join":
+                    server.register_individual_key(user, keys[user])
+                    core.fanout.attach(user, sink.append,
+                                       path_id=f"p-{user}")
+                    msg_type = MSG_JOIN_REQUEST
+                else:
+                    msg_type = MSG_LEAVE_REQUEST
+                request = Message(msg_type=msg_type,
+                                  body=user.encode()).encode()
+                await core.submit(request, sink.append, path_id=None)
+        finally:
+            await core.aclose()
+        return drops["n"]
+
+    dropped = asyncio.run(drive())
+    assert dropped > 0
+    assert server.group_key() == control.group_key()
+    assert server.group_key_ref() == control.group_key_ref()
+    assert server.n_users == control.n_users
+
+
+def test_clean_profile_needs_no_resyncs():
+    report = run_scenario(_config(name="clean-serve", profile="clean"))
+    assert report.passed
+    assert report.injected["drop"] == 0
+    assert report.resyncs == 0
+    assert report.recovery_rounds == 0
+
+
+def test_drop10_profile_is_registered():
+    profile = PROFILES["drop10"]
+    assert profile.drop_rate == 0.10
+    assert profile.seed == b"chaos/drop10"

@@ -1,0 +1,129 @@
+"""Coalescing mode: concurrent joins/leaves fold into one batch flush."""
+
+import asyncio
+
+from repro.batch.rekeying import BatchRekeyServer
+from repro.core.messages import (MSG_JOIN_ACK, MSG_JOIN_REQUEST,
+                                 MSG_LEAVE_ACK, MSG_LEAVE_REQUEST,
+                                 MSG_REKEY, Message)
+from repro.serve import CoalescingServingCore, ServeConfig
+from repro.serve.wire import split_corr_trailer
+
+
+def _request(msg_type, user):
+    return Message(msg_type=msg_type, body=user.encode("utf-8")).encode()
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_concurrent_joins_fold_into_one_flush():
+    async def scenario():
+        server = BatchRekeyServer(seed=b"coalesce-test", signing="none")
+        config = ServeConfig(coalesce=True, coalesce_interval=0.05,
+                             coalesce_max=64, max_inflight=128,
+                             tick_interval=0)
+        core = CoalescingServingCore(server, config)
+        await core.start()
+        replies = {}
+        group_traffic = []
+        try:
+            users = [f"u{i}" for i in range(12)]
+            for user in users:
+                core.fanout.attach(
+                    user,
+                    lambda payload, user=user:
+                        group_traffic.append((user, payload)),
+                    path_id=f"path-{user}")
+
+            async def one_join(user):
+                await core.submit(
+                    _request(MSG_JOIN_REQUEST, user),
+                    lambda payload, user=user:
+                        replies.setdefault(user, payload),
+                    path_id=None)
+            await asyncio.gather(*(one_join(user) for user in users))
+            assert core._m_flushes.value == 1, \
+                "a concurrent burst must rekey exactly once"
+            assert server.tree.n_users == 12
+            # Every joiner got a direct reply: its path-keys unicast.
+            assert set(replies) == set(users)
+            for user, payload in replies.items():
+                message = Message.decode(split_corr_trailer(payload)[0])
+                assert message.msg_type in (MSG_REKEY, MSG_JOIN_ACK)
+        finally:
+            await core.aclose()
+    _run(scenario())
+
+
+def test_leavers_get_synthesized_acks():
+    async def scenario():
+        server = BatchRekeyServer(seed=b"coalesce-leave", signing="none")
+        config = ServeConfig(coalesce=True, coalesce_interval=0.05,
+                             max_inflight=128, tick_interval=0)
+        core = CoalescingServingCore(server, config)
+        await core.start()
+        try:
+            joins = {}
+            await asyncio.gather(*(
+                core.submit(_request(MSG_JOIN_REQUEST, f"u{i}"),
+                            lambda p, i=i: joins.setdefault(i, p),
+                            path_id=None)
+                for i in range(6)))
+            leave_replies = []
+            await core.submit(_request(MSG_LEAVE_REQUEST, "u3"),
+                              leave_replies.append, path_id=None)
+            assert leave_replies, "leave must be acked at the flush"
+            message = Message.decode(
+                split_corr_trailer(leave_replies[0])[0])
+            assert message.msg_type == MSG_LEAVE_ACK
+            assert not server.is_member("u3")
+        finally:
+            await core.aclose()
+    _run(scenario())
+
+
+def test_join_then_leave_same_interval_cancels():
+    async def scenario():
+        server = BatchRekeyServer(seed=b"coalesce-cancel", signing="none")
+        config = ServeConfig(coalesce=True, coalesce_interval=0.2,
+                             max_inflight=128, tick_interval=0)
+        core = CoalescingServingCore(server, config)
+        await core.start()
+        try:
+            replies = []
+            await asyncio.gather(
+                core.submit(_request(MSG_JOIN_REQUEST, "ghost"),
+                            replies.append, path_id=None),
+                core.submit(_request(MSG_LEAVE_REQUEST, "ghost"),
+                            replies.append, path_id=None))
+            # Both requests answered, no membership change.
+            assert len(replies) == 2
+            assert not server.is_member("ghost")
+        finally:
+            await core.aclose()
+    _run(scenario())
+
+
+def test_coalesce_max_triggers_early_flush():
+    async def scenario():
+        server = BatchRekeyServer(seed=b"coalesce-early", signing="none")
+        # A long interval that the test never waits out: the early
+        # flush must come from the pending-count trigger.
+        config = ServeConfig(coalesce=True, coalesce_interval=30.0,
+                             coalesce_max=4, max_inflight=128,
+                             tick_interval=0)
+        core = CoalescingServingCore(server, config)
+        await core.start()
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*(
+                    core.submit(_request(MSG_JOIN_REQUEST, f"u{i}"),
+                                lambda _p: None, path_id=None)
+                    for i in range(4))),
+                timeout=5.0)
+            assert server.tree.n_users == 4
+        finally:
+            await core.aclose()
+    _run(scenario())

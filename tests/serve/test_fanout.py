@@ -1,0 +1,104 @@
+"""SocketFanout: dedup, drop filter, transport interface."""
+
+from repro.core.messages import (MSG_REKEY, Destination, Message,
+                                 OutboundMessage)
+from repro.observability.metrics import MetricRegistry
+from repro.serve.fanout import SocketFanout
+
+
+def _outbound(receivers, body=b"k"):
+    message = Message(msg_type=MSG_REKEY, body=body)
+    return OutboundMessage(Destination.to_users(receivers), message,
+                           tuple(receivers), message.encode())
+
+
+def test_one_copy_per_distinct_path():
+    fanout = SocketFanout()
+    sent = []
+    shared = sent.append
+    # Three users share one path; one has its own.
+    for user in ("a", "b", "c"):
+        fanout.attach(user, shared, path_id="sock-1")
+    own = []
+    fanout.attach("d", own.append, path_id="sock-2")
+    fanout.send(_outbound(["a", "b", "c", "d"]))
+    assert len(sent) == 1
+    assert len(own) == 1
+    assert fanout.stats.multicast_sends == 1
+
+
+def test_unknown_receivers_skipped():
+    fanout = SocketFanout()
+    got = []
+    fanout.attach("a", got.append)
+    fanout.send(_outbound(["a", "ghost"]))
+    assert len(got) == 1
+
+
+def test_detach_stops_delivery():
+    fanout = SocketFanout()
+    got = []
+    fanout.attach("a", got.append)
+    assert fanout.known("a")
+    fanout.detach("a")
+    assert not fanout.known("a")
+    fanout.send(_outbound(["a"]))
+    assert got == []
+    assert len(fanout) == 0
+
+
+def test_drop_filter_loses_whole_path():
+    """A dropped multicast copy is lost for every member on that path."""
+    fanout = SocketFanout(MetricRegistry())
+    delivered = []
+    for user in ("a", "b"):
+        fanout.attach(user, delivered.append, path_id="shared")
+    fanout.drop_filter = lambda user_id, payload: user_id == "a"
+    fanout.send(_outbound(["a", "b"]))
+    # "a" was first, its copy dropped, and "b" rides the same path.
+    assert delivered == []
+    assert fanout.stats.drops == 1
+
+
+def test_drop_filter_spares_other_paths():
+    fanout = SocketFanout()
+    got_a, got_b = [], []
+    fanout.attach("a", got_a.append, path_id="pa")
+    fanout.attach("b", got_b.append, path_id="pb")
+    fanout.drop_filter = lambda user_id, payload: user_id == "a"
+    fanout.send(_outbound(["a", "b"]))
+    assert got_a == []
+    assert len(got_b) == 1
+
+
+def test_payload_override_carries_trailer():
+    fanout = SocketFanout()
+    got = []
+    fanout.attach("a", got.append)
+    out = _outbound(["a"])
+    fanout.send(out, payload=out.encoded + b"TRAILER")
+    assert got[0].endswith(b"TRAILER")
+    assert Message.decode(got[0]).body == b"k"
+
+
+def test_oserror_counts_as_drop():
+    fanout = SocketFanout()
+
+    def broken(_payload):
+        raise OSError("gone")
+    got = []
+    fanout.attach("a", broken, path_id="pa")
+    fanout.attach("b", got.append, path_id="pb")
+    fanout.send(_outbound(["a", "b"]))
+    assert fanout.stats.drops == 1
+    assert len(got) == 1
+
+
+def test_reattach_updates_path():
+    """A reconnecting member's new reply path replaces the old one."""
+    fanout = SocketFanout()
+    old, new = [], []
+    fanout.attach("a", old.append, path_id="old")
+    fanout.attach("a", new.append, path_id="new")
+    fanout.send(_outbound(["a"]))
+    assert old == [] and len(new) == 1

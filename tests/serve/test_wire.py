@@ -1,0 +1,78 @@
+"""Correlation trailers and stream framing."""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import MSG_JOIN_ACK, Message
+from repro.observability.spans import (SpanContext, attach_trace_trailer,
+                                       split_trace_trailer)
+from repro.serve.wire import (FramingError, MAX_FRAME, attach_corr_trailer,
+                              frame, read_frame, split_corr_trailer)
+
+
+def test_corr_trailer_round_trip():
+    payload = Message(msg_type=MSG_JOIN_ACK, body=b"alice").encode()
+    tagged = attach_corr_trailer(payload, 0xDEADBEEF)
+    stripped, token = split_corr_trailer(tagged)
+    assert stripped == payload
+    assert token == 0xDEADBEEF
+    # The message proper decodes identically with the trailer attached.
+    assert Message.decode(tagged).body == b"alice"
+
+
+def test_corr_trailer_absent():
+    payload = Message(msg_type=MSG_JOIN_ACK, body=b"x").encode()
+    stripped, token = split_corr_trailer(payload)
+    assert stripped == payload
+    assert token is None
+
+
+def test_corr_token_wraps_to_64_bits():
+    tagged = attach_corr_trailer(b"p", (1 << 70) + 42)
+    _payload, token = split_corr_trailer(tagged)
+    assert token == 42
+
+
+def test_trailers_stack_corr_last():
+    payload = Message(msg_type=MSG_JOIN_ACK, body=b"y").encode()
+    trace = SpanContext(trace_id=7, span_id=9)
+    tagged = attach_corr_trailer(
+        attach_trace_trailer(payload, trace), 5)
+    inner, token = split_corr_trailer(tagged)
+    assert token == 5
+    stripped, got_trace = split_trace_trailer(inner)
+    assert stripped == payload
+    assert (got_trace.trace_id, got_trace.span_id) == (7, 9)
+
+
+def test_frame_round_trip():
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame(b"one") + frame(b"two"))
+        reader.feed_eof()
+        assert await read_frame(reader) == b"one"
+        assert await read_frame(reader) == b"two"
+        assert await read_frame(reader) is None
+    asyncio.run(run())
+
+
+def test_frame_rejects_oversize():
+    with pytest.raises(FramingError):
+        frame(b"x" * (MAX_FRAME + 1))
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data((MAX_FRAME + 1).to_bytes(4, "big"))
+        with pytest.raises(FramingError):
+            await read_frame(reader)
+    asyncio.run(run())
+
+
+def test_truncated_frame_is_eof():
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame(b"abcdef")[:-2])
+        reader.feed_eof()
+        assert await read_frame(reader) is None
+    asyncio.run(run())

@@ -1,0 +1,89 @@
+"""Scrape timeout + bounded retry against a lossy stats endpoint."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.core.messages import (MSG_STATS_REQUEST, MSG_STATS_RESPONSE,
+                                 Message)
+from repro.observability.export import build_snapshot
+from repro.observability.metrics import MetricRegistry
+from repro.transport.udp import UdpTransportError, scrape_stats
+
+
+class _FlakyStatsServer:
+    """Answers stats requests only after ignoring the first ``drops``."""
+
+    def __init__(self, drops):
+        self.drops = drops
+        self.requests_seen = 0
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.settimeout(0.2)
+        self.address = self.sock.getsockname()
+        self._stop = threading.Event()
+        registry = MetricRegistry()
+        registry.counter("demo_total", "A demo counter.").inc()
+        body = json.dumps(build_snapshot(registry, label="flaky"))
+        self._response = Message(
+            msg_type=MSG_STATS_RESPONSE,
+            body=body.encode("utf-8")).encode()
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                data, source = self.sock.recvfrom(65535)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if Message.decode(data).msg_type != MSG_STATS_REQUEST:
+                continue
+            self.requests_seen += 1
+            if self.requests_seen <= self.drops:
+                continue  # swallow: the scraper must retry
+            self.sock.sendto(self._response, source)
+
+    def close(self):
+        self._stop.set()
+        self.thread.join(timeout=2.0)
+        self.sock.close()
+
+
+def test_scrape_retries_through_a_dropped_request():
+    server = _FlakyStatsServer(drops=1)
+    try:
+        document = scrape_stats(server.address, timeout=0.5, retries=2)
+        assert document["label"] == "flaky"
+        assert server.requests_seen == 2
+    finally:
+        server.close()
+
+
+def test_scrape_exhausts_retries_and_raises():
+    server = _FlakyStatsServer(drops=100)
+    try:
+        with pytest.raises(UdpTransportError, match="after 3 attempts"):
+            scrape_stats(server.address, timeout=0.2, retries=2)
+        assert server.requests_seen == 3
+    finally:
+        server.close()
+
+
+def test_scrape_times_out_against_a_dead_port():
+    # A bound-then-closed socket: nothing will ever answer.
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    with pytest.raises(UdpTransportError, match="after 1 attempts"):
+        scrape_stats(address, timeout=0.2, retries=0)
+
+
+def test_scrape_rejects_negative_retries():
+    with pytest.raises(ValueError):
+        scrape_stats(("127.0.0.1", 1), timeout=0.1, retries=-1)
