@@ -219,6 +219,19 @@ class SealTurnstile:
             self._next += 1
             return ticket
 
+    @property
+    def idle(self) -> bool:
+        """True when every issued ticket has been retired.
+
+        While the caller serializes plans (and so ticket draws) behind
+        a lock it holds, idleness cannot be invalidated — which lets a
+        whole-op caller (e.g. a recovery eviction sweep) ensure its
+        seal never has to wait for a staged run that may still be
+        queued for a worker.
+        """
+        with self._cond:
+            return self._serving == self._next
+
     def wait(self, ticket: int) -> None:
         """Block until every ticket before ``ticket`` is retired."""
         with self._cond:

@@ -21,8 +21,12 @@ Concurrency model (one process, GIL, possibly one core):
 * **One op lock** (a plain ``threading.Lock``) guards every tree/DRBG
   mutation: planning, recovery ticks, batch flushes.  The loop only
   ever *tries* the lock; when an executor thread holds it (a tick, a
-  flush), the whole op falls back to the executor instead of blocking
-  the loop.
+  flush), a rekey op waits for the lock *on a worker* and then still
+  plans on the loop — planning anywhere else would draw seal tickets
+  out of executor-submission order and void the
+  :class:`~repro.core.pipeline.SealTurnstile`'s no-deadlock
+  invariant.  Lock-only helpers (heartbeats, recovery) fall back to
+  the executor wholesale instead.
 
 Admission control:
 
@@ -127,6 +131,7 @@ class AsyncServingCore:
         self._op_lock = threading.Lock()
         self._inflight = 0
         self._buckets: Dict[str, Tuple[float, float]] = {}
+        self._admits_since_prune = 0
         self._tick_task: Optional[asyncio.Task] = None
         self.recovery = RecoveryManager(
             self._recovery_backend(), self.fanout,
@@ -189,11 +194,39 @@ class AsyncServingCore:
                 return fn(*args)
         return await self._in_executor(call)
 
+    async def _acquire_op_lock(self) -> None:
+        """Wait for the op lock on a worker; the caller must release it.
+
+        Lets a coroutine take the lock and then keep working *on the
+        loop* (rekey planning must happen there — see the module doc)
+        without ever blocking the loop on the acquire.  If the await
+        is cancelled after the pool task has started, that task will
+        still acquire the lock eventually; a done-callback hands it
+        straight back so cancellation cannot leak the lock.
+        """
+        future = asyncio.get_running_loop().run_in_executor(
+            self.executor, self._op_lock.acquire)
+        try:
+            await future
+        except asyncio.CancelledError:
+            def release(done):
+                if not done.cancelled():
+                    self._op_lock.release()
+            future.add_done_callback(release)
+            raise
+
     def _admit_rate(self, user_id: str) -> bool:
         """Per-client token bucket (state-changing requests only)."""
         rate = self.config.client_rate
         if rate <= 0:
             return True
+        # The ticker prunes idle buckets, but with tick_interval=0 it
+        # never runs — prune opportunistically so the per-client dict
+        # cannot grow without bound across distinct user_ids.
+        self._admits_since_prune += 1
+        if self._admits_since_prune >= 1024:
+            self._admits_since_prune = 0
+            self._prune_buckets()
         now = time.monotonic()
         burst = float(self.config.client_burst)
         tokens, last = self._buckets.get(user_id, (burst, now))
@@ -234,11 +267,14 @@ class AsyncServingCore:
             else:
                 self.fanout.send(out, payload=payload)
 
+    async def _tick_once(self) -> None:
+        await self._locked(self.recovery.tick)
+
     async def _tick_loop(self) -> None:
         while True:
             await asyncio.sleep(self.config.tick_interval)
             try:
-                await self._locked(self.recovery.tick)
+                await self._tick_once()
             except Exception:
                 self._m_errors.inc(op="tick")
             self._prune_buckets()
@@ -333,6 +369,9 @@ class AsyncServingCore:
                 await self._rekey(op, user_id, payload, reply, token)
             except Exception:
                 self._m_errors.inc(op=op)
+                # An admitted op that died server-side must still fail
+                # fast for the client — a busy reply beats a timeout.
+                self._shed(user_id, reply, token, "error")
             finally:
                 self._inflight -= 1
                 self._m_inflight.set(self._inflight)
@@ -370,6 +409,28 @@ class ImmediateServingCore(AsyncServingCore):
     def _recovery_backend(self):
         return ServerBackend(self.server)
 
+    async def _tick_once(self):
+        # The tick's evictions run synchronous leaves that draw a seal
+        # ticket and wait their turn.  With staged request ops still
+        # in flight that wait can starve: the earlier-ticket staged
+        # task may sit queued behind workers blocked on the very op
+        # lock the tick holds.  So take the lock only once the
+        # turnstile is idle — plans (and so ticket draws) happen under
+        # the lock, so idleness holds for as long as we do — and run
+        # the tick inline; its sync leaves then never wait.
+        turnstile = self.server.pipeline.seal_order
+        while True:
+            if not self._op_lock.acquire(blocking=False):
+                await self._acquire_op_lock()
+            if turnstile.idle:
+                break
+            self._op_lock.release()
+            await asyncio.sleep(0.005)
+        try:
+            self.recovery.tick()
+        finally:
+            self._op_lock.release()
+
     def _ensure_enrolled(self, user_id: str) -> None:
         server = self.server
         if (self.config.open_enroll and not server.is_member(user_id)
@@ -380,35 +441,13 @@ class ImmediateServingCore(AsyncServingCore):
     async def _rekey(self, op, user_id, payload, reply, token):
         server = self.server
         tracer = self.instrumentation.tracer
-        # A journaled server must append ops in plan order, which the
-        # overlapped path cannot guarantee — serialize the whole op.
-        serialized = getattr(server, "_journal", None) is not None
-        trace = None
-        if not serialized and self._op_lock.acquire(blocking=False):
-            # Fast path: plan here on the loop, then ship the heavy
-            # encrypt/sign/dispatch stages to the pool.  The next
-            # request plans while these stages run.
-            staged = None
-            try:
-                with tracer.span("serve.request", op=op,
-                                 user=user_id) as span:
-                    try:
-                        if op == "join":
-                            self._ensure_enrolled(user_id)
-                            staged = server.begin_join(user_id)
-                        else:
-                            staged = server.begin_leave(user_id)
-                    except ServerError:
-                        staged = None
-                    trace = span.context if span.trace_id else None
-            finally:
-                self._op_lock.release()
-            if staged is None:
-                await self._deny(op, user_id, reply, token)
-                return
-            outcome = await self._in_executor(
-                lambda: staged.encrypt().seal().finish())
-        else:
+        if getattr(server, "_journal", None) is not None:
+            # A journaled server must append ops in plan order, which
+            # the overlapped path cannot guarantee — serialize the
+            # whole op on a worker.  Every op on this server takes
+            # this path, so each seal ticket is drawn and retired
+            # under the op lock before the next op plans: the
+            # turnstile never actually waits here.
             def run():
                 with self._op_lock:
                     with tracer.span("serve.request", op=op,
@@ -425,6 +464,39 @@ class ImmediateServingCore(AsyncServingCore):
             except ServerError:
                 await self._deny(op, user_id, reply, token)
                 return
+            self._route(outcome.all_messages, user_id, reply, token, trace)
+            await self._track(op, user_id)
+            return
+        # Plan here on the loop, then ship the heavy encrypt/sign/
+        # dispatch stages to the pool; the next request plans while
+        # these stages run.  Planning must stay on the loop even when
+        # the op lock is busy: plan + submit with no await between
+        # keeps seal tickets in executor-submission order, which is
+        # the SealTurnstile's no-deadlock invariant — a whole-op
+        # executor fallback here could draw its ticket after a staged
+        # task it then starves of a worker, wedging the server.
+        if not self._op_lock.acquire(blocking=False):
+            await self._acquire_op_lock()
+        staged = None
+        trace = None
+        try:
+            with tracer.span("serve.request", op=op, user=user_id) as span:
+                try:
+                    if op == "join":
+                        self._ensure_enrolled(user_id)
+                        staged = server.begin_join(user_id)
+                    else:
+                        staged = server.begin_leave(user_id)
+                except ServerError:
+                    staged = None
+                trace = span.context if span.trace_id else None
+        finally:
+            self._op_lock.release()
+        if staged is None:
+            await self._deny(op, user_id, reply, token)
+            return
+        outcome = await self._in_executor(
+            lambda: staged.encrypt().seal().finish())
         self._route(outcome.all_messages, user_id, reply, token, trace)
         await self._track(op, user_id)
 
@@ -530,19 +602,30 @@ class CoalescingServingCore(AsyncServingCore):
 
     async def _rekey(self, op, user_id, payload, reply, token):
         server = self.server
-
-        def enqueue():
+        # Enqueue and waiter registration must be one atomic step
+        # under the op lock: the flush consumes the pending set and
+        # the waiter list together (also under the lock), so a flush
+        # landing between them would eat the pending join but find no
+        # waiter — silently dropping the joiner's path-key unicast.
+        # When the lock is busy (a flush, a tick) we wait for it on a
+        # worker and then enqueue here on the loop.
+        if not self._op_lock.acquire(blocking=False):
+            await self._acquire_op_lock()
+        future = asyncio.get_running_loop().create_future()
+        denied = False
+        try:
             if op == "join":
                 server.request_join(user_id, self._enroll_key(user_id))
             else:
                 server.request_leave(user_id)
-        try:
-            await self._locked(enqueue)
+            self._waiters.append((op, user_id, reply, token, future))
         except BatchError:
+            denied = True
+        finally:
+            self._op_lock.release()
+        if denied:
             await self._deny(op, user_id, reply, token)
             return
-        future = asyncio.get_running_loop().create_future()
-        self._waiters.append((op, user_id, reply, token, future))
         self._m_pending.set(len(self._waiters))
         if len(self._waiters) >= self.config.coalesce_max:
             self._flush_event.set()
@@ -558,21 +641,34 @@ class CoalescingServingCore(AsyncServingCore):
             self._flush_event.clear()
             if not self._waiters:
                 continue
-            waiters, self._waiters = self._waiters, []
-            self._m_pending.set(0)
-            await self._flush(waiters)
+            await self._flush()
 
-    async def _flush(self, waiters):
+    async def _flush(self):
         server = self.server
 
+        # Snapshot the waiters and flush the pending set in ONE
+        # critical section: a loop-side snapshot would race the
+        # worker-side flush, letting a request enqueued in between be
+        # consumed by a flush that holds no waiter for it.
         def do_flush():
             with self._op_lock:
-                return server.flush()
-        try:
-            result = await self._in_executor(do_flush)
-        except Exception:
+                waiters, self._waiters = self._waiters, []
+                if not waiters:
+                    return waiters, None, None
+                try:
+                    return waiters, server.flush(), None
+                except Exception as exc:
+                    return waiters, None, exc
+        waiters, result, error = await self._in_executor(do_flush)
+        self._m_pending.set(len(self._waiters))
+        if not waiters:
+            return
+        if error is not None:
             self._m_errors.inc(op="flush")
-            for _op, _user, _reply, _token, future in waiters:
+            for w_op, w_user, w_reply, w_token, future in waiters:
+                # Fail fast: a busy reply beats leaving the client to
+                # tell server failure from packet loss by timeout.
+                self._shed(w_user, w_reply, w_token, "error")
                 if not future.done():
                     future.set_result(None)
             return
