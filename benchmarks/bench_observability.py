@@ -25,6 +25,15 @@ the cost of turning it on is recorded too (informational; the paper's
 measurement path keeps it on — its cost is part of measured server
 processing time only insofar as stage clocks always ran).
 
+A third A/B covers the async serving layer the same way: **control**
+is the ``ImmediateServingCore`` submit/rekey path frozen at its
+pre-tracing shape (corr trailer only, untimed op lock, no flight
+recorder, no spans), **treatment** is the real ``submit`` with the
+default instrumentation (null tracer, flight recorder ON — the
+shipping default).  Both drive leave+join churn over the *same* live
+core, interleaved in alternating batches, so the measured delta is
+exactly what distributed tracing plumbing costs when disabled.
+
 Usage::
 
     python benchmarks/bench_observability.py            # full run
@@ -32,7 +41,7 @@ Usage::
     python benchmarks/bench_observability.py --check    # enforce <2%
     python benchmarks/bench_observability.py --out X.json
 
-Writes a ``repro-bench/1`` JSON report (default ``BENCH_PR3.json`` at
+Writes a ``repro-bench/1`` JSON report (default ``BENCH_PR8.json`` at
 the repo root) via :mod:`bench_io`.
 """
 
@@ -59,7 +68,7 @@ from repro.crypto.suite import PAPER_SUITE_NO_SIG  # noqa: E402
 from repro.observability import (NULL_INSTRUMENTATION,  # noqa: E402
                                  Instrumentation, StageClock, Tracer)
 
-DEFAULT_OUT = os.path.join(_ROOT, "BENCH_PR3.json")
+DEFAULT_OUT = os.path.join(_ROOT, "BENCH_PR8.json")
 
 #: Acceptance ceiling (``--check``): disabled telemetry vs control.
 DISABLED_OVERHEAD_CEILING_PCT = 2.0
@@ -171,6 +180,134 @@ def _ab_compare(make_pipeline, n_runs, n_batches):
     return control_best, treatment_best, per_batch
 
 
+# -- the async serving layer A/B ---------------------------------------------
+
+
+def _serve_imports():
+    """Deferred: the serve stack is only needed for its own A/B."""
+    import asyncio
+
+    from repro.core.messages import (DEST_USER, MSG_JOIN_REQUEST,
+                                     MSG_LEAVE_REQUEST, Message)
+    from repro.core.server import GroupKeyServer, ServerConfig
+    from repro.serve import ImmediateServingCore, ServeConfig
+    from repro.serve.core import _DIRECT_TYPES, _corr
+    from repro.serve.wire import split_corr_trailer
+    return (asyncio, DEST_USER, MSG_JOIN_REQUEST, MSG_LEAVE_REQUEST,
+            Message, GroupKeyServer, ServerConfig, ImmediateServingCore,
+            ServeConfig, _DIRECT_TYPES, _corr, split_corr_trailer)
+
+
+def serve_ab_compare(n_ops, n_batches):
+    """A/B the serve request path; returns (control_s, real_s, per_batch).
+
+    ``control`` replays the submit/rekey loop frozen at its PR7 shape:
+    corr-trailer split, untimed op-lock acquire, plan on the loop,
+    staged encrypt/seal/finish on the pool, ``_corr``-only routing — no
+    ``split_trailers``, no spans, no flight events, no wait histograms.
+    ``treatment`` is the real :meth:`ImmediateServingCore.submit` with
+    the shipping defaults (null tracer, flight recorder enabled).  Both
+    arms drive leave+join pairs of the *same* members over one live
+    core, so tree state cancels out; min-of-batches scores each arm.
+    """
+    (asyncio, DEST_USER, MSG_JOIN_REQUEST, MSG_LEAVE_REQUEST, Message,
+     GroupKeyServer, ServerConfig, ImmediateServingCore, ServeConfig,
+     _DIRECT_TYPES, _corr, split_corr_trailer) = _serve_imports()
+
+    members = [f"bench-{i:03d}" for i in range(64)]
+
+    async def control_submit(core, data, reply):
+        payload, token = split_corr_trailer(data)
+        message = Message.decode(payload)
+        core._m_requests.inc(
+            type="join" if message.msg_type == MSG_JOIN_REQUEST else "leave")
+        user_id = message.body.decode("utf-8")
+        op = "join" if message.msg_type == MSG_JOIN_REQUEST else "leave"
+        core._admit_rate(user_id)
+        core._inflight += 1
+        core._m_inflight.set(core._inflight)
+        try:
+            server = core.server
+            if not core._op_lock.acquire(blocking=False):
+                await core._acquire_op_lock()
+            try:
+                staged = (server.begin_join(user_id) if op == "join"
+                          else server.begin_leave(user_id))
+            finally:
+                core._op_lock.release()
+            outcome = await core._in_executor(
+                lambda: staged.encrypt().seal().finish())
+            # PR7 routing: direct acks back on the reply path, the
+            # rest to the fan-out (same split the real _route makes).
+            for out in outcome.all_messages:
+                wire = out.encoded or out.message.encode()
+                if (out.destination.kind == DEST_USER
+                        and out.destination.user_id == user_id
+                        and out.message.msg_type in _DIRECT_TYPES):
+                    reply(_corr(wire, token))
+                else:
+                    core.fanout.send(out, payload=wire)
+            await core._track(op, user_id)
+        finally:
+            core._inflight -= 1
+            core._m_inflight.set(core._inflight)
+
+    def real_submit(core, data, reply):
+        return core.submit(data, reply, path_id=None)
+
+    def request(msg_type, user_id):
+        return Message(msg_type=msg_type, body=user_id.encode()).encode()
+
+    sink = []
+
+    async def churn(core, submit, n_pairs, offset, keys):
+        # leave + rejoin the same member: tree size is invariant, so
+        # both arms do identical cryptographic work every pair.  A
+        # leave forgets the member's key, so rejoin re-registers it —
+        # identically cheap in both arms.
+        for index in range(n_pairs):
+            user = members[(offset + index) % len(members)]
+            await submit(core, request(MSG_LEAVE_REQUEST, user),
+                         sink.append)
+            core.server.register_individual_key(user, keys[user])
+            await submit(core, request(MSG_JOIN_REQUEST, user),
+                         sink.append)
+        sink.clear()
+
+    async def run():
+        server = GroupKeyServer(ServerConfig(
+            signing="none", seed=b"bench-observability-serve",
+            backend="flat"))
+        core = ImmediateServingCore(
+            server, ServeConfig(tick_interval=0, open_enroll=False))
+        try:
+            roster = [(uid, server.new_individual_key()) for uid in members]
+            keys = dict(roster)
+            server.bootstrap(roster)
+
+            per_batch = max(1, n_ops // n_batches)
+            # Warm both arms (executor threads, key schedules, caches).
+            await churn(core, control_submit, max(2, per_batch // 4), 0,
+                        keys)
+            await churn(core, real_submit, max(2, per_batch // 4), 7, keys)
+
+            control_best = float("inf")
+            real_best = float("inf")
+            for batch in range(n_batches):
+                start = time.perf_counter()
+                await churn(core, control_submit, per_batch, batch, keys)
+                control_best = min(control_best,
+                                   time.perf_counter() - start)
+                start = time.perf_counter()
+                await churn(core, real_submit, per_batch, batch, keys)
+                real_best = min(real_best, time.perf_counter() - start)
+            return control_best, real_best, per_batch * 2
+        finally:
+            await core.aclose()
+
+    return asyncio.run(run())
+
+
 def _make_disabled_pipeline():
     material = KeyMaterialSource(PAPER_SUITE_NO_SIG, b"bench-observability")
     return RekeyPipeline(PAPER_SUITE_NO_SIG, material, signer=None,
@@ -185,7 +322,7 @@ def _make_enabled_pipeline():
 
 
 def run_benchmarks(quick: bool) -> dict:
-    report = bench_io.new_report("PR3-observability", quick)
+    report = bench_io.new_report("PR8-observability", quick)
     n_runs = 400 if quick else 4000
     n_batches = 8 if quick else 20
 
@@ -206,6 +343,17 @@ def run_benchmarks(quick: bool) -> dict:
                         runs / enabled_s)
     bench_io.add_metric(report, "enabled_telemetry_overhead_pct", "%",
                         enabled_pct)
+
+    n_ops = 200 if quick else 1600
+    serve_batches = 6 if quick else 12
+    control_s, real_s, ops = serve_ab_compare(n_ops, serve_batches)
+    serve_pct = 100.0 * (real_s - control_s) / control_s
+    bench_io.add_metric(report, "serve_control_ops_per_s", "ops/s",
+                        ops / control_s)
+    bench_io.add_metric(report, "serve_default_ops_per_s", "ops/s",
+                        ops / real_s)
+    bench_io.add_metric(report, "serve_disabled_overhead_pct", "%",
+                        serve_pct)
     return report
 
 
@@ -227,15 +375,19 @@ def main(argv=None) -> int:
     print(f"\nwrote {args.out}")
 
     if args.check:
-        overhead = report["metrics"]["disabled_telemetry_overhead_pct"][
-            "value"]
-        if overhead >= DISABLED_OVERHEAD_CEILING_PCT:
-            print(f"CHECK FAILED: disabled telemetry overhead "
-                  f"{overhead:.2f}% >= "
-                  f"{DISABLED_OVERHEAD_CEILING_PCT}%", file=sys.stderr)
+        failed = False
+        for name in ("disabled_telemetry_overhead_pct",
+                     "serve_disabled_overhead_pct"):
+            overhead = report["metrics"][name]["value"]
+            if overhead >= DISABLED_OVERHEAD_CEILING_PCT:
+                print(f"CHECK FAILED: {name} {overhead:.2f}% >= "
+                      f"{DISABLED_OVERHEAD_CEILING_PCT}%", file=sys.stderr)
+                failed = True
+            else:
+                print(f"CHECK OK: {name} {overhead:.2f}% < "
+                      f"{DISABLED_OVERHEAD_CEILING_PCT}%")
+        if failed:
             return 1
-        print(f"CHECK OK: disabled telemetry overhead {overhead:.2f}% < "
-              f"{DISABLED_OVERHEAD_CEILING_PCT}%")
     return 0
 
 

@@ -81,6 +81,46 @@ def _shed_total(document) -> float:
                for series in entry.get("series", []))
 
 
+def _stage_latency(documents) -> dict:
+    """Per-stage p50/p99 (ms) from ``rekey_stage_seconds`` histograms.
+
+    Merges each stage's series across every shard snapshot (counts are
+    summed bucket-wise), then runs the same in-bucket interpolation the
+    observability report uses — so the attribution answers *where* a
+    rekey's latency went: plan, encrypt, sign, or dispatch.
+    """
+    from repro.observability.export import _HistView
+    merged = {}
+    bounds = None
+    for document in documents:
+        if document is None:
+            continue
+        entry = document["metrics"]["histograms"].get("rekey_stage_seconds")
+        if entry is None:
+            continue
+        bounds = entry["bounds"]
+        for series in entry["series"]:
+            stage = series["labels"].get("stage", "?")
+            into = merged.setdefault(stage, {
+                "counts": [0] * len(series["counts"]), "count": 0,
+                "sum": 0.0, "min": float("inf"), "max": 0.0})
+            for index, value in enumerate(series["counts"]):
+                into["counts"][index] += value
+            into["count"] += series["count"]
+            into["sum"] += series["sum"]
+            into["min"] = min(into["min"], series["min"])
+            into["max"] = max(into["max"], series["max"])
+    stages = {}
+    for stage, series in merged.items():
+        if not series["count"]:
+            continue
+        view = _HistView(bounds, series)
+        stages[stage] = {"count": series["count"],
+                         "p50_ms": round(view.quantile(0.5) * 1000.0, 3),
+                         "p99_ms": round(view.quantile(0.99) * 1000.0, 3)}
+    return stages
+
+
 async def _overload_probe(n_requests: int = 96) -> dict:
     """Prove admission control sheds under a genuine overload.
 
@@ -121,6 +161,8 @@ async def _run(quick: bool, log) -> dict:
     service = await self_hosted_cluster(n_shards=3)
     marks = {}
 
+    documents = {}
+
     async def on_phase(label):
         # One (timestamp, count) sample *per shard*, stamped around the
         # scrape that produced it.  A single post-hoc timestamp for the
@@ -128,13 +170,16 @@ async def _run(quick: bool, log) -> dict:
         # the later scrapes took — under saturation that skew inflates
         # (or deflates) the computed rate by double-digit percents.
         samples = []
+        docs = []
         for address in service.udp_addresses:
             before = time.monotonic()
             document = await scrape(address)
             after = time.monotonic()
+            docs.append(document)
             samples.append(((before + after) / 2,
                             _served_total(document) if document else None))
         marks[label] = samples
+        documents[label] = docs
 
     try:
         stats = await run_load(service.udp_addresses, profile,
@@ -149,6 +194,8 @@ async def _run(quick: bool, log) -> dict:
                 continue
             rate += (c1 - c0) / max(t1 - t0, 1e-9)
         results["server_steady_req_per_s"] = rate
+        results["stage_latency"] = _stage_latency(
+            documents.get("steady-end", []))
 
         return results
     finally:
@@ -203,6 +250,13 @@ def main(argv=None) -> int:
                         "sheds", results["overload_sheds"])
     bench_io.add_metric(report, "serve_ramp_seconds",
                         "s", round(results["ramp_seconds"], 2))
+    # Where a rekey's server-side latency went, per pipeline stage —
+    # the client p99 above decomposes into these plus queueing.
+    for stage, stats in sorted(results["stage_latency"].items()):
+        bench_io.add_metric(report, f"serve_stage_{stage}_p50", "ms",
+                            stats["p50_ms"])
+        bench_io.add_metric(report, f"serve_stage_{stage}_p99", "ms",
+                            stats["p99_ms"])
 
     bench_io.write_report(args.out, report)
     print(f"wrote {args.out}")

@@ -99,6 +99,9 @@ class ScenarioReport:
     evicted: List[str]
     shed_flushes: int
     injected: Dict[str, int]     # faults actually injected, by kind
+    #: Flight-recorder document dumped at scenario end (serve stack
+    #: only; None for stacks without a flight recorder).
+    flight_dump: Optional[Dict] = None
 
     @property
     def passed(self) -> bool:

@@ -16,6 +16,12 @@ multicasts, minus the dropped copies) through the ordinary
 :class:`~repro.core.client.GroupClient` state machine, then repair via
 resync requests submitted back through the core — the same path a real
 lossy client takes.
+
+The live server runs with tracing on, and every injected drop is
+tagged into the trace of the rekey that produced the dropped copy (a
+``fault.drop`` span parented to the copy's trace trailer) plus a
+flight-recorder event — so the flight dump returned on the report
+shows *which* drop caused each later resync.
 """
 
 from __future__ import annotations
@@ -30,6 +36,8 @@ from ..core.messages import (MSG_JOIN_ACK, MSG_JOIN_DENIED,
                              MSG_REKEY, MSG_RESYNC_REQUEST, Message)
 from ..core.server import GroupKeyServer, ServerConfig
 from ..crypto import drbg
+from ..observability.instrumentation import Instrumentation
+from ..observability.spans import Tracer, split_trace_trailer
 from .faults import FaultProfile
 
 #: Rate decisions use the same 20-bit fixed-point draw as ChaosTransport.
@@ -87,23 +95,39 @@ def run_serve_scenario(config) -> "ScenarioReport":
 
     profile: FaultProfile = config.fault_profile()
     ops = serve_workload(config)
-    server = GroupKeyServer(_server_config(config))
+    # A live tracer: every multicast copy then carries the trace
+    # trailer of the rekey that produced it, so drops can be tied back
+    # to the causing operation.  Tracing draws nothing from the DRBG,
+    # so the control-run byte-identity claim is untouched.
+    tracer = Tracer(capacity=8192)
+    server = GroupKeyServer(
+        _server_config(config),
+        instrumentation=Instrumentation("chaos-serve", tracer=tracer))
     keys = _individual_keys(ops, server.config.suite)
     control = _control_run(config, ops, keys)
 
     injected = {"drop": 0}
     random = drbg.make_source(profile.seed, b"serve-chaos")
 
-    def drop_filter(_user_id: str, _payload: bytes) -> bool:
-        hit = random.randint_below(_RATE_BITS) \
-            < int(profile.drop_rate * _RATE_BITS)
-        if hit:
-            injected["drop"] += 1
-        return hit
-
     async def drive():
         core = ImmediateServingCore(
             server, ServeConfig(tick_interval=0, open_enroll=False))
+
+        def drop_filter(user_id: str, payload: bytes) -> bool:
+            hit = random.randint_below(_RATE_BITS) \
+                < int(profile.drop_rate * _RATE_BITS)
+            if hit:
+                injected["drop"] += 1
+                # Tag the fault into the trace of the rekey whose copy
+                # we are dropping, and into the flight recorder — the
+                # dump then shows which drop forced each later resync.
+                _body, ctx = split_trace_trailer(payload)
+                span = tracer.span("fault.drop", parent=ctx, user=user_id)
+                span.finish(error=True)
+                core.flight.record("fault.drop", trace_id=span.trace_id,
+                                   user=user_id)
+            return hit
+
         core.fanout.drop_filter = drop_filter
         streams: Dict[str, list] = {}
 
@@ -184,17 +208,19 @@ def run_serve_scenario(config) -> "ScenarioReport":
                 data_ok = all(
                     clients[user].open_data(wire) == b"probe"
                     for user in clients)
+            flight_doc = core.flight.dump("chaos")
             return clients, converged, data_ok, resyncs, desyncs, \
-                recovery_rounds
+                recovery_rounds, flight_doc
         finally:
             await core.aclose()
 
-    clients, converged, data_ok, resyncs, desyncs, recovery_rounds = \
-        asyncio.run(drive())
+    clients, converged, data_ok, resyncs, desyncs, recovery_rounds, \
+        flight_doc = asyncio.run(drive())
     return ScenarioReport(
         name=config.name, stack="serve", profile=profile.name,
         converged=converged, data_ok=data_ok,
         workload_rounds=config.rounds,
         recovery_rounds=recovery_rounds,
         survivors=len(clients), resyncs=resyncs, desyncs=desyncs,
-        evicted=[], shed_flushes=0, injected=dict(injected))
+        evicted=[], shed_flushes=0, injected=dict(injected),
+        flight_dump=flight_doc)

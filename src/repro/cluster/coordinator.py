@@ -609,13 +609,19 @@ class ClusterCoordinator:
         with tracer.span(f"cluster.{op}", shard=shard.shard_id,
                          user=user_id):
             try:
-                if shard.standby is not None:
-                    with shard.standby.recording(op, user_id, journal_key):
+                # The shard span makes the shard-layer hop visible on
+                # the coordinator's tracer: each shard server carries
+                # its own per-shard instrumentation, so its rekey
+                # pipeline spans land in the shard registry, not here.
+                with tracer.span(f"shard.{op}", shard=shard.shard_id):
+                    if shard.standby is not None:
+                        with shard.standby.recording(op, user_id,
+                                                     journal_key):
+                            outcome = perform()
+                        self._m_journal.labels(shard=label).set(
+                            shard.standby.journal_size)
+                    else:
                         outcome = perform()
-                    self._m_journal.labels(shard=label).set(
-                        shard.standby.journal_size)
-                else:
-                    outcome = perform()
             except (ServerError, AccessDenied):
                 self._m_requests.inc(shard=label, op=op, status="denied")
                 raise

@@ -204,13 +204,17 @@ class SealTurnstile:
     has already started on some worker and will retire its ticket.
     """
 
-    __slots__ = ("_cond", "_next", "_serving", "_retired")
+    __slots__ = ("_cond", "_next", "_serving", "_retired", "wait_observer")
 
     def __init__(self):
         self._cond = threading.Condition()
         self._next = 0
         self._serving = 0
         self._retired = set()
+        #: Optional ``observer(seconds)`` called after a wait that
+        #: actually blocked — the serving layer points it at a wait
+        #: histogram.  Uncontended waits never invoke it.
+        self.wait_observer: Optional[Callable[[float], None]] = None
 
     def ticket(self) -> int:
         """Reserve the next turn (call in plan order)."""
@@ -232,11 +236,24 @@ class SealTurnstile:
         with self._cond:
             return self._serving == self._next
 
-    def wait(self, ticket: int) -> None:
-        """Block until every ticket before ``ticket`` is retired."""
+    def wait(self, ticket: int) -> float:
+        """Block until every ticket before ``ticket`` is retired.
+
+        Returns the seconds actually spent blocked — 0.0 on the
+        uncontended fast path, which also skips the clock reads and
+        the :attr:`wait_observer`.
+        """
         with self._cond:
+            if self._serving >= ticket:
+                return 0.0
+            started = time.perf_counter()
             while self._serving < ticket:
                 self._cond.wait()
+            waited = time.perf_counter() - started
+        observer = self.wait_observer
+        if observer is not None:
+            observer(waited)
+        return waited
 
     def retire(self, ticket: int) -> None:
         """Pass the turn on; out-of-order retires (aborts) are fine."""
@@ -353,7 +370,11 @@ class StagedRun:
         run = self.run
         try:
             if self._seal_ticket is not None:
-                pipeline.seal_order.wait(self._seal_ticket)
+                # The wait span is finished only when the wait actually
+                # blocked, so uncontended seals add no span traffic.
+                wait_span = tracer.span("seal.wait", parent=self.root_span)
+                if pipeline.seal_order.wait(self._seal_ticket) > 0.0:
+                    wait_span.finish()
             with pipeline.seal_lock:
                 with self.clock.stage(STAGE_SIGN), \
                         tracer.span(STAGE_SIGN, parent=self.root_span):

@@ -29,18 +29,31 @@ counts/sizes) derives from one instrumentation source:
   zero-overhead default;
 * :class:`~repro.observability.instrumentation.Instrumentation` — the
   facade components take, with :data:`NULL_INSTRUMENTATION` for
-  callers that want no accounting at all.
+  callers that want no accounting at all;
+* :class:`~repro.observability.flight.FlightRecorder` — the always-on
+  bounded event ring dumped to JSON on error/SLO breach/signal
+  (:data:`~repro.observability.flight.NULL_FLIGHT` by default);
+* :mod:`~repro.observability.slo` — declarative latency/availability
+  objectives evaluated over metric snapshots, with burn rates;
+* :mod:`~repro.observability.timeline` — the text waterfall renderer
+  over exported spans (``python -m repro.observability timeline``).
 """
 
 from .counters import Counters
+from .flight import (FLIGHT_SCHEMA, NULL_FLIGHT, FlightError,
+                     FlightRecorder, validate_flight)
 from .instrumentation import (NULL_INSTRUMENTATION, Instrumentation,
                               NullInstrumentation)
 from .metrics import (COUNT_BUCKETS, LATENCY_BUCKETS_S, NULL_REGISTRY,
                       SIZE_BUCKETS_BYTES, Counter, Gauge, Histogram,
                       MetricError, MetricRegistry, NullMetricRegistry,
                       merge_snapshots)
-from .spans import (NULL_TRACER, NullTracer, Span, SpanContext, Tracer,
-                    attach_trace_trailer, split_trace_trailer)
+from .slo import (SLO, SLOError, SLOStatus, burn_rate, evaluate,
+                  parse_slo, render_slo_report, slos_from_spec_text)
+from .spans import (NULL_TRACER, TRACE_SCHEMA, NullTracer, Span,
+                    SpanContext, Tracer, attach_trace_trailer,
+                    split_trace_trailer)
+from .timeline import render_timeline, render_trace_index, trace_ids
 from .timers import StageClock, StageTimers, Stopwatch, TimerStat
 from .tracing import NULL_TRACE, NullTraceBuffer, TraceBuffer, TraceEvent
 
@@ -63,6 +76,7 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "TRACE_SCHEMA",
     "Span",
     "SpanContext",
     "attach_trace_trailer",
@@ -75,4 +89,20 @@ __all__ = [
     "NullTraceBuffer",
     "TraceEvent",
     "NULL_TRACE",
+    "FlightRecorder",
+    "FlightError",
+    "FLIGHT_SCHEMA",
+    "NULL_FLIGHT",
+    "validate_flight",
+    "SLO",
+    "SLOError",
+    "SLOStatus",
+    "parse_slo",
+    "slos_from_spec_text",
+    "evaluate",
+    "burn_rate",
+    "render_slo_report",
+    "render_timeline",
+    "render_trace_index",
+    "trace_ids",
 ]

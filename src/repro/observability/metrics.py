@@ -276,6 +276,10 @@ class MetricRegistry:
     def __init__(self, name: str = ""):
         self.name = name
         self._lock = threading.Lock()
+        # Serialises collector callbacks across concurrent snapshots.
+        # Deliberately separate from ``_lock``: collectors update series,
+        # and series operations take ``_lock`` themselves.
+        self._collector_lock = threading.Lock()
         self._families: Dict[str, _Family] = {}
         self._collectors: List = []
 
@@ -364,8 +368,15 @@ class MetricRegistry:
                                                "count", "sum",
                                                "min", "max"}]}}}
         """
-        for collector in list(self._collectors):
-            collector(self)
+        # Collectors typically publish *deltas* of external state (e.g.
+        # transport stats), a read-modify-write on their own baseline.
+        # Two unserialised concurrent snapshots would both read the same
+        # baseline and double-count the delta, so collectors run under a
+        # dedicated lock (not ``_lock`` — they update series, which take
+        # ``_lock`` internally).
+        with self._collector_lock:
+            for collector in list(self._collectors):
+                collector(self)
         counters: Dict[str, dict] = {}
         gauges: Dict[str, dict] = {}
         histograms: Dict[str, dict] = {}

@@ -1,0 +1,302 @@
+"""Declarative service-level objectives over metric snapshots.
+
+Objectives are declared in the server spec file as ``slo-<name>`` keys
+(the spec parser passes any ``slo-`` key through untouched):
+
+.. code-block:: ini
+
+    slo-join-p99     = latency rekey_seconds op=join threshold=50ms target=99%
+    slo-availability = availability target=99.5%
+
+A **latency** objective names a histogram family; an event is *good*
+when it lands in a bucket whose upper bound is within the threshold, so
+compliance is exact with respect to the recorded buckets (the threshold
+is rounded up to the next bucket edge).  An **availability** objective
+counts served requests as good and sheds/errors as bad, from the
+serving-core counter families.
+
+:func:`evaluate` grades objectives against one
+:func:`~repro.observability.metrics.MetricRegistry.snapshot`-shaped
+dict; :func:`burn_rate` compares two snapshots and reports how fast the
+error budget is burning (1.0 = exactly consuming the budget; >1 means
+the objective will be violated if the rate holds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class SLOError(ValueError):
+    """Raised on malformed objective declarations."""
+
+
+#: Counter families an availability objective reads (good = requests
+#: minus sheds and errors).
+_REQUESTS_FAMILY = "serve_requests_total"
+_BAD_FAMILIES = ("serve_shed_total", "serve_errors_total")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declared objective."""
+
+    name: str
+    kind: str                               # "latency" | "availability"
+    target: float                           # good fraction, 0 < target < 1
+    metric: str = ""                        # histogram family (latency)
+    labels: Tuple[Tuple[str, str], ...] = ()  # label filter, sorted
+    threshold_s: float = 0.0                # latency bound in seconds
+
+    def describe(self) -> str:
+        """One-line human rendering of the declaration."""
+        if self.kind == "latency":
+            labels = ",".join(f"{k}={v}" for k, v in self.labels)
+            selector = f"{self.metric}{{{labels}}}" if labels else self.metric
+            return (f"{self.name}: {selector} <= "
+                    f"{self.threshold_s * 1e3:g}ms for "
+                    f"{self.target * 100:g}% of ops")
+        return f"{self.name}: availability >= {self.target * 100:g}%"
+
+
+@dataclass
+class SLOStatus:
+    """The grade of one objective against one snapshot."""
+
+    slo: SLO
+    total: float
+    good: float
+    compliance: float        # good/total, 1.0 when total == 0
+    compliant: bool
+    budget_remaining: float  # fraction of error budget left, may be < 0
+
+    @property
+    def bad(self) -> float:
+        """Events that missed the objective."""
+        return self.total - self.good
+
+
+def _parse_duration_s(text: str) -> float:
+    """``50ms`` / ``2s`` / ``150us`` / bare seconds -> seconds."""
+    text = text.strip().lower()
+    for suffix, scale in (("us", 1e-6), ("ms", 1e-3), ("s", 1.0)):
+        if text.endswith(suffix):
+            text = text[:-len(suffix)]
+            break
+    else:
+        scale = 1.0
+    try:
+        value = float(text)
+    except ValueError:
+        raise SLOError(f"bad duration {text!r}") from None
+    if value <= 0:
+        raise SLOError("duration must be > 0")
+    return value * scale
+
+
+def _parse_target(text: str) -> float:
+    """``99.9%`` or ``0.999`` -> fraction in (0, 1)."""
+    text = text.strip()
+    if text.endswith("%"):
+        try:
+            value = float(text[:-1]) / 100.0
+        except ValueError:
+            raise SLOError(f"bad target {text!r}") from None
+    else:
+        try:
+            value = float(text)
+        except ValueError:
+            raise SLOError(f"bad target {text!r}") from None
+    if not 0.0 < value < 1.0:
+        raise SLOError(f"target must be within (0, 1), got {text!r}")
+    return value
+
+
+def parse_slo(name: str, declaration: str) -> SLO:
+    """Parse one ``slo-<name> = <declaration>`` value.
+
+    Tokens are whitespace-separated: the first is the kind, a bare token
+    names the metric family, ``key=value`` tokens set ``threshold``,
+    ``target``, or act as label filters.
+    """
+    tokens = declaration.split()
+    if not tokens:
+        raise SLOError(f"slo {name!r}: empty declaration")
+    kind = tokens[0].lower()
+    if kind not in ("latency", "availability"):
+        raise SLOError(f"slo {name!r}: unknown kind {kind!r}")
+    metric = ""
+    threshold: Optional[float] = None
+    target: Optional[float] = None
+    labels: Dict[str, str] = {}
+    for token in tokens[1:]:
+        if "=" not in token:
+            if metric:
+                raise SLOError(f"slo {name!r}: two metric names "
+                               f"({metric!r}, {token!r})")
+            metric = token
+            continue
+        key, _, value = token.partition("=")
+        key = key.strip().lower()
+        if key == "threshold":
+            threshold = _parse_duration_s(value)
+        elif key == "target":
+            target = _parse_target(value)
+        elif key:
+            labels[key] = value
+        else:
+            raise SLOError(f"slo {name!r}: bad token {token!r}")
+    if target is None:
+        raise SLOError(f"slo {name!r}: missing target=")
+    if kind == "latency":
+        if not metric:
+            raise SLOError(f"slo {name!r}: latency objective needs a "
+                           f"metric family name")
+        if threshold is None:
+            raise SLOError(f"slo {name!r}: latency objective needs "
+                           f"threshold=")
+    else:
+        if metric or threshold is not None or labels:
+            raise SLOError(f"slo {name!r}: availability takes only "
+                           f"target=")
+    return SLO(name=name, kind=kind, target=target, metric=metric,
+               labels=tuple(sorted(labels.items())),
+               threshold_s=threshold or 0.0)
+
+
+def slos_from_spec(values: Mapping[str, str]) -> List[SLO]:
+    """Extract objectives from parsed spec key-values (``slo-*`` keys)."""
+    slos = []
+    for key in sorted(values):
+        if key.startswith("slo-"):
+            slos.append(parse_slo(key[len("slo-"):], values[key]))
+    return slos
+
+
+def slos_from_spec_text(text: str) -> List[SLO]:
+    """Extract objectives straight from spec file text."""
+    from ..specfile import parse_spec
+    return slos_from_spec(parse_spec(text))
+
+
+# -- evaluation -------------------------------------------------------------
+
+
+def _series_matches(series_labels: Mapping[str, str],
+                    wanted: Sequence[Tuple[str, str]]) -> bool:
+    return all(series_labels.get(key) == value for key, value in wanted)
+
+
+def _latency_tally(slo: SLO, snapshot: dict) -> Tuple[float, float]:
+    entry = snapshot.get("histograms", {}).get(slo.metric)
+    if entry is None:
+        return 0.0, 0.0
+    bounds = entry.get("bounds", [])
+    # Good = observations in buckets whose upper bound is within the
+    # threshold (tiny tolerance so threshold == bound counts the bucket).
+    good_buckets = sum(1 for bound in bounds
+                      if bound <= slo.threshold_s * (1 + 1e-9))
+    total = good = 0.0
+    for series in entry.get("series", []):
+        if not _series_matches(series.get("labels", {}), slo.labels):
+            continue
+        total += series.get("count", 0)
+        good += sum(series.get("counts", [])[:good_buckets])
+    return total, good
+
+
+def _counter_total(snapshot: dict, family: str) -> float:
+    entry = snapshot.get("counters", {}).get(family)
+    if entry is None:
+        return 0.0
+    return sum(series.get("value", 0.0)
+               for series in entry.get("series", []))
+
+
+def _availability_tally(snapshot: dict) -> Tuple[float, float]:
+    requests = _counter_total(snapshot, _REQUESTS_FAMILY)
+    bad = sum(_counter_total(snapshot, family) for family in _BAD_FAMILIES)
+    # Sheds/errors are counted within serve_requests_total, so total is
+    # the request count and good is what remains after the bad ones.
+    total = max(requests, bad)
+    return total, total - bad
+
+
+def _tally(slo: SLO, snapshot: dict) -> Tuple[float, float]:
+    # Accept either a bare registry snapshot or the exported document
+    # envelope ({"schema": ..., "metrics": {...}}) that scrapes return.
+    if "metrics" in snapshot and isinstance(snapshot["metrics"], dict):
+        snapshot = snapshot["metrics"]
+    if slo.kind == "latency":
+        return _latency_tally(slo, snapshot)
+    return _availability_tally(snapshot)
+
+
+def evaluate_one(slo: SLO, snapshot: dict) -> SLOStatus:
+    """Grade one objective against one metric snapshot."""
+    total, good = _tally(slo, snapshot)
+    compliance = good / total if total else 1.0
+    budget = 1.0 - slo.target
+    bad_fraction = 1.0 - compliance
+    budget_remaining = 1.0 - bad_fraction / budget if budget else 0.0
+    return SLOStatus(slo=slo, total=total, good=good,
+                     compliance=compliance,
+                     compliant=compliance >= slo.target or not total,
+                     budget_remaining=budget_remaining)
+
+
+def evaluate(slos: Sequence[SLO], snapshot: dict) -> List[SLOStatus]:
+    """Grade every objective against one metric snapshot."""
+    return [evaluate_one(slo, snapshot) for slo in slos]
+
+
+def burn_rate(slo: SLO, older: dict, newer: dict) -> float:
+    """Error-budget burn rate between two snapshots of one registry.
+
+    ``(bad_delta / total_delta) / (1 - target)`` — 0.0 with no traffic
+    in the window, 1.0 when errors arrive at exactly the budgeted rate.
+    """
+    old_total, old_good = _tally(slo, older)
+    new_total, new_good = _tally(slo, newer)
+    total_delta = new_total - old_total
+    if total_delta <= 0:
+        return 0.0
+    bad_delta = (new_total - new_good) - (old_total - old_good)
+    budget = 1.0 - slo.target
+    if budget <= 0:
+        return 0.0
+    return max(0.0, bad_delta / total_delta) / budget
+
+
+def render_slo_report(statuses: Sequence[SLOStatus],
+                      burn_rates: Optional[Mapping[str, float]] = None
+                      ) -> str:
+    """Multi-line text report, one row per objective."""
+    if not statuses:
+        return "no objectives declared\n"
+    rows = []
+    for status in statuses:
+        row = {
+            "slo": status.slo.name,
+            "kind": status.slo.kind,
+            "target": f"{status.slo.target * 100:.3g}%",
+            "total": f"{status.total:g}",
+            "good": f"{status.good:g}",
+            "compliance": f"{status.compliance * 100:.4g}%",
+            "budget": f"{status.budget_remaining * 100:+.3g}%",
+            "status": "OK" if status.compliant else "BREACH",
+        }
+        if burn_rates is not None:
+            row["burn"] = f"{burn_rates.get(status.slo.name, 0.0):.2f}x"
+        rows.append(row)
+    headers = list(rows[0])
+    widths = {h: max(len(h), *(len(r[h]) for r in rows)) for h in headers}
+    lines = ["  ".join(h.ljust(widths[h]) for h in headers)]
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for row in rows:
+        lines.append("  ".join(row[h].ljust(widths[h]) for h in headers))
+    for status in statuses:
+        lines.append("")
+        lines.append(status.slo.describe())
+    return "\n".join(lines) + "\n"

@@ -27,6 +27,9 @@ import threading
 import time
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple, Union
 
+#: Schema tag for exported trace documents ({"schema": ..., "spans": []}).
+TRACE_SCHEMA = "repro-trace/1"
+
 #: Out-of-band telemetry trailer: magic + trace id + span id.
 TRAILER_MAGIC = b"KGT1"
 _TRAILER = struct.Struct(">QQ")
@@ -221,12 +224,18 @@ class Tracer:
             self._dropped = 0
 
     def export(self) -> List[dict]:
-        """Finished spans as JSON-friendly dicts (for snapshot sidecars)."""
+        """Finished spans as JSON-friendly dicts (for snapshot sidecars).
+
+        ``start_ns`` is the span's ``perf_counter_ns`` start — only
+        offsets between spans of one process are meaningful, which is
+        exactly what the timeline renderer needs for its waterfall.
+        """
         return [{
             "name": span.name,
             "trace_id": span.trace_id,
             "span_id": span.span_id,
             "parent_id": span.parent_id,
+            "start_ns": span.start_ns,
             "duration_ns": span.duration_ns,
             "error": span.error,
             "attributes": dict(span.attributes),

@@ -1,0 +1,130 @@
+"""Text waterfall rendering of exported trace spans.
+
+Takes the JSON-friendly span dicts produced by
+:meth:`~repro.observability.spans.Tracer.export` (each carrying
+``start_ns`` from the process ``perf_counter``) and renders one trace as
+an indented tree with proportional duration bars:
+
+.. code-block:: text
+
+    trace 7 — 9 spans, 1.84ms
+    serve.request                  1.84ms  ██████████████████████████████
+      serve.plan                   0.21ms    ███
+        rekey.join                 0.19ms    ███
+      serve.exec                   1.02ms           ████████████████
+        cluster.join               0.97ms            ███████████████
+          shard.join               0.44ms            ███████
+          rekey.root-rekey         0.41ms                   ██████
+
+Only span *offsets within one process* are meaningful (perf counters
+are not wall clocks and differ between processes), which is exactly the
+scope of one serving core's tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+class TimelineError(ValueError):
+    """Raised when the requested trace cannot be rendered."""
+
+
+def trace_ids(spans: Sequence[dict]) -> List[int]:
+    """Distinct trace ids present, most spans first (ties: lower id)."""
+    tallies: Dict[int, int] = {}
+    for span in spans:
+        tallies[span["trace_id"]] = tallies.get(span["trace_id"], 0) + 1
+    return sorted(tallies, key=lambda tid: (-tallies[tid], tid))
+
+
+def _trace_tree(spans: Sequence[dict]) -> List[dict]:
+    """Order one trace's spans depth-first, stamping ``_depth``.
+
+    Spans whose parent is missing (evicted from the ring, or remote)
+    render as additional roots rather than being dropped.
+    """
+    by_id = {span["span_id"]: span for span in spans}
+    children: Dict[int, List[dict]] = {}
+    roots: List[dict] = []
+    for span in sorted(spans, key=lambda s: (s.get("start_ns", 0),
+                                             s["span_id"])):
+        parent = span.get("parent_id", 0)
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    ordered: List[dict] = []
+
+    def visit(span: dict, depth: int) -> None:
+        entry = dict(span)
+        entry["_depth"] = depth
+        ordered.append(entry)
+        for child in children.get(span["span_id"], []):
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return ordered
+
+
+def render_timeline(spans: Sequence[dict],
+                    trace_id: Optional[int] = None,
+                    width: int = 40) -> str:
+    """Render one trace as a text waterfall.
+
+    With no explicit ``trace_id`` the trace with the most spans is
+    chosen.  ``width`` is the bar area in characters.
+    """
+    if not spans:
+        raise TimelineError("no spans to render")
+    if trace_id is None:
+        trace_id = trace_ids(spans)[0]
+    selected = [span for span in spans if span["trace_id"] == trace_id]
+    if not selected:
+        raise TimelineError(f"trace {trace_id} has no spans")
+    ordered = _trace_tree(selected)
+    t0 = min(span.get("start_ns", 0) for span in ordered)
+    t1 = max(span.get("start_ns", 0) + span.get("duration_ns", 0)
+             for span in ordered)
+    extent_ns = max(t1 - t0, 1)
+
+    labels = []
+    for span in ordered:
+        name = span["name"]
+        if span.get("error"):
+            name += " !"
+        labels.append("  " * span["_depth"] + name)
+    label_width = max(len(label) for label in labels)
+
+    lines = [f"trace {trace_id} — {len(ordered)} spans, "
+             f"{extent_ns / 1e6:.2f}ms"]
+    for label, span in zip(labels, ordered):
+        start = span.get("start_ns", 0) - t0
+        duration = span.get("duration_ns", 0)
+        left = int(width * start / extent_ns)
+        bar = max(1, round(width * duration / extent_ns))
+        bar = min(bar, width - left) or 1
+        lines.append(f"{label.ljust(label_width)}  "
+                     f"{duration / 1e6:8.3f}ms  "
+                     f"{' ' * left}{'█' * bar}")
+    return "\n".join(lines) + "\n"
+
+
+def render_trace_index(spans: Sequence[dict], limit: int = 20) -> str:
+    """One line per trace: id, span count, root name, total duration."""
+    if not spans:
+        return "no traces recorded\n"
+    lines = []
+    for tid in trace_ids(spans)[:limit]:
+        selected = [span for span in spans if span["trace_id"] == tid]
+        roots = [span for span in selected if not span.get("parent_id")]
+        root_name = roots[0]["name"] if roots else selected[0]["name"]
+        t0 = min(span.get("start_ns", 0) for span in selected)
+        t1 = max(span.get("start_ns", 0) + span.get("duration_ns", 0)
+                 for span in selected)
+        errors = sum(1 for span in selected if span.get("error"))
+        flag = f"  errors={errors}" if errors else ""
+        lines.append(f"trace {tid}: {len(selected)} spans, "
+                     f"root={root_name}, {(t1 - t0) / 1e6:.2f}ms{flag}")
+    return "\n".join(lines) + "\n"

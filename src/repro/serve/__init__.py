@@ -28,14 +28,17 @@ from .core import (AsyncServingCore, ClusterServingCore,
                    CoalescingServingCore, ImmediateServingCore)
 from .endpoint import AsyncClusterService, AsyncKeyService
 from .fanout import SocketFanout
+from .health import InstrumentedExecutor, LoopHealthMonitor
 from .wire import (CORR_TRAILER_SIZE, FramingError, attach_corr_trailer,
-                   frame, read_frame, split_corr_trailer)
+                   attach_trailers, frame, read_frame, split_corr_trailer,
+                   split_trailers)
 
 __all__ = [
     "AsyncClusterService", "AsyncKeyService", "AsyncServingCore",
     "CORR_TRAILER_SIZE", "ClusterServingCore", "CoalescingServingCore",
     "DEFAULT_WORKERS", "FramingError", "ImmediateServingCore",
+    "InstrumentedExecutor", "LoopHealthMonitor",
     "ServeConfig", "ServeError", "SocketFanout", "attach_corr_trailer",
-    "default_server_config", "frame", "from_spec_file", "read_frame",
-    "split_corr_trailer", "worker_count",
+    "attach_trailers", "default_server_config", "frame", "from_spec_file",
+    "read_frame", "split_corr_trailer", "split_trailers", "worker_count",
 ]

@@ -8,17 +8,25 @@ Runs one spec-configured group key server behind the asyncio front
 end until interrupted.  Unknown joiners are enrolled on first contact
 (``--closed`` disables that and requires pre-registered keys, like
 ``python -m repro serve``).
+
+``slo-*`` keys in the spec file become live objectives: the core
+evaluates them periodically, counts breaches, and dumps the flight
+recorder (into ``--flight-dir``, when given) on each new breach.  On
+platforms with ``SIGUSR1`` the signal dumps the flight recorder on
+demand.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 from typing import Optional, Sequence
 
 from ..core.server import GroupKeyServer
 from ..observability.instrumentation import Instrumentation
+from ..observability.slo import slos_from_spec_text
 from ..observability.spans import Tracer
 from .config import ServeConfig, from_spec_file, worker_count
 from .core import CoalescingServingCore, ImmediateServingCore
@@ -27,10 +35,13 @@ from .endpoint import AsyncKeyService
 
 async def _amain(args) -> int:
     config, initial_size = from_spec_file(args.spec)
+    with open(args.spec, "r", encoding="utf-8") as handle:
+        slos = slos_from_spec_text(handle.read())
     serve_config = ServeConfig(
         host=args.host, udp_port=args.udp_port, tcp_port=args.tcp_port,
         max_inflight=args.max_inflight, client_rate=args.rate,
-        coalesce=args.coalesce, open_enroll=not args.closed)
+        coalesce=args.coalesce, open_enroll=not args.closed,
+        slos=tuple(slos), flight_dump_dir=args.flight_dir)
     instrumentation = Instrumentation(
         "serve", tracer=Tracer() if args.trace else None)
     if args.coalesce:
@@ -54,9 +65,18 @@ async def _amain(args) -> int:
                  if service.tcp_address else ""))
         print(f"  mode={core.flavor} workers={worker_count(config)} "
               f"backend={config.backend} "
-              f"open-enroll={serve_config.open_enroll}")
+              f"open-enroll={serve_config.open_enroll}"
+              + (f" slos={len(slos)}" if slos else ""))
         print("  scrape: python -m repro.observability report --scrape "
               f"{service.udp_address[0]}:{service.udp_address[1]}")
+        if hasattr(signal, "SIGUSR1"):
+            try:
+                asyncio.get_running_loop().add_signal_handler(
+                    signal.SIGUSR1,
+                    lambda: print(core.dump_flight("signal"),
+                                  file=sys.stderr))
+            except (NotImplementedError, RuntimeError):
+                pass
         try:
             await asyncio.Event().wait()
         except (KeyboardInterrupt, asyncio.CancelledError):
@@ -83,6 +103,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="require pre-registered individual keys")
     parser.add_argument("--trace", action="store_true",
                         help="enable span tracing")
+    parser.add_argument("--flight-dir", default=None,
+                        help="directory for automatic flight-recorder "
+                             "dumps (error / SLO breach)")
     args = parser.parse_args(argv)
     try:
         return asyncio.run(_amain(args))

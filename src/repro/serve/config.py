@@ -61,6 +61,23 @@ class ServeConfig:
     #: pre-registration).  The load harness needs this; a closed
     #: deployment pre-registers keys and turns it off.
     open_enroll: bool = True
+    #: Flight-recorder ring capacity (events).  0 disables recording;
+    #: the default keeps the last couple thousand request events, a few
+    #: seconds of history at full load, for pennies per op.
+    flight_capacity: int = 2048
+    #: Directory for automatic flight-recorder dumps (error, SLO
+    #: breach).  None keeps dumps in-memory only (reachable through
+    #: :attr:`AsyncServingCore.flight`).
+    flight_dump_dir: Optional[str] = None
+    #: Seconds between event-loop lag probes.  0 disables the probe.
+    loop_probe_interval: float = 0.25
+    #: Declared service-level objectives
+    #: (:class:`~repro.observability.slo.SLO` tuples, usually from the
+    #: spec file's ``slo-*`` keys).
+    slos: Tuple = ()
+    #: Seconds between SLO evaluations (needs ``slos``).  0 disables
+    #: the evaluator.
+    slo_interval: float = 5.0
 
     def validate(self) -> None:
         """Check field consistency; raises ServeError."""
@@ -76,6 +93,12 @@ class ServeConfig:
             raise ServeError("coalesce_max must be >= 1")
         if self.tick_interval < 0:
             raise ServeError("tick_interval must be >= 0")
+        if self.flight_capacity < 0:
+            raise ServeError("flight_capacity must be >= 0")
+        if self.loop_probe_interval < 0:
+            raise ServeError("loop_probe_interval must be >= 0")
+        if self.slo_interval < 0:
+            raise ServeError("slo_interval must be >= 0")
 
 
 def default_server_config(config: ServerConfig) -> ServerConfig:

@@ -49,9 +49,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..batch.rekeying import BatchError, BatchRekeyServer
@@ -65,19 +65,26 @@ from ..core.messages import (DEST_USER, MSG_BUSY, MSG_HEARTBEAT,
                              WireError)
 from ..core.server import GroupKeyServer, ServerError
 from ..observability.export import build_snapshot
+from ..observability.flight import FlightRecorder, NULL_FLIGHT
 from ..observability.instrumentation import Instrumentation
-from ..observability.spans import attach_trace_trailer
+from ..observability.slo import evaluate as evaluate_slos
 from ..recovery.backends import BatchBackend, ClusterBackend, ServerBackend
 from ..recovery.manager import RecoveryManager, RecoveryPolicy
 from .config import DEFAULT_WORKERS, ServeConfig, worker_count
 from .fanout import SocketFanout
-from .wire import attach_corr_trailer, split_corr_trailer
+from .health import InstrumentedExecutor, LoopHealthMonitor, WAIT_BUCKETS_S
+from .wire import (attach_corr_trailer, attach_trailers, split_corr_trailer,
+                   split_trailers)
 
 _TYPE_NAMES = {
     MSG_JOIN_REQUEST: "join", MSG_LEAVE_REQUEST: "leave",
     MSG_HEARTBEAT: "heartbeat", MSG_RESYNC_REQUEST: "resync",
     MSG_STATS_REQUEST: "stats",
 }
+
+#: Stats-reply size budget: one UDP datagram, with headroom under the
+#: 65,507-byte payload ceiling for trailers and kernel quirks.
+_MAX_STATS_BODY = 60_000
 
 #: Reply types that go straight back on the requester's socket (with
 #: the request's correlation token echoed) instead of the fan-out.
@@ -120,12 +127,34 @@ class AsyncServingCore:
         self._m_inflight = registry.gauge(
             "serve_inflight",
             "Admitted rekey operations not yet completed.").labels()
+        self._m_rate_limited = registry.counter(
+            "serve_rate_limited_total",
+            "Requests rejected by the per-client token bucket, by type.",
+            labels=("type",))
+        self._m_op_lock_wait = registry.histogram(
+            "serve_op_lock_wait_seconds",
+            "Time spent waiting for the op lock (contended paths only).",
+            bounds=WAIT_BUCKETS_S).labels()
+        self._m_turnstile_wait = registry.histogram(
+            "serve_turnstile_wait_seconds",
+            "Time staged seals spent blocked in the SealTurnstile.",
+            bounds=WAIT_BUCKETS_S).labels()
+        self._m_slo_breaches = registry.counter(
+            "serve_slo_breaches_total",
+            "Objectives that crossed from compliant to breached.",
+            labels=("slo",))
         # Heartbeats dominate a live group's request mix; bind their
         # series once instead of resolving labels per datagram.
         self._m_heartbeats = self._m_requests.labels(type="heartbeat")
         self.fanout = SocketFanout(registry)
-        self.executor = ThreadPoolExecutor(
-            max_workers=max(1, workers), thread_name_prefix="repro-serve")
+        self.flight = (FlightRecorder(config.flight_capacity)
+                       if config.flight_capacity > 0 else NULL_FLIGHT)
+        self.loop_health = (
+            LoopHealthMonitor(registry, config.loop_probe_interval)
+            if config.loop_probe_interval > 0 else None)
+        self.executor = InstrumentedExecutor(
+            registry, max_workers=max(1, workers),
+            thread_name_prefix="repro-serve")
         # Guards every tree/DRBG mutation across loop and executor:
         # plan, whole-op fallback, recovery tick, batch flush.
         self._op_lock = threading.Lock()
@@ -133,6 +162,8 @@ class AsyncServingCore:
         self._buckets: Dict[str, Tuple[float, float]] = {}
         self._admits_since_prune = 0
         self._tick_task: Optional[asyncio.Task] = None
+        self._slo_task: Optional[asyncio.Task] = None
+        self._slo_breached: set = set()
         self.recovery = RecoveryManager(
             self._recovery_backend(), self.fanout,
             policy=recovery_policy, instrumentation=instrumentation)
@@ -143,7 +174,7 @@ class AsyncServingCore:
         raise NotImplementedError
 
     async def _rekey(self, op: str, user_id: str, payload: bytes,
-                     reply, token: Optional[int]) -> None:
+                     reply, token: Optional[int], span) -> None:
         raise NotImplementedError
 
     def _stats_document(self) -> dict:
@@ -155,20 +186,30 @@ class AsyncServingCore:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Start background work (the recovery ticker)."""
+        """Start background work (ticker, health probe, SLO evaluator)."""
         if self.config.tick_interval > 0 and self._tick_task is None:
             self._tick_task = asyncio.get_running_loop().create_task(
                 self._tick_loop())
+        if self.loop_health is not None:
+            self.loop_health.start()
+        if (self.config.slos and self.config.slo_interval > 0
+                and self._slo_task is None):
+            self._slo_task = asyncio.get_running_loop().create_task(
+                self._slo_loop())
 
     async def aclose(self) -> None:
         """Stop background work and the worker pool."""
-        if self._tick_task is not None:
-            self._tick_task.cancel()
-            try:
-                await self._tick_task
-            except asyncio.CancelledError:
-                pass
-            self._tick_task = None
+        for attr in ("_tick_task", "_slo_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
+        if self.loop_health is not None:
+            await self.loop_health.aclose()
         self.executor.shutdown(wait=True, cancel_futures=True)
 
     # -- helpers -----------------------------------------------------------
@@ -215,6 +256,69 @@ class AsyncServingCore:
             future.add_done_callback(release)
             raise
 
+    async def _acquire_op_lock_timed(self, parent=None) -> None:
+        """:meth:`_acquire_op_lock` plus wait attribution.
+
+        Contended acquires (the only callers of this variant) land in
+        the op-lock wait histogram and, when the request is traced, a
+        ``serve.lock_wait`` child span.
+        """
+        span = self.instrumentation.tracer.span("serve.lock_wait",
+                                                parent=parent)
+        started = time.perf_counter()
+        await self._acquire_op_lock()
+        self._m_op_lock_wait.observe(time.perf_counter() - started)
+        span.finish()
+
+    # -- flight recorder / SLO ---------------------------------------------
+
+    def _dump_path(self, reason: str) -> Optional[str]:
+        directory = self.config.flight_dump_dir
+        if directory is None:
+            return None
+        return os.path.join(
+            directory, f"flight-{self.flavor}-{reason}.json")
+
+    def dump_flight(self, reason: str = "signal",
+                    path: Optional[str] = None) -> dict:
+        """Dump the flight ring now (the operator-signal entry point)."""
+        return self.flight.dump(reason, path if path is not None
+                                else self._dump_path(reason))
+
+    async def _slo_once(self) -> list:
+        """Evaluate declared objectives against a fresh snapshot.
+
+        A breach is counted (and triggers a rate-limited flight dump)
+        only on the compliant-to-breached edge, so a sustained breach
+        is one incident, not one per evaluation tick.
+        """
+        snapshot = await self._in_executor(
+            self.instrumentation.registry.snapshot)
+        statuses = evaluate_slos(self.config.slos, snapshot)
+        for status in statuses:
+            name = status.slo.name
+            if status.compliant:
+                self._slo_breached.discard(name)
+                continue
+            if name not in self._slo_breached:
+                self._slo_breached.add(name)
+                self._m_slo_breaches.inc(slo=name)
+                self.flight.record(
+                    "slo.breach", slo=name,
+                    compliance=round(status.compliance, 6),
+                    target=status.slo.target)
+                self.flight.maybe_dump("slo-breach",
+                                       self._dump_path("slo-breach"))
+        return statuses
+
+    async def _slo_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.slo_interval)
+            try:
+                await self._slo_once()
+            except Exception:
+                self._m_errors.inc(op="slo")
+
     def _admit_rate(self, user_id: str) -> bool:
         """Per-client token bucket (state-changing requests only)."""
         rate = self.config.client_rate
@@ -248,10 +352,13 @@ class AsyncServingCore:
             del self._buckets[user_id]
 
     def _shed(self, user_id: str, reply, token: Optional[int],
-              reason: str) -> None:
+              reason: str, trace=None) -> None:
         self._m_shed.inc(reason=reason)
+        self.flight.record("shed",
+                           trace_id=trace.trace_id if trace else 0,
+                           reason=reason, user=user_id)
         busy = Message(msg_type=MSG_BUSY, body=user_id.encode("utf-8"))
-        reply(_corr(busy.encode(), token))
+        reply(attach_trailers(busy.encode(), trace, token))
 
     def _route(self, outputs: Sequence[OutboundMessage], user_id: str,
                reply, token: Optional[int], trace=None) -> None:
@@ -259,7 +366,7 @@ class AsyncServingCore:
         for out in outputs:
             payload = out.encoded or out.message.encode()
             if trace is not None:
-                payload = attach_trace_trailer(payload, trace)
+                payload = attach_trailers(payload, trace)
             if (out.message.msg_type in _DIRECT_TYPES
                     and out.destination.kind == DEST_USER
                     and out.destination.user_id == user_id):
@@ -322,7 +429,7 @@ class AsyncServingCore:
         ``path_id`` identifies that path for fan-out registration and
         multicast dedup (None = do not register, e.g. one-shot tools).
         """
-        payload, token = split_corr_trailer(data)
+        payload, inbound, token = split_trailers(data)
         try:
             message = Message.decode(payload)
         except WireError:
@@ -333,7 +440,7 @@ class AsyncServingCore:
         if msg_type == MSG_STATS_REQUEST:
             body = await self._in_executor(self._stats_body)
             response = Message(msg_type=MSG_STATS_RESPONSE, body=body)
-            reply(_corr(response.encode(), token))
+            reply(attach_trailers(response.encode(), inbound, token))
             return
         user_id = message.body.decode("utf-8", errors="replace")
         if msg_type == MSG_HEARTBEAT:
@@ -343,35 +450,66 @@ class AsyncServingCore:
                 self.recovery.heartbeat, user_id,
                 (message.root_node_id, message.root_version))
             return
+        tracer = self.instrumentation.tracer
         if msg_type == MSG_RESYNC_REQUEST:
             if not self._admit_rate(user_id):
-                self._shed(user_id, reply, token, "rate-cap")
+                self._m_rate_limited.inc(type="resync")
+                self._shed(user_id, reply, token, "rate-cap", inbound)
                 return
             if path_id is not None:
                 self.fanout.attach(user_id, reply, path_id)
+            # Created, never entered: the span must not sit on the
+            # loop thread's active stack across the await below.
+            span = tracer.span("serve.request", parent=inbound,
+                               op="resync", user=user_id)
+            trace = span.context if span.trace_id else None
+            self.flight.record("req", trace_id=span.trace_id,
+                               op="resync", user=user_id)
             out = await self._locked(self.recovery.serve_request, user_id)
             if out is not None:
-                reply(_corr(out.encoded or out.message.encode(), token))
+                reply(attach_trailers(out.encoded or out.message.encode(),
+                                      trace, token))
+            span.finish()
+            self.flight.record("done", trace_id=span.trace_id,
+                               op="resync", served=out is not None)
             return
         if msg_type in (MSG_JOIN_REQUEST, MSG_LEAVE_REQUEST):
             op = "join" if msg_type == MSG_JOIN_REQUEST else "leave"
             if not self._admit_rate(user_id):
-                self._shed(user_id, reply, token, "rate-cap")
+                self._m_rate_limited.inc(type=op)
+                self._shed(user_id, reply, token, "rate-cap", inbound)
                 return
             if self._inflight >= self.config.max_inflight:
-                self._shed(user_id, reply, token, "saturated")
+                self._shed(user_id, reply, token, "saturated", inbound)
                 return
             if path_id is not None and op == "join":
                 self.fanout.attach(user_id, reply, path_id)
             self._inflight += 1
             self._m_inflight.set(self._inflight)
+            # The request's root span.  Created, never entered — it
+            # spans awaits, and entering would corrupt the loop
+            # thread's active-span stack.  Children attach to it
+            # explicitly (plan on the loop, exec on workers).
+            span = tracer.span("serve.request", parent=inbound,
+                               op=op, user=user_id)
+            self.flight.record("req", trace_id=span.trace_id,
+                               op=op, user=user_id)
             try:
-                await self._rekey(op, user_id, payload, reply, token)
-            except Exception:
+                await self._rekey(op, user_id, payload, reply, token, span)
+            except Exception as exc:
                 self._m_errors.inc(op=op)
+                span.finish(error=True)
+                self.flight.record("error", trace_id=span.trace_id,
+                                   op=op, user=user_id,
+                                   cause=type(exc).__name__)
+                self.flight.maybe_dump("error", self._dump_path("error"))
                 # An admitted op that died server-side must still fail
                 # fast for the client — a busy reply beats a timeout.
-                self._shed(user_id, reply, token, "error")
+                self._shed(user_id, reply, token, "error", span.context)
+            else:
+                span.finish()
+                self.flight.record("done", trace_id=span.trace_id, op=op,
+                                   us=span.duration_ns // 1000)
             finally:
                 self._inflight -= 1
                 self._m_inflight.set(self._inflight)
@@ -379,8 +517,23 @@ class AsyncServingCore:
         # Known-to-wire but not servable here (MSG_REKEY, MSG_DATA, ...).
 
     def _stats_body(self) -> bytes:
-        return json.dumps(self._stats_document(),
-                          sort_keys=True).encode("utf-8")
+        document = self._stats_document()
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        # A stats reply rides one UDP datagram; a full span ring is
+        # megabytes and sendto would fail silently.  Keep the newest
+        # spans that fit and say how many were cut — truncation must
+        # be visible, never silent.  Full exports go through the
+        # in-process tracer (loadgen --trace-out), not the wire.
+        spans = document.get("spans")
+        if spans:
+            total = len(spans)
+            while spans and len(body) > _MAX_STATS_BODY:
+                spans = spans[max(1, len(spans) // 2):]
+                document["spans"] = spans
+                document["spans_dropped"] = total - len(spans)
+                body = json.dumps(document,
+                                  sort_keys=True).encode("utf-8")
+        return body
 
     async def _track(self, op: str, user_id: str) -> None:
         if op == "join":
@@ -405,6 +558,8 @@ class ImmediateServingCore(AsyncServingCore):
             server.instrumentation,
             workers if workers is not None else worker_count(server.config),
             recovery_policy)
+        server.pipeline.seal_order.wait_observer = \
+            self._m_turnstile_wait.observe
 
     def _recovery_backend(self):
         return ServerBackend(self.server)
@@ -438,9 +593,10 @@ class ImmediateServingCore(AsyncServingCore):
             server.register_individual_key(
                 user_id, server.new_individual_key())
 
-    async def _rekey(self, op, user_id, payload, reply, token):
+    async def _rekey(self, op, user_id, payload, reply, token, span):
         server = self.server
         tracer = self.instrumentation.tracer
+        trace = span.context if span.trace_id else None
         if getattr(server, "_journal", None) is not None:
             # A journaled server must append ops in plan order, which
             # the overlapped path cannot guarantee — serialize the
@@ -449,20 +605,22 @@ class ImmediateServingCore(AsyncServingCore):
             # under the op lock before the next op plans: the
             # turnstile never actually waits here.
             def run():
+                started = time.perf_counter()
                 with self._op_lock:
-                    with tracer.span("serve.request", op=op,
-                                     user=user_id) as span:
+                    self._m_op_lock_wait.observe(
+                        time.perf_counter() - started)
+                    # Entered on this worker thread, so the rekey
+                    # pipeline's spans parent to it thread-locally —
+                    # the executor hop stays one connected trace.
+                    with tracer.span("serve.exec", parent=span, op=op):
                         if op == "join":
                             self._ensure_enrolled(user_id)
-                            out = server.join(user_id)
-                        else:
-                            out = server.leave(user_id)
-                        return out, (span.context if span.trace_id
-                                     else None)
+                            return server.join(user_id)
+                        return server.leave(user_id)
             try:
-                outcome, trace = await self._in_executor(run)
+                outcome = await self._in_executor(run)
             except ServerError:
-                await self._deny(op, user_id, reply, token)
+                await self._deny(op, user_id, reply, token, trace)
                 return
             self._route(outcome.all_messages, user_id, reply, token, trace)
             await self._track(op, user_id)
@@ -476,11 +634,10 @@ class ImmediateServingCore(AsyncServingCore):
         # executor fallback here could draw its ticket after a staged
         # task it then starves of a worker, wedging the server.
         if not self._op_lock.acquire(blocking=False):
-            await self._acquire_op_lock()
+            await self._acquire_op_lock_timed(span)
         staged = None
-        trace = None
         try:
-            with tracer.span("serve.request", op=op, user=user_id) as span:
+            with tracer.span("serve.plan", parent=span, op=op):
                 try:
                     if op == "join":
                         self._ensure_enrolled(user_id)
@@ -489,23 +646,23 @@ class ImmediateServingCore(AsyncServingCore):
                         staged = server.begin_leave(user_id)
                 except ServerError:
                     staged = None
-                trace = span.context if span.trace_id else None
         finally:
             self._op_lock.release()
         if staged is None:
-            await self._deny(op, user_id, reply, token)
+            await self._deny(op, user_id, reply, token, trace)
             return
         outcome = await self._in_executor(
             lambda: staged.encrypt().seal().finish())
         self._route(outcome.all_messages, user_id, reply, token, trace)
         await self._track(op, user_id)
 
-    async def _deny(self, op, user_id, reply, token):
+    async def _deny(self, op, user_id, reply, token, trace=None):
         server = self.server
         server._m_requests.inc(op=op, status="denied")
         msg_type = MSG_JOIN_DENIED if op == "join" else MSG_LEAVE_DENIED
         out = await self._locked(server._control_message, msg_type, user_id)
-        reply(_corr(out.encoded or out.message.encode(), token))
+        reply(attach_trailers(out.encoded or out.message.encode(),
+                              trace, token))
 
 
 class CoalescingServingCore(AsyncServingCore):
@@ -564,8 +721,8 @@ class CoalescingServingCore(AsyncServingCore):
                 pass
             self._flush_task = None
         for waiter in self._waiters:
-            if not waiter[4].done():
-                waiter[4].set_result(None)
+            if not waiter[-1].done():
+                waiter[-1].set_result(None)
         self._waiters = []
         await super().aclose()
 
@@ -595,13 +752,14 @@ class CoalescingServingCore(AsyncServingCore):
             server._signer.seal([message])
         return message.encode()
 
-    async def _deny(self, op, user_id, reply, token):
+    async def _deny(self, op, user_id, reply, token, trace=None):
         msg_type = MSG_JOIN_DENIED if op == "join" else MSG_LEAVE_DENIED
         payload = await self._in_executor(self._control, msg_type, user_id)
-        reply(_corr(payload, token))
+        reply(attach_trailers(payload, trace, token))
 
-    async def _rekey(self, op, user_id, payload, reply, token):
+    async def _rekey(self, op, user_id, payload, reply, token, span):
         server = self.server
+        trace = span.context if span.trace_id else None
         # Enqueue and waiter registration must be one atomic step
         # under the op lock: the flush consumes the pending set and
         # the waiter list together (also under the lock), so a flush
@@ -610,21 +768,24 @@ class CoalescingServingCore(AsyncServingCore):
         # When the lock is busy (a flush, a tick) we wait for it on a
         # worker and then enqueue here on the loop.
         if not self._op_lock.acquire(blocking=False):
-            await self._acquire_op_lock()
+            await self._acquire_op_lock_timed(span)
         future = asyncio.get_running_loop().create_future()
         denied = False
         try:
-            if op == "join":
-                server.request_join(user_id, self._enroll_key(user_id))
-            else:
-                server.request_leave(user_id)
-            self._waiters.append((op, user_id, reply, token, future))
+            with self.instrumentation.tracer.span("serve.enqueue",
+                                                  parent=span, op=op):
+                if op == "join":
+                    server.request_join(user_id, self._enroll_key(user_id))
+                else:
+                    server.request_leave(user_id)
+                self._waiters.append(
+                    (op, user_id, reply, token, trace, future))
         except BatchError:
             denied = True
         finally:
             self._op_lock.release()
         if denied:
-            await self._deny(op, user_id, reply, token)
+            await self._deny(op, user_id, reply, token, trace)
             return
         self._m_pending.set(len(self._waiters))
         if len(self._waiters) >= self.config.coalesce_max:
@@ -665,10 +826,10 @@ class CoalescingServingCore(AsyncServingCore):
             return
         if error is not None:
             self._m_errors.inc(op="flush")
-            for w_op, w_user, w_reply, w_token, future in waiters:
+            for w_op, w_user, w_reply, w_token, w_trace, future in waiters:
                 # Fail fast: a busy reply beats leaving the client to
                 # tell server failure from packet loss by timeout.
-                self._shed(w_user, w_reply, w_token, "error")
+                self._shed(w_user, w_reply, w_token, "error", w_trace)
                 if not future.done():
                     future.set_result(None)
             return
@@ -680,7 +841,7 @@ class CoalescingServingCore(AsyncServingCore):
 
         def build_acks():
             acks = {}
-            for op, user_id, _reply, _token, _future in waiters:
+            for op, user_id, _reply, _token, _trace, _future in waiters:
                 if op == "leave" or user_id not in joiner_payloads:
                     msg_type = (MSG_LEAVE_ACK if op == "leave"
                                 else MSG_JOIN_ACK)
@@ -691,11 +852,11 @@ class CoalescingServingCore(AsyncServingCore):
             self.fanout.send(result.rekey_message)
         joins: List[str] = []
         leaves: List[str] = []
-        for op, user_id, reply, token, future in waiters:
+        for op, user_id, reply, token, trace, future in waiters:
             payload = joiner_payloads.get(user_id) if op == "join" else None
             if payload is None:
                 payload = acks[(op, user_id)]
-            reply(_corr(payload, token))
+            reply(attach_trailers(payload, trace, token))
             (joins if op == "join" else leaves).append(user_id)
             if not future.done():
                 future.set_result(None)
@@ -745,21 +906,25 @@ class ClusterServingCore(AsyncServingCore):
             coordinator.register_individual_key(
                 user_id, coordinator.new_individual_key())
 
-    async def _rekey(self, op, user_id, payload, reply, token):
+    async def _rekey(self, op, user_id, payload, reply, token, span):
         coordinator = self.coordinator
         tracer = self.instrumentation.tracer
+        trace = span.context if span.trace_id else None
 
         def run():
+            started = time.perf_counter()
             with self._op_lock:
-                with tracer.span("serve.request", op=op,
-                                 user=user_id) as span:
+                self._m_op_lock_wait.observe(time.perf_counter() - started)
+                # Entered on this worker thread: the coordinator's
+                # ``cluster.{op}`` span (and below it the shard and
+                # root-layer rekey spans) parent to it thread-locally,
+                # so the executor hop stays one connected trace.
+                with tracer.span("serve.exec", parent=span, op=op):
                     if op == "join":
                         self._ensure_enrolled(user_id)
-                    outputs = coordinator.handle_datagram(payload)
-                    return outputs, (span.context if span.trace_id
-                                     else None)
+                    return coordinator.handle_datagram(payload)
         try:
-            outputs, trace = await self._in_executor(run)
+            outputs = await self._in_executor(run)
         except ClusterError:
             self._m_errors.inc(op=op)
             return

@@ -1,0 +1,118 @@
+"""Runtime health instrumentation for the async serving stack.
+
+Two probes that watch the concurrency machinery itself rather than the
+protocol work it carries:
+
+* :class:`LoopHealthMonitor` — a periodic task that sleeps a fixed
+  interval and measures how late the loop woke it.  Sustained lag means
+  something is hogging the event loop (a plan that grew expensive, a
+  collector gone quadratic) — the one failure mode request latency
+  histograms cannot localize, because *every* request pays for it.
+* :class:`InstrumentedExecutor` — a ``ThreadPoolExecutor`` whose
+  ``submit`` wraps each task to publish queue depth, submit-to-start
+  wait, and running-thread occupancy.  A deep queue with idle-looking
+  request rates means the pool is the bottleneck, not the tree.
+
+Both publish into the serving registry; with :data:`~repro.
+observability.metrics.NULL_REGISTRY` every update is discarded and the
+wrapper cost is a few attribute lookups per task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..observability.metrics import MetricRegistry
+
+#: Fine-grained buckets for loop lag and executor waits: 10µs .. ~2.6s.
+WAIT_BUCKETS_S = tuple(1e-5 * (1 << k) for k in range(19))
+
+
+class LoopHealthMonitor:
+    """Measures event-loop scheduling lag with a periodic sleeper."""
+
+    def __init__(self, registry: MetricRegistry,
+                 interval: float = 0.25):
+        if interval <= 0:
+            raise ValueError("interval must be > 0")
+        self.interval = interval
+        self._m_lag = registry.histogram(
+            "serve_loop_lag_seconds",
+            "Event-loop scheduling lag observed by the health probe.",
+            bounds=WAIT_BUCKETS_S).labels()
+        self._m_lag_last = registry.gauge(
+            "serve_loop_lag_last_seconds",
+            "Most recent event-loop lag sample.").labels()
+        self._task: Optional[asyncio.Task] = None
+
+    async def _probe_loop(self) -> None:
+        interval = self.interval
+        while True:
+            before = time.perf_counter()
+            await asyncio.sleep(interval)
+            lag = max(0.0, time.perf_counter() - before - interval)
+            self._m_lag.observe(lag)
+            self._m_lag_last.set(lag)
+
+    def start(self) -> None:
+        """Start probing on the running loop (idempotent)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._probe_loop())
+
+    async def aclose(self) -> None:
+        """Stop the probe task."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+
+class InstrumentedExecutor(ThreadPoolExecutor):
+    """A worker pool that publishes queue depth and wait times.
+
+    Gauges/counters come from the registry and carry their own locks,
+    so the bookkeeping is safe from any thread; with a null registry
+    the updates all discard and only the closure wrapper remains.
+    """
+
+    def __init__(self, registry: MetricRegistry, max_workers: int,
+                 thread_name_prefix: str = "repro-serve"):
+        super().__init__(max_workers=max_workers,
+                         thread_name_prefix=thread_name_prefix)
+        self._m_queue_depth = registry.gauge(
+            "serve_executor_queue_depth",
+            "Tasks submitted to the worker pool but not yet started."
+            ).labels()
+        self._m_running = registry.gauge(
+            "serve_executor_running",
+            "Worker-pool tasks currently executing.").labels()
+        self._m_tasks = registry.counter(
+            "serve_executor_tasks_total",
+            "Tasks completed by the worker pool.").labels()
+        self._m_wait = registry.histogram(
+            "serve_executor_wait_seconds",
+            "Submit-to-start wait in the worker-pool queue.",
+            bounds=WAIT_BUCKETS_S).labels()
+
+    def submit(self, fn, /, *args, **kwargs):
+        """Submit with queue/wait accounting around ``fn``."""
+        submitted = time.perf_counter()
+        self._m_queue_depth.inc()
+
+        def run():
+            self._m_queue_depth.dec()
+            self._m_wait.observe(time.perf_counter() - submitted)
+            self._m_running.inc()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._m_running.dec()
+                self._m_tasks.inc()
+        return super().submit(run)

@@ -367,14 +367,28 @@ async def scrape(address: Tuple[str, int],
 
 
 async def self_hosted_cluster(n_shards: int = 3, seed: bytes = b"loadgen",
-                              config=None):
-    """A live 3-shard cluster service on ephemeral loopback ports."""
+                              config=None, tracing: bool = False):
+    """A live 3-shard cluster service on ephemeral loopback ports.
+
+    With ``tracing`` the coordinator (and so the serving core) gets a
+    real :class:`~repro.observability.spans.Tracer`; spans are
+    reachable in-process via ``service.core.instrumentation.tracer``
+    and ride along stats scrapes.
+    """
     from ..cluster.coordinator import ClusterConfig, ClusterCoordinator
     from .config import ServeConfig
     from .core import ClusterServingCore
     from .endpoint import AsyncClusterService
-    coordinator = ClusterCoordinator(ClusterConfig(
-        n_shards=n_shards, signing="none", seed=seed, backend="flat"))
+    instrumentation = None
+    if tracing:
+        from ..observability.instrumentation import Instrumentation
+        from ..observability.spans import Tracer
+        instrumentation = Instrumentation("cluster",
+                                          tracer=Tracer(capacity=8192))
+    coordinator = ClusterCoordinator(
+        ClusterConfig(n_shards=n_shards, signing="none", seed=seed,
+                      backend="flat"),
+        instrumentation=instrumentation)
     coordinator.bootstrap([])
     serve_config = config if config is not None else ServeConfig(
         max_inflight=128, tick_interval=1.0)
@@ -405,12 +419,17 @@ async def _amain(args) -> int:
     log = (lambda text: print(text, file=sys.stderr))
     service = None
     if args.udp:
+        if args.trace or args.trace_out or args.flight_out:
+            raise SystemExit("--trace/--trace-out/--flight-out need the "
+                             "self-hosted cluster (omit --udp)")
         addresses = _parse_addresses(args.udp)
     else:
-        service = await self_hosted_cluster(n_shards=args.shards)
+        service = await self_hosted_cluster(n_shards=args.shards,
+                                            tracing=args.trace)
         addresses = service.udp_addresses
         log(f"self-hosted {args.shards}-shard cluster on "
-            f"{[addr[1] for addr in addresses]}")
+            f"{[addr[1] for addr in addresses]}"
+            + (" (tracing on)" if args.trace else ""))
     try:
         stats = await run_load(addresses, profile, log=log)
         document = stats.as_dict()
@@ -420,6 +439,25 @@ async def _amain(args) -> int:
             from ..observability.export import validate_snapshot
             validate_snapshot(snapshot)
             document["server_snapshot_label"] = snapshot.get("label")
+            if args.snapshot_out:
+                from ..observability.export import write_snapshot
+                write_snapshot(args.snapshot_out, snapshot)
+                log(f"wrote metrics snapshot to {args.snapshot_out}")
+        if service is not None and args.trace_out:
+            from ..observability.spans import TRACE_SCHEMA
+            spans = service.core.instrumentation.tracer.export()
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump({"schema": TRACE_SCHEMA, "spans": spans},
+                          handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            document["trace_spans"] = len(spans)
+            log(f"wrote {len(spans)} spans to {args.trace_out}")
+        if service is not None and args.flight_out:
+            flight = service.core.dump_flight("loadgen",
+                                              path=args.flight_out)
+            document["flight_events"] = len(flight["events"])
+            log(f"wrote {len(flight['events'])} flight events to "
+                f"{args.flight_out}")
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0 if stats.ramp_joined >= profile.clients * 0.99 else 1
     finally:
@@ -445,7 +483,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="mean per-client heartbeat interval (s)")
     parser.add_argument("--quick", action="store_true",
                         help="small smoke profile (500 clients, 2s)")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable span tracing on the self-hosted "
+                             "cluster")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write exported spans (repro-trace/1 JSON); "
+                             "implies --trace")
+    parser.add_argument("--flight-out", metavar="PATH",
+                        help="dump the serving core's flight recorder "
+                             "to PATH after the run")
+    parser.add_argument("--snapshot-out", metavar="PATH",
+                        help="write the scraped metrics snapshot "
+                             "(repro-metrics/1 JSON) for offline SLO "
+                             "evaluation")
     args = parser.parse_args(argv)
+    if args.trace_out:
+        args.trace = True
     return asyncio.run(_amain(args))
 
 

@@ -23,6 +23,9 @@ from __future__ import annotations
 import struct
 from typing import Optional, Tuple
 
+from ..observability.spans import (SpanContext, attach_trace_trailer,
+                                   split_trace_trailer)
+
 CORR_MAGIC = b"KGC1"
 _CORR = struct.Struct(">Q")
 CORR_TRAILER_SIZE = len(CORR_MAGIC) + _CORR.size
@@ -49,6 +52,34 @@ def split_corr_trailer(payload: bytes) -> Tuple[bytes, Optional[int]]:
         (token,) = _CORR.unpack(payload[-_CORR.size:])
         return payload[:-CORR_TRAILER_SIZE], token
     return payload, None
+
+
+def attach_trailers(payload: bytes,
+                    trace: Optional[SpanContext] = None,
+                    token: Optional[int] = None) -> bytes:
+    """Stack the out-of-band trailers in canonical order.
+
+    Trace trailer first, correlation trailer last — the single attach
+    point shared by the UDP and framed-TCP reply paths so the two can
+    never disagree about trailer order or presence.
+    """
+    if trace is not None and trace.trace_id:
+        payload = attach_trace_trailer(payload, trace)
+    if token is not None:
+        payload = attach_corr_trailer(payload, token)
+    return payload
+
+
+def split_trailers(data: bytes
+                   ) -> Tuple[bytes, Optional[SpanContext], Optional[int]]:
+    """Strip stacked trailers: ``(payload, trace|None, token|None)``.
+
+    The inverse of :func:`attach_trailers` — correlation trailer comes
+    off first, then the trace trailer; either may be absent.
+    """
+    payload, token = split_corr_trailer(data)
+    payload, trace = split_trace_trailer(payload)
+    return payload, trace, token
 
 
 def frame(payload: bytes) -> bytes:

@@ -23,6 +23,14 @@ The format is ``key = value`` lines with ``#`` comments:
     access-list       = alice, bob   # omit for an open group
     backend           = object       # object | flat (tree storage engine)
     workers           = 0            # serve-layer worker pool (0 = auto)
+
+Keys starting with ``slo-`` declare service-level objectives and are
+parsed by :mod:`repro.observability.slo` rather than here:
+
+.. code-block:: ini
+
+    slo-join-p99      = latency rekey_seconds op=join threshold=50ms target=99%
+    slo-availability  = availability target=99.5%
 """
 
 from __future__ import annotations
@@ -69,7 +77,7 @@ def parse_spec(text: str) -> Dict[str, str]:
         key, _, value = line.partition("=")
         key = key.strip().lower()
         value = value.strip()
-        if key not in _KNOWN_KEYS:
+        if key not in _KNOWN_KEYS and not key.startswith("slo-"):
             raise SpecError(f"line {line_number}: unknown key {key!r}")
         if key in values:
             raise SpecError(f"line {line_number}: duplicate key {key!r}")

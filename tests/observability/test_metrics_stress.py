@@ -1,0 +1,168 @@
+"""Registry concurrency: collectors and snapshots race in lockstep.
+
+The transport layers publish socket stats through *delta collectors*:
+each ``snapshot()`` call runs ``collector(registry)``, which reads an
+external counter, increments its series by the delta since its own
+baseline, and advances the baseline.  Two unserialised concurrent
+snapshots would both read the same baseline and apply the same delta
+twice — the double-count this file pins down, plus general
+histogram-consistency under mutation.
+"""
+
+import threading
+
+import pytest
+
+from repro.observability.metrics import MetricRegistry
+
+
+class _Barrier:
+    """Start-line barrier so threads hit snapshot() truly concurrently."""
+
+    def __init__(self, parties):
+        self._barrier = threading.Barrier(parties)
+
+    def wait(self):
+        self._barrier.wait()
+
+
+def _delta_collector(registry, source, state):
+    """The transport idiom: publish `source` as a counter via deltas."""
+    counter = registry.counter("external_events_total", "external")
+
+    def collect(_registry):
+        current = source["value"]
+        delta = current - state["baseline"]
+        if delta > 0:
+            counter.inc(delta)
+        state["baseline"] = current
+
+    registry.add_collector(collect)
+    return counter
+
+
+def test_concurrent_snapshots_do_not_double_count_collector_deltas():
+    registry = MetricRegistry("stress")
+    source = {"value": 0}
+    state = {"baseline": 0}
+    _delta_collector(registry, source, state)
+
+    n_threads = 8
+    rounds = 60
+    start = _Barrier(n_threads)
+    errors = []
+
+    def snapshotter():
+        try:
+            start.wait()
+            for _ in range(rounds):
+                registry.snapshot()
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=snapshotter)
+               for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    # Keep the external counter moving while snapshots race: every
+    # concurrent pair of snapshots that reads one baseline would
+    # overshoot the true total.
+    for value in range(1, 2001):
+        source["value"] = value
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+    final = registry.snapshot()
+    total = sum(series["value"]
+                for series in final["counters"]["external_events_total"]
+                ["series"])
+    assert total == source["value"], \
+        f"collector applied {total - source['value']} duplicate deltas"
+
+
+def test_lockstep_snapshot_while_collector_mutates_series():
+    """Collectors update series (which take the registry data lock)
+    *inside* snapshot — the dedicated collector lock must not deadlock
+    against it, even from many threads at once."""
+    registry = MetricRegistry("stress")
+    gauge = registry.gauge("external_depth", "depth")
+    calls = {"n": 0}
+
+    def collect(_registry):
+        calls["n"] += 1
+        gauge.set(calls["n"])
+
+    registry.add_collector(collect)
+
+    n_threads = 6
+    start = _Barrier(n_threads)
+    done = []
+
+    def worker():
+        start.wait()
+        for _ in range(50):
+            registry.snapshot()
+        done.append(True)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert len(done) == n_threads, "snapshot/collector deadlocked"
+    # Serialised collectors ran exactly once per snapshot.
+    assert calls["n"] == n_threads * 50
+    value = registry.snapshot()["gauges"]["external_depth"]["series"][0][
+        "value"]
+    assert value == calls["n"]
+
+
+def test_histogram_snapshot_is_internally_consistent_under_mutation():
+    registry = MetricRegistry("stress")
+    hist = registry.histogram("work_seconds", "work", labels=("op",))
+    stop = threading.Event()
+
+    def mutate():
+        value = 1e-6
+        while not stop.is_set():
+            hist.observe(value, op="join")
+            value = value * 7 % 1.0 + 1e-6
+
+    thread = threading.Thread(target=mutate)
+    thread.start()
+    try:
+        for _ in range(200):
+            snapshot = registry.snapshot()
+            families = snapshot["histograms"].get("work_seconds")
+            if not families:
+                continue
+            for series in families["series"]:
+                # Bucket counts must always sum to the series count —
+                # a torn read would break this invariant.
+                assert sum(series["counts"]) == series["count"]
+                assert series["count"] >= 0
+    finally:
+        stop.set()
+        thread.join()
+
+
+def test_collectors_registered_during_snapshots_still_run():
+    registry = MetricRegistry("stress")
+    counter = registry.counter("late_total", "late")
+    hits = []
+
+    def late_collector(_registry):
+        hits.append(1)
+        counter.inc()
+
+    def snapshots():
+        for _ in range(100):
+            registry.snapshot()
+
+    thread = threading.Thread(target=snapshots)
+    thread.start()
+    registry.add_collector(late_collector)
+    thread.join()
+    registry.snapshot()
+    assert hits, "late-registered collector never ran"

@@ -1,0 +1,178 @@
+"""SLO parsing, evaluation, burn rates, and the spec-file pipeline."""
+
+import pytest
+
+from repro.observability.metrics import LATENCY_BUCKETS_S, MetricRegistry
+from repro.observability.slo import (SLO, SLOError, burn_rate, evaluate,
+                                     evaluate_one, parse_slo,
+                                     render_slo_report, slos_from_spec_text)
+
+
+def _registry_with_rekeys(fast=0, slow=0, threshold_s=0.001):
+    registry = MetricRegistry("test")
+    hist = registry.histogram("rekey_seconds", "rekeys",
+                              labels=("op",))
+    for _ in range(fast):
+        hist.observe(threshold_s / 10, op="join")
+    for _ in range(slow):
+        hist.observe(threshold_s * 100, op="join")
+    return registry
+
+
+# -- parsing ----------------------------------------------------------------
+
+
+def test_parse_latency_slo():
+    slo = parse_slo("join-p99",
+                    "latency rekey_seconds op=join threshold=50ms target=99%")
+    assert slo.kind == "latency"
+    assert slo.metric == "rekey_seconds"
+    assert slo.labels == (("op", "join"),)
+    assert slo.threshold_s == pytest.approx(0.050)
+    assert slo.target == pytest.approx(0.99)
+    assert "join-p99" in slo.describe()
+
+
+def test_parse_availability_slo():
+    slo = parse_slo("avail", "availability target=99.5%")
+    assert slo.kind == "availability"
+    assert slo.target == pytest.approx(0.995)
+
+
+def test_parse_target_as_fraction_and_duration_units():
+    assert parse_slo("a", "availability target=0.999").target == \
+        pytest.approx(0.999)
+    slo = parse_slo("l", "latency m threshold=150us target=90%")
+    assert slo.threshold_s == pytest.approx(150e-6)
+    slo = parse_slo("l", "latency m threshold=2s target=90%")
+    assert slo.threshold_s == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("declaration", [
+    "",                                       # empty
+    "percentile m target=99%",                # unknown kind
+    "latency m threshold=50ms",               # no target
+    "latency threshold=50ms target=99%",      # no metric
+    "latency m target=99%",                   # no threshold
+    "availability m target=99%",              # availability takes no metric
+    "availability target=99% op=join",        # ... and no labels
+    "latency m n threshold=1ms target=9%",    # two metric names
+    "latency m threshold=0ms target=99%",     # nonpositive duration
+    "latency m threshold=5ms target=100%",    # target out of range
+])
+def test_parse_rejects_malformed(declaration):
+    with pytest.raises(SLOError):
+        parse_slo("bad", declaration)
+
+
+def test_slos_from_spec_text():
+    slos = slos_from_spec_text(
+        "group-id = 1\n"
+        "slo-join = latency rekey_seconds op=join threshold=50ms "
+        "target=99%\n"
+        "slo-avail = availability target=99.5%\n")
+    assert [slo.name for slo in slos] == ["avail", "join"]
+
+
+def test_spec_parser_rejects_unknown_nonslo_keys():
+    from repro.specfile import SpecError, parse_spec
+    with pytest.raises(SpecError):
+        parse_spec("slotless-typo = 1\n")
+
+
+# -- evaluation -------------------------------------------------------------
+
+
+def test_latency_compliance_counts_buckets_within_threshold():
+    threshold = LATENCY_BUCKETS_S[10]
+    registry = _registry_with_rekeys(fast=98, slow=2,
+                                     threshold_s=threshold)
+    slo = SLO(name="p99", kind="latency", target=0.99,
+              metric="rekey_seconds", labels=(("op", "join"),),
+              threshold_s=threshold)
+    status = evaluate_one(slo, registry.snapshot())
+    assert status.total == 100
+    assert status.good == 98
+    assert status.compliance == pytest.approx(0.98)
+    assert not status.compliant
+    assert status.bad == 2
+    assert status.budget_remaining < 0
+
+
+def test_label_filter_restricts_series():
+    registry = _registry_with_rekeys(fast=10)
+    hist = registry._families["rekey_seconds"]
+    hist.observe(10.0, op="leave")  # slow, but a different op
+    slo = SLO(name="p99", kind="latency", target=0.5,
+              metric="rekey_seconds", labels=(("op", "join"),),
+              threshold_s=LATENCY_BUCKETS_S[-1])
+    status = evaluate_one(slo, registry.snapshot())
+    assert status.total == 10  # the leave observation was filtered out
+
+
+def test_availability_counts_sheds_and_errors_as_bad():
+    registry = MetricRegistry("test")
+    requests = registry.counter("serve_requests_total", "reqs",
+                                labels=("type",))
+    sheds = registry.counter("serve_shed_total", "sheds",
+                             labels=("reason",))
+    requests.inc(200, type="join")
+    sheds.inc(3, reason="saturated")
+    slo = SLO(name="avail", kind="availability", target=0.995)
+    status = evaluate_one(slo, registry.snapshot())
+    assert status.total == 200
+    assert status.bad == 3
+    assert not status.compliant  # 197/200 = 98.5% < 99.5%
+
+
+def test_empty_snapshot_is_vacuously_compliant():
+    registry = MetricRegistry("test")
+    slo = SLO(name="avail", kind="availability", target=0.999)
+    status = evaluate_one(slo, registry.snapshot())
+    assert status.total == 0
+    assert status.compliance == 1.0
+    assert status.compliant
+
+
+def test_evaluate_accepts_document_envelope():
+    """Scraped documents wrap metrics; evaluate must unwrap them."""
+    registry = _registry_with_rekeys(fast=5)
+    document = {"schema": "repro-metrics/1", "label": "x",
+                "metrics": registry.snapshot()}
+    slo = SLO(name="p", kind="latency", target=0.5,
+              metric="rekey_seconds", labels=(("op", "join"),),
+              threshold_s=LATENCY_BUCKETS_S[-1])
+    assert evaluate_one(slo, document).total == 5
+
+
+def test_burn_rate_between_snapshots():
+    registry = MetricRegistry("test")
+    requests = registry.counter("serve_requests_total", "reqs",
+                                labels=("type",))
+    errors = registry.counter("serve_errors_total", "errs",
+                              labels=("op",))
+    requests.inc(100, type="join")
+    older = registry.snapshot()
+    requests.inc(100, type="join")
+    errors.inc(1, op="join")
+    newer = registry.snapshot()
+    slo = SLO(name="avail", kind="availability", target=0.99)
+    # 1 bad / 100 new = 1% bad against a 1% budget: burning at 1.0x.
+    assert burn_rate(slo, older, newer) == pytest.approx(1.0)
+    # No new traffic: burn is zero by definition.
+    assert burn_rate(slo, newer, newer) == 0.0
+
+
+def test_render_slo_report_marks_breaches():
+    threshold = LATENCY_BUCKETS_S[10]
+    registry = _registry_with_rekeys(fast=1, slow=9, threshold_s=threshold)
+    slos = [SLO(name="p99", kind="latency", target=0.99,
+                metric="rekey_seconds", labels=(("op", "join"),),
+                threshold_s=threshold),
+            SLO(name="avail", kind="availability", target=0.9)]
+    text = render_slo_report(evaluate(slos, registry.snapshot()),
+                             burn_rates={"p99": 42.0})
+    assert "BREACH" in text
+    assert "42.00x" in text
+    assert "avail" in text
+    assert render_slo_report([]) == "no objectives declared\n"

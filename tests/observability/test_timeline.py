@@ -1,0 +1,88 @@
+"""Timeline waterfall rendering of exported spans."""
+
+import pytest
+
+from repro.observability.spans import Tracer
+from repro.observability.timeline import (TimelineError, render_timeline,
+                                          render_trace_index, trace_ids)
+
+
+def _span(name, trace_id, span_id, parent_id=0, start_ns=0,
+          duration_ns=1000, error=False):
+    return {"name": name, "trace_id": trace_id, "span_id": span_id,
+            "parent_id": parent_id, "start_ns": start_ns,
+            "duration_ns": duration_ns, "error": error, "attributes": {}}
+
+
+def test_trace_ids_orders_by_span_count_then_id():
+    spans = [_span("a", 2, 1), _span("b", 2, 2),
+             _span("c", 1, 3), _span("d", 3, 4)]
+    assert trace_ids(spans) == [2, 1, 3]
+
+
+def test_render_picks_busiest_trace_by_default():
+    spans = [_span("big.root", 5, 1), _span("big.child", 5, 2, parent_id=1),
+             _span("small", 9, 3)]
+    text = render_timeline(spans)
+    assert text.startswith("trace 5")
+    assert "big.root" in text
+    assert "small" not in text
+
+
+def test_render_indents_children_and_marks_errors():
+    spans = [
+        _span("root", 1, 1, start_ns=0, duration_ns=10_000_000),
+        _span("child", 1, 2, parent_id=1, start_ns=2_000_000,
+              duration_ns=3_000_000),
+        _span("bad", 1, 3, parent_id=2, start_ns=2_500_000,
+              duration_ns=1_000_000, error=True),
+    ]
+    text = render_timeline(spans)
+    lines = text.splitlines()
+    assert lines[0] == "trace 1 — 3 spans, 10.00ms"
+    assert lines[1].startswith("root")
+    assert lines[2].startswith("  child")
+    assert lines[3].startswith("    bad !")
+    # Bars are proportional: the root's spans the full width, the
+    # child starts later and is shorter.
+    assert lines[1].count("█") > lines[2].count("█") > 0
+    assert lines[2].index("█") > lines[1].index("█")
+
+
+def test_orphan_parents_render_as_extra_roots():
+    # The parent span was evicted from the ring (or lives remotely):
+    # its children must still render, not vanish.
+    spans = [_span("orphan", 1, 5, parent_id=99)]
+    text = render_timeline(spans)
+    assert "orphan" in text
+
+
+def test_render_rejects_empty_and_unknown_traces():
+    with pytest.raises(TimelineError):
+        render_timeline([])
+    with pytest.raises(TimelineError):
+        render_timeline([_span("a", 1, 1)], trace_id=42)
+
+
+def test_render_trace_index_lists_roots_and_errors():
+    spans = [_span("rootA", 1, 1), _span("kid", 1, 2, parent_id=1),
+             _span("rootB", 2, 3, error=True)]
+    text = render_trace_index(spans)
+    assert "trace 1: 2 spans, root=rootA" in text
+    assert "errors=1" in text
+    assert render_trace_index([]) == "no traces recorded\n"
+
+
+def test_renders_real_tracer_export_end_to_end():
+    tracer = Tracer()
+    with tracer.span("serve.request", op="join") as root:
+        with tracer.span("serve.plan"):
+            pass
+        with tracer.span("serve.exec"):
+            with tracer.span("rekey.join"):
+                pass
+    assert root.trace_id
+    text = render_timeline(tracer.export())
+    assert "serve.request" in text
+    assert "  serve.plan" in text
+    assert "    rekey.join" in text

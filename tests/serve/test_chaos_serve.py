@@ -20,6 +20,7 @@ from repro.chaos.serve_scenario import (_control_run, _individual_keys,
 from repro.core.messages import (MSG_JOIN_REQUEST, MSG_LEAVE_REQUEST,
                                  Message)
 from repro.core.server import GroupKeyServer, ServerConfig
+from repro.observability.flight import validate_flight
 from repro.serve import ImmediateServingCore, ServeConfig
 
 
@@ -107,3 +108,36 @@ def test_drop10_profile_is_registered():
     profile = PROFILES["drop10"]
     assert profile.drop_rate == 0.10
     assert profile.seed == b"chaos/drop10"
+
+
+def test_flight_dump_ties_drops_to_rekey_traces():
+    """The dumped flight record explains the incident causally.
+
+    Every injected drop must appear as a ``fault.drop`` event carrying
+    the trace id of the rekey whose multicast copy was lost, and the
+    resync repairs those drops forced must show up later in the same
+    ring — drop first, resync after.
+    """
+    report = run_scenario(_config())
+    assert report.resyncs > 0
+    document = validate_flight(report.flight_dump)
+    assert document["reason"] == "chaos"
+    events = document["events"]
+    assert events, "chaos run must leave a flight record"
+
+    drops = [e for e in events if e["kind"] == "fault.drop"]
+    assert len(drops) == report.injected["drop"]
+    # Each drop is tied to a *real* rekey trace: its trace id is one a
+    # join/leave request event also recorded.
+    rekey_traces = {e["trace_id"] for e in events
+                    if e["kind"] == "req"
+                    and e["fields"].get("op") in ("join", "leave")}
+    for drop in drops:
+        assert drop["trace_id"] > 0, "drop not tied to any trace"
+        assert drop["trace_id"] in rekey_traces
+    # The repair requests the drops caused follow them in the ring.
+    resync_seqs = [e["seq"] for e in events
+                   if e["kind"] == "req"
+                   and e["fields"].get("op") == "resync"]
+    assert len(resync_seqs) >= report.resyncs
+    assert min(resync_seqs) > max(d["seq"] for d in drops)
