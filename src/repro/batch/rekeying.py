@@ -118,6 +118,17 @@ class BatchRekeyServer:
         self._m_resyncs = registry.counter(
             "resync_replies_total",
             "Resync replies served, by status.", labels=("status",))
+        # Subcast sealing draws from its own personalization so covered
+        # multicasts never perturb flush key/IV draws either.
+        self.subcast_material = KeyMaterialSource(suite, seed,
+                                                  b"batch-subcast")
+        from ..subcast.sealing import SubcastSealer
+        self.subcast_sealer = SubcastSealer(
+            suite, self.subcast_material, self._signer,
+            self.pipeline.sequencer, group_id=1,
+            seal_lock=self.pipeline.seal_lock)
+        self._m_subcasts = registry.counter(
+            "subcast_messages_total", "Subcast messages sealed.").labels()
 
     def _new_key(self) -> bytes:
         return self.material.new_key()
@@ -422,3 +433,32 @@ class BatchRekeyServer:
         self._signer.seal([message])
         return OutboundMessage(Destination.to_all(), message,
                                tuple(self.tree.users()), message.encode())
+
+    def subcast(self, targets, payload: bytes) -> OutboundMessage:
+        """Seal ``payload`` to exactly ``targets`` via a key cover.
+
+        Targets must be in the *flushed* tree — a user whose join is
+        still queued holds no tree keys yet and cannot be addressed
+        until the next flush.
+        """
+        from ..keygraph.covering import tree_subset_cover
+        target_list = sorted(set(targets))
+        if not target_list:
+            raise BatchError("subcast needs at least one target")
+        for user_id in target_list:
+            if not self.tree.has_user(user_id):
+                raise BatchError(
+                    f"subcast target {user_id!r} is not a flushed member")
+        with self.instrumentation.tracer.span(
+                "subcast.cover", targets=len(target_list)) as span:
+            cover_nodes = tree_subset_cover(self.tree, target_list)
+            span.set("cover", len(cover_nodes))
+        cover = [(node.node_id, node.version, node.key)
+                 for node in cover_nodes]
+        with self.instrumentation.tracer.span("subcast.seal",
+                                              cover=len(cover)):
+            out = self.subcast_sealer.seal(
+                cover, payload, receivers=target_list,
+                root_ref=self.group_key_ref())
+        self._m_subcasts.inc()
+        return out

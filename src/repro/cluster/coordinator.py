@@ -44,6 +44,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.messages import (MSG_DATA, MSG_HEARTBEAT, MSG_JOIN_DENIED,
                              MSG_JOIN_REQUEST, MSG_LEAVE_DENIED,
                              MSG_LEAVE_REQUEST, MSG_RESYNC_REQUEST,
+                             MSG_SUBCAST_REQUEST,
                              STRATEGY_GROUP_ORIENTED, Destination,
                              EncryptedItem, KeyRecord, Message,
                              OutboundMessage, WireError)
@@ -55,6 +56,7 @@ from ..core.server import (AccessDenied, GroupKeyServer, RekeyOutcome,
 from ..core.strategies.base import PlannedMessage, RekeyContext
 from ..crypto.suite import PAPER_SUITE, CipherSuite
 from ..keygraph.backend import BACKENDS, build_tree
+from ..keygraph.covering import tree_subset_cover
 from ..keygraph.tree import KeyTree, TreeNode
 from ..observability import LATENCY_BUCKETS_S, Instrumentation
 from ..observability.export import build_snapshot
@@ -427,6 +429,26 @@ class ClusterCoordinator:
         self._m_resyncs = registry.counter(
             "resync_replies_total", "Resync replies served, by status.",
             labels=("status",))
+        # Subcast message keys/IVs come from a dedicated personalization
+        # for the same reason: covered multicasts leave every shard and
+        # root-layer rekey stream byte-identical.
+        self.subcast_material = KeyMaterialSource(
+            config.suite,
+            config.seed + b"/coordinator" if config.seed is not None
+            else None,
+            b"cluster-subcast")
+        from ..subcast.sealing import SubcastSealer
+        self.subcast_sealer = SubcastSealer(
+            config.suite, self.subcast_material, self.root_layer._signer,
+            self.root_layer.pipeline.sequencer,
+            group_id=config.group_id,
+            seal_lock=self.root_layer.pipeline.seal_lock)
+        self._m_subcasts = registry.counter(
+            "subcast_messages_total", "Subcast messages sealed.").labels()
+        self._m_subcast_cover = registry.counter(
+            "subcast_cover_keys_total",
+            "Cover keys used, by layer (shard subtree vs root layer).",
+            labels=("layer",))
         self._registered_keys: Dict[str, bytes] = {}
         self.history: List[ClusterRecord] = []
         self._bootstrapped = False
@@ -726,6 +748,70 @@ class ClusterCoordinator:
         return OutboundMessage(Destination.to_all(), message,
                                self._all_members(), message.encode())
 
+    def subcast(self, targets: Iterable[str],
+                payload: bytes) -> OutboundMessage:
+        """Seal ``payload`` to exactly ``targets`` across the shard split.
+
+        The cover is computed layer by layer: a shard whose members are
+        only partially targeted contributes a subset cover on its own
+        subtree; a shard that is *fully* targeted is lifted into the
+        root layer, where one subset cover over the fully-covered shard
+        names yields root-layer keys (each addressing whole shards at
+        once).  Root-layer leaf nodes are referenced by the owning
+        shard's live subtree root — the id members actually hold — via
+        the same mapping root-layer rekeys use.
+        """
+        self._require_bootstrap()
+        target_list = sorted(set(targets))
+        if not target_list:
+            raise ClusterError("subcast needs at least one target")
+        started = time.perf_counter()
+        by_shard: Dict[int, List[str]] = {}
+        for user_id in target_list:
+            shard = self.shard_of(user_id)
+            if shard.failed:
+                raise ClusterError(
+                    f"shard {shard.shard_id} is failed; "
+                    f"cannot cover {user_id!r}")
+            if not shard.server.is_member(user_id):
+                raise ClusterError(
+                    f"subcast target {user_id!r} is not a member")
+            by_shard.setdefault(shard.shard_id, []).append(user_id)
+        with self.instrumentation.tracer.span(
+                "cluster.subcast", targets=len(target_list),
+                shards=len(by_shard)) as span:
+            cover: List[Tuple[int, int, bytes]] = []
+            full_shards: List[str] = []
+            shard_keys = 0
+            for shard_id, shard_targets in sorted(by_shard.items()):
+                shard = self.shards[shard_id]
+                if len(shard_targets) == shard.server.n_users:
+                    full_shards.append(shard.name)
+                    continue
+                for node in tree_subset_cover(shard.server.tree,
+                                              shard_targets):
+                    cover.append((node.node_id, node.version, node.key))
+                    shard_keys += 1
+            root_keys = 0
+            if full_shards:
+                for node in tree_subset_cover(self.root_layer.tree,
+                                              full_shards):
+                    key, (node_id, version) = \
+                        self.root_layer._child_handle(node)
+                    cover.append((node_id, version, key))
+                    root_keys += 1
+            span.set("cover", len(cover)).set("root_keys", root_keys)
+            out = self.subcast_sealer.seal(
+                cover, payload, receivers=target_list,
+                root_ref=self.group_key_ref())
+        self._m_subcasts.inc()
+        if shard_keys:
+            self._m_subcast_cover.inc(shard_keys, layer="shard")
+        if root_keys:
+            self._m_subcast_cover.inc(root_keys, layer="root")
+        self._m_seconds.observe(time.perf_counter() - started, op="subcast")
+        return out
+
     # -- failover ----------------------------------------------------------
 
     def enable_standbys(self, storage_key: Optional[bytes] = None,
@@ -827,6 +913,19 @@ class ClusterCoordinator:
             return outcome.all_messages
         if message.msg_type == MSG_RESYNC_REQUEST:
             return [self.resync(user_id)]
+        if message.msg_type == MSG_SUBCAST_REQUEST:
+            from ..subcast.wire import SubcastWireError, \
+                parse_subcast_request
+            try:
+                sender, targets, payload = parse_subcast_request(
+                    message.body)
+            except SubcastWireError as exc:
+                raise ClusterError(
+                    f"malformed subcast request: {exc}") from None
+            if not self.is_member(sender):
+                raise ClusterError(
+                    f"subcast sender {sender!r} is not a member")
+            return [self.subcast(targets, payload)]
         if message.msg_type == MSG_HEARTBEAT:
             # Heartbeats are consumed by a RecoveryManager wired in front
             # of the coordinator; a bare coordinator ignores them.

@@ -20,7 +20,8 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..crypto.modes import PaddingError
 from ..observability import Stopwatch
 from .messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_JOIN_ACK,
-                       MSG_LEAVE_ACK, MSG_REKEY, MSG_RESYNC_REPLY, Message,
+                       MSG_LEAVE_ACK, MSG_REKEY, MSG_RESYNC_REPLY,
+                       MSG_SUBCAST, SUBCAST_MESSAGE_KEY, Message,
                        WireError, decrypt_records)
 from .resync import RESYNC_NOT_MEMBER, RESYNC_OK, parse_resync_body
 from .signing import SigningError, verify_message
@@ -38,6 +39,16 @@ class StaleKeyError(ClientError):
     """
 
 
+class SubcastNotAddressed(ClientError):
+    """Raised when no held key opens any of a subcast's cover items.
+
+    Unlike :class:`StaleKeyError` this is *not* a desync signal: a
+    member outside the target subset receives the multicast (transports
+    dedup per reply path) and correctly cannot decrypt it — that is the
+    security property, not a protocol fault.
+    """
+
+
 @dataclass
 class ClientStats:
     """Counters a client accumulates while processing messages."""
@@ -50,13 +61,15 @@ class ClientStats:
     processing_seconds: float = 0.0
     desyncs_detected: int = 0
     resyncs: int = 0
+    subcasts_opened: int = 0
 
     def snapshot(self) -> "ClientStats":
         """An independent copy of the counters."""
         return ClientStats(self.rekey_messages, self.rekey_bytes,
                            self.decryptions, self.keys_changed,
                            self.verify_failures, self.processing_seconds,
-                           self.desyncs_detected, self.resyncs)
+                           self.desyncs_detected, self.resyncs,
+                           self.subcasts_opened)
 
 
 class GroupClient:
@@ -308,3 +321,64 @@ class GroupClient:
         if item.plaintext_len > len(padded):
             raise ClientError("corrupt data message length")
         return padded[:item.plaintext_len]
+
+    # -- subgroup multicast ------------------------------------------------------
+
+    def open_subcast(self, data: Union[bytes, Message]) -> bytes:
+        """Decrypt a ``MSG_SUBCAST`` addressed to a subset we are in.
+
+        The first item is the payload under the subcast's ephemeral
+        message key; each further item seals that message key under one
+        cover key.  We peel the one cover item a held (node id,
+        version) key opens — covers are disjoint subtrees, so a target
+        member holds exactly one — then open the payload.  Raises
+        :class:`SubcastNotAddressed` when no held key matches: we are
+        outside the target subset, or our key material is stale
+        (evicted members never decrypt post-eviction subcasts — the
+        cover references post-rekey key versions).
+        """
+        message = data if isinstance(data, Message) else Message.decode(data)
+        if message.msg_type != MSG_SUBCAST:
+            raise ClientError(
+                f"not a subcast message (type {message.msg_type})")
+        if self.verify:
+            try:
+                verify_message(self.suite, message, self.server_public_key)
+            except SigningError:
+                self.stats.verify_failures += 1
+                raise
+        if not message.items:
+            raise ClientError("subcast carries no items")
+        payload_item = message.items[0]
+        if payload_item.enc_node_id != SUBCAST_MESSAGE_KEY:
+            raise ClientError("subcast payload item missing")
+        subcast_id = payload_item.enc_version
+        message_key: Optional[bytes] = None
+        for item in message.items[1:]:
+            key = self._lookup_encrypting_key(item)
+            if key is None:
+                continue
+            try:
+                records = decrypt_records(self.suite, key, item)
+            except (PaddingError, WireError, ValueError) as exc:
+                raise ClientError(f"undecryptable cover item: {exc}") \
+                    from None
+            self.stats.decryptions += 1
+            for record in records:
+                if (record.node_id == SUBCAST_MESSAGE_KEY
+                        and record.version == subcast_id):
+                    message_key = record.key
+            if message_key is not None:
+                break
+        if message_key is None:
+            raise SubcastNotAddressed(
+                "no held key opens any cover item of this subcast")
+        from ..crypto import modes
+        cipher = self.suite.new_cipher(message_key)
+        padded = modes.cbc_decrypt_nopad(cipher, payload_item.ciphertext,
+                                         payload_item.iv)
+        if payload_item.plaintext_len > len(padded):
+            raise ClientError("corrupt subcast payload length")
+        self.stats.decryptions += 1
+        self.stats.subcasts_opened += 1
+        return padded[:payload_item.plaintext_len]

@@ -58,6 +58,15 @@ MSG_HEARTBEAT = 13
 # shed this request without processing it.  The client may retry after
 # backing off; no group state changed.
 MSG_BUSY = 14
+# Subgroup multicast ("subcast", repro.subcast): one payload sealed to
+# an arbitrary member subset via a key cover (paper §2.1).  The first
+# item is the payload ciphertext under a fresh message key, referenced
+# by the SUBCAST_MESSAGE_KEY sentinel; every further item seals one
+# copy of that message key under one cover key, so exactly the covered
+# members can open the payload.  The request body is the
+# repro.subcast.wire encoding (sender, targets, payload).
+MSG_SUBCAST = 15
+MSG_SUBCAST_REQUEST = 16
 
 # Rekeying strategies (wire codes).
 STRATEGY_NONE = 0
@@ -74,6 +83,13 @@ SIG_MERKLE = 2
 
 # Sentinel encrypting-key reference: the receiver's individual key.
 INDIVIDUAL_KEY = 0xFFFFFFFF
+# Sentinel node id for a subcast's ephemeral message key; the version
+# field carries the subcast sequence number, so a key record named
+# (SUBCAST_MESSAGE_KEY, seq) pairs with the payload item referencing
+# the same (id, seq).  Tree node ids are allocated monotonically from
+# 0 (cluster root layers from 0xF0000000) and never reach either
+# sentinel in practice.
+SUBCAST_MESSAGE_KEY = 0xFFFFFFFE
 
 _HEADER = struct.Struct(">HBBBBIQQII")  # 34 bytes
 _ITEM_FIXED = struct.Struct(">IIH")

@@ -28,15 +28,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..crypto.suite import PAPER_SUITE, CipherSuite
 from ..keygraph.backend import BACKENDS, build_tree, make_tree
+from ..keygraph.covering import greedy_tree_cover, tree_subset_cover
 from ..keygraph.star import StarGroup
 from ..keygraph.tree import KeyTree
-from ..observability import SIZE_BUCKETS_BYTES, Instrumentation
+from ..observability import (COUNT_BUCKETS, LATENCY_BUCKETS_S,
+                             SIZE_BUCKETS_BYTES, Instrumentation)
 from .messages import (INDIVIDUAL_KEY, MSG_DATA, MSG_HEARTBEAT, MSG_JOIN_ACK,
                        MSG_JOIN_DENIED, MSG_JOIN_REQUEST, MSG_LEAVE_ACK,
                        MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST, MSG_REKEY,
-                       MSG_RESYNC_REQUEST, STRATEGY_STAR, Destination,
-                       EncryptedItem, KeyRecord, Message, OutboundMessage,
-                       WireError)
+                       MSG_RESYNC_REQUEST, MSG_SUBCAST_REQUEST, STRATEGY_STAR,
+                       Destination, EncryptedItem, KeyRecord, Message,
+                       OutboundMessage, WireError)
 from .pipeline import (KeyMaterialSource, RekeyPipeline, Sequencer,
                        make_signer, validate_signing)
 from .resync import RESYNC_NOT_MEMBER, RESYNC_OK, build_resync_reply
@@ -77,6 +79,11 @@ class ServerConfig:
     # Public key of a TicketAuthority (footnote 7): when set, joins must
     # present a valid ticket for this group instead of matching the ACL.
     ticket_authority: Optional[object] = None
+    # Covering algorithm for subcasts: "tree" (the O(|S| log n)
+    # structural cover, optimal on a key tree) or "greedy" (classic
+    # greedy set cover over materialized usersets — the ablation
+    # fallback; same cover on a tree, linear-in-n compute).
+    subcast_cover: str = "tree"
 
     def validate(self) -> None:
         """Check field consistency; raises ServerError."""
@@ -86,6 +93,9 @@ class ServerConfig:
             raise ServerError(f"unknown strategy {self.strategy!r}")
         if self.backend not in BACKENDS:
             raise ServerError(f"unknown tree backend {self.backend!r}")
+        if self.subcast_cover not in ("tree", "greedy"):
+            raise ServerError(
+                f"unknown subcast cover mode {self.subcast_cover!r}")
         if self.workers < 0:
             raise ServerError("workers must be >= 0")
         validate_signing(self.signing, self.suite, error=ServerError)
@@ -284,11 +294,32 @@ class GroupKeyServer:
         self._m_resyncs = registry.counter(
             "resync_replies_total",
             "Resync replies served, by status.", labels=("status",))
+        self._m_subcasts = registry.counter(
+            "subcast_messages_total", "Subcast messages sealed.").labels()
+        self._m_subcast_bytes = registry.counter(
+            "subcast_bytes_total", "Subcast message bytes sealed.").labels()
+        self._m_subcast_cover = registry.histogram(
+            "subcast_cover_keys",
+            "Key-cover size per subcast (ciphertexts beyond the payload).",
+            bounds=COUNT_BUCKETS).labels()
+        self._m_subcast_seal = registry.histogram(
+            "subcast_seal_seconds",
+            "Cover + seal time per subcast.",
+            bounds=LATENCY_BUCKETS_S).labels()
         self._sequencer = Sequencer()
         self.pipeline = RekeyPipeline(
             config.suite, self.material, signer=self._signer,
             sequencer=self._sequencer, group_id=config.group_id,
             instrumentation=self.instrumentation)
+        # Dedicated DRBG personalization for subcast message keys/IVs:
+        # sealing a subcast must never perturb the rekey key stream.
+        self.subcast_material = KeyMaterialSource(config.suite, config.seed,
+                                                  b"subcast-seal")
+        from ..subcast.sealing import SubcastSealer
+        self.subcast_sealer = SubcastSealer(
+            config.suite, self.subcast_material, self._signer,
+            self._sequencer, group_id=config.group_id,
+            seal_lock=self.pipeline.seal_lock)
 
     # -- key material -------------------------------------------------------
 
@@ -735,6 +766,51 @@ class GroupKeyServer:
         return OutboundMessage(Destination.to_all(), message,
                                tuple(self.members()), message.encode())
 
+    def subcast(self, targets: Iterable[str],
+                payload: bytes) -> OutboundMessage:
+        """Seal ``payload`` to exactly ``targets`` via a key cover (§2.1).
+
+        Computes a minimum key cover of the target subset on the key
+        tree (``config.subcast_cover`` selects the O(|S| log n)
+        structural cover or the classic greedy ablation — same cover on
+        a tree), then seals one payload ciphertext plus one sealed
+        message-key copy per cover key.  Only current members can be
+        addressed; evicted members hold stale key versions and fail
+        closed at the client.
+        """
+        if self.tree is None:
+            raise ServerError("subcast requires a tree key graph "
+                              "(star groups hold no subgroup keys)")
+        target_list = sorted(set(targets))
+        if not target_list:
+            raise ServerError("subcast needs at least one target")
+        for user_id in target_list:
+            if not self.tree.has_user(user_id):
+                raise ServerError(
+                    f"subcast target {user_id!r} is not a member")
+        started = time.perf_counter()
+        with self.instrumentation.tracer.span(
+                "subcast.cover", targets=len(target_list),
+                mode=self.config.subcast_cover) as span:
+            if self.config.subcast_cover == "greedy":
+                cover_nodes = greedy_tree_cover(self.tree, target_list)
+            else:
+                cover_nodes = tree_subset_cover(self.tree, target_list)
+            span.set("cover", len(cover_nodes))
+        cover = [(node.node_id, node.version, node.key)
+                 for node in cover_nodes]
+        with self.instrumentation.tracer.span("subcast.seal",
+                                              cover=len(cover)):
+            out = self.subcast_sealer.seal(
+                cover, payload, receivers=target_list,
+                root_ref=self.group_key_ref())
+        self._journal_op("seq")
+        self._m_subcasts.inc()
+        self._m_subcast_bytes.inc(len(out.encoded))
+        self._m_subcast_cover.observe(len(cover))
+        self._m_subcast_seal.observe(time.perf_counter() - started)
+        return out
+
     # -- resynchronization ---------------------------------------------------------
 
     def resync(self, user_id: str) -> OutboundMessage:
@@ -813,6 +889,19 @@ class GroupKeyServer:
             return outcome.all_messages
         if message.msg_type == MSG_RESYNC_REQUEST:
             return [self.resync(user_id)]
+        if message.msg_type == MSG_SUBCAST_REQUEST:
+            from ..subcast.wire import SubcastWireError, \
+                parse_subcast_request
+            try:
+                sender, targets, payload = parse_subcast_request(
+                    message.body)
+            except SubcastWireError as exc:
+                raise ServerError(
+                    f"malformed subcast request: {exc}") from None
+            if not self.is_member(sender):
+                raise ServerError(
+                    f"subcast sender {sender!r} is not a member")
+            return [self.subcast(targets, payload)]
         if message.msg_type == MSG_HEARTBEAT:
             # Heartbeats are consumed by a RecoveryManager when one is
             # wired in front of the server; a bare server ignores them.

@@ -40,6 +40,13 @@ FEATURE_FLAGS: Dict[str, Dict[str, object]] = {
         "server_config": {},
         "journal": True,
     },
+    "subcast-cover": {
+        "description": ("greedy fallback for the subcast covering engine "
+                        "(ServerConfig.subcast_cover='greedy'; the "
+                        "structural cover is the default)"),
+        "server_config": {"subcast_cover": "greedy"},
+        "journal": False,
+    },
 }
 
 
@@ -417,8 +424,17 @@ def feature_flags(scale: Scale = QUICK) -> TableData:
             else:
                 server.leave(request.user_id)
         seconds = _time.perf_counter() - started
+        # One subcast to a deterministic subset: its cover references
+        # are part of the compared state, so the subcast-cover flag
+        # must pick the same (node id, version) cover the structural
+        # default does.
+        survivors = sorted(server.members())
+        out = server.subcast(survivors[:max(1, len(survivors) // 3)],
+                             b"ablate-subcast")
+        cover_refs = tuple((item.enc_node_id, item.enc_version)
+                           for item in out.message.items[1:])
         state = (server.group_key(), server.group_key_ref(),
-                 server.tree.n_keys, tuple(sorted(server.members())))
+                 server.tree.n_keys, tuple(survivors), cover_refs)
         return server, state, seconds
 
     rows = []

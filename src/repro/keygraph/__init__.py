@@ -14,8 +14,9 @@ from .backend import (BACKENDS, DEFAULT_BACKEND, TreeBackend, build_tree,
                       make_tree, resolve_backend)
 from .complete import CompleteGroup, CompleteGroupError
 from .flat import FlatKeyTree, FlatNode, KeyArena
-from .covering import (CoverError, exact_cover, greedy_cover, is_cover,
-                       tree_cover)
+from .covering import (CoverError, complement_cover, exact_cover,
+                       greedy_cover, greedy_tree_cover, is_cover,
+                       partition_cover, tree_cover, tree_subset_cover)
 from .graph import (K_NODE, U_NODE, KeyGraph, KeyGraphError, SecureGroup,
                     figure1_example)
 from .materialized import (GraphRekeyOutcome, MaterializedGraphError,
@@ -35,6 +36,8 @@ __all__ = [
     "StarGroup", "StarError", "StarRekey",
     "CompleteGroup", "CompleteGroupError",
     "CoverError", "exact_cover", "greedy_cover", "is_cover", "tree_cover",
+    "complement_cover", "tree_subset_cover", "greedy_tree_cover",
+    "partition_cover",
     "TreeShape", "measure", "leaf_depth_histogram", "assert_balanced",
     "MaterializedKeyGraph", "MaterializedGraphError", "GraphRekeyOutcome",
 ]

@@ -61,10 +61,12 @@ from ..core.messages import (DEST_USER, MSG_BUSY, MSG_HEARTBEAT,
                              MSG_JOIN_REQUEST, MSG_LEAVE_ACK,
                              MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST,
                              MSG_RESYNC_REQUEST, MSG_STATS_REQUEST,
-                             MSG_STATS_RESPONSE, Message, OutboundMessage,
-                             WireError)
+                             MSG_STATS_RESPONSE, MSG_SUBCAST_REQUEST,
+                             Message, OutboundMessage, WireError)
 from ..core.server import GroupKeyServer, ServerError
+from ..observability import LATENCY_BUCKETS_S
 from ..observability.export import build_snapshot
+from ..subcast.wire import SubcastWireError, parse_subcast_request
 from ..observability.flight import FlightRecorder, NULL_FLIGHT
 from ..observability.instrumentation import Instrumentation
 from ..observability.slo import evaluate as evaluate_slos
@@ -79,7 +81,7 @@ from .wire import (attach_corr_trailer, attach_trailers, split_corr_trailer,
 _TYPE_NAMES = {
     MSG_JOIN_REQUEST: "join", MSG_LEAVE_REQUEST: "leave",
     MSG_HEARTBEAT: "heartbeat", MSG_RESYNC_REQUEST: "resync",
-    MSG_STATS_REQUEST: "stats",
+    MSG_STATS_REQUEST: "stats", MSG_SUBCAST_REQUEST: "subcast",
 }
 
 #: Stats-reply size budget: one UDP datagram, with headroom under the
@@ -143,6 +145,10 @@ class AsyncServingCore:
             "serve_slo_breaches_total",
             "Objectives that crossed from compliant to breached.",
             labels=("slo",))
+        self._m_subcast_seconds = registry.histogram(
+            "serve_subcast_seconds",
+            "End-to-end subcast request time (cover + seal + fan-out).",
+            bounds=LATENCY_BUCKETS_S).labels()
         # Heartbeats dominate a live group's request mix; bind their
         # series once instead of resolving labels per datagram.
         self._m_heartbeats = self._m_requests.labels(type="heartbeat")
@@ -442,6 +448,9 @@ class AsyncServingCore:
             response = Message(msg_type=MSG_STATS_RESPONSE, body=body)
             reply(attach_trailers(response.encode(), inbound, token))
             return
+        if msg_type == MSG_SUBCAST_REQUEST:
+            await self._subcast(message, reply, inbound, token, path_id)
+            return
         user_id = message.body.decode("utf-8", errors="replace")
         if msg_type == MSG_HEARTBEAT:
             if path_id is not None:
@@ -516,6 +525,80 @@ class AsyncServingCore:
             return
         # Known-to-wire but not servable here (MSG_REKEY, MSG_DATA, ...).
 
+    def _subcast_backend(self):
+        """The object exposing ``subcast()``/``is_member()`` (per flavor)."""
+        raise NotImplementedError
+
+    async def _subcast(self, message: Message, reply, inbound,
+                       token: Optional[int], path_id) -> None:
+        """Serve one covered-multicast request.
+
+        The whole op (membership check, cover, seal) runs on the
+        executor under the op lock — the cover must see a consistent
+        tree, and must never interleave with a rekey mid-edit.  The
+        sealed message fans out to the target subset; the requester
+        additionally gets a direct correlation-tagged copy as its ack.
+        """
+        try:
+            sender, targets, app_payload = parse_subcast_request(
+                message.body)
+        except SubcastWireError:
+            self._m_requests.inc(type="malformed")
+            return
+        if not self._admit_rate(sender):
+            self._m_rate_limited.inc(type="subcast")
+            self._shed(sender, reply, token, "rate-cap", inbound)
+            return
+        if self._inflight >= self.config.max_inflight:
+            self._shed(sender, reply, token, "saturated", inbound)
+            return
+        if path_id is not None:
+            self.fanout.attach(sender, reply, path_id)
+        self._inflight += 1
+        self._m_inflight.set(self._inflight)
+        tracer = self.instrumentation.tracer
+        # Created, never entered (it spans awaits); the exec child is
+        # entered on the worker so backend spans parent to it.
+        span = tracer.span("serve.request", parent=inbound,
+                           op="subcast", user=sender)
+        trace = span.context if span.trace_id else None
+        self.flight.record("req", trace_id=span.trace_id, op="subcast",
+                           user=sender, targets=len(targets))
+        started = time.perf_counter()
+
+        def run():
+            with self._op_lock:
+                self._m_op_lock_wait.observe(time.perf_counter() - started)
+                with tracer.span("serve.exec", parent=span, op="subcast"):
+                    backend = self._subcast_backend()
+                    if not backend.is_member(sender):
+                        raise ServerError(
+                            f"subcast sender {sender!r} is not a member")
+                    return backend.subcast(targets, app_payload)
+
+        try:
+            out = await self._in_executor(run)
+        except Exception as exc:
+            self._m_errors.inc(op="subcast")
+            span.finish(error=True)
+            self.flight.record("error", trace_id=span.trace_id,
+                               op="subcast", user=sender,
+                               cause=type(exc).__name__)
+            self._shed(sender, reply, token, "error", span.context)
+        else:
+            payload_out = out.encoded or out.message.encode()
+            if trace is not None:
+                payload_out = attach_trailers(payload_out, trace)
+            self.fanout.send(out, payload=payload_out)
+            reply(_corr(payload_out, token))
+            span.finish()
+            self._m_subcast_seconds.observe(time.perf_counter() - started)
+            self.flight.record("done", trace_id=span.trace_id,
+                               op="subcast", us=span.duration_ns // 1000)
+        finally:
+            self._inflight -= 1
+            self._m_inflight.set(self._inflight)
+
     def _stats_body(self) -> bytes:
         document = self._stats_document()
         body = json.dumps(document, sort_keys=True).encode("utf-8")
@@ -563,6 +646,9 @@ class ImmediateServingCore(AsyncServingCore):
 
     def _recovery_backend(self):
         return ServerBackend(self.server)
+
+    def _subcast_backend(self):
+        return self.server
 
     async def _tick_once(self):
         # The tick's evictions run synchronous leaves that draw a seal
@@ -701,6 +787,11 @@ class CoalescingServingCore(AsyncServingCore):
 
     def _recovery_backend(self):
         return BatchBackend(self.server)
+
+    def _subcast_backend(self):
+        # Covers address the flushed tree; users still queued for the
+        # next flush hold no tree keys and cannot be targeted yet.
+        return self.server
 
     def register_individual_key(self, user_id: str, key: bytes) -> None:
         """Pre-register a joiner's key (the auth-exchange stand-in)."""
@@ -893,6 +984,9 @@ class ClusterServingCore(AsyncServingCore):
 
     def _recovery_backend(self):
         return ClusterBackend(self.coordinator)
+
+    def _subcast_backend(self):
+        return self.coordinator
 
     def _stats_document(self) -> dict:
         return self.coordinator.stats_document()

@@ -41,7 +41,9 @@ from ..core.messages import (MSG_BUSY, MSG_HEARTBEAT, MSG_JOIN_ACK,
                              MSG_LEAVE_DENIED, MSG_LEAVE_REQUEST, MSG_REKEY,
                              MSG_RESYNC_REPLY, MSG_RESYNC_REQUEST,
                              MSG_STATS_REQUEST, MSG_STATS_RESPONSE,
+                             MSG_SUBCAST, MSG_SUBCAST_REQUEST,
                              Message, WireError)
+from ..subcast.wire import encode_subcast_request
 from .wire import attach_corr_trailer, split_corr_trailer
 
 _BUFFER = 65535
@@ -57,6 +59,9 @@ class LoadProfile:
     churn_clients: int = 200        # clients cycling leave/join
     heartbeat_interval: float = 5.0  # per-client, jittered
     resync_fraction: float = 0.02   # chance per heartbeat of a resync RPC
+    subcast_fraction: float = 0.0   # chance per heartbeat of a subcast RPC
+    subcast_targets: int = 8        # subset size per subcast request
+    subcast_size: int = 64          # application payload bytes
     ramp_concurrency: int = 48      # concurrent joins during the ramp
     request_timeout: float = 2.0
     request_retries: int = 2
@@ -69,6 +74,8 @@ class LoadProfile:
             raise ValueError("sockets must be >= 1")
         if self.churn_clients > self.clients:
             raise ValueError("churn_clients cannot exceed clients")
+        if self.subcast_fraction and self.subcast_targets < 1:
+            raise ValueError("subcast_targets must be >= 1")
 
 
 @dataclass
@@ -76,8 +83,10 @@ class LoadStats:
     """Everything the run observed, JSON-serializable via as_dict()."""
 
     acked: Dict[str, List[float]] = field(
-        default_factory=lambda: {"join": [], "leave": [], "resync": []})
+        default_factory=lambda: {"join": [], "leave": [], "resync": [],
+                                 "subcast": []})
     heartbeats_sent: int = 0
+    subcasts_received: int = 0      # sealed MSG_SUBCAST copies fanned out
     ramp_joined: int = 0            # distinct clients acked during ramp
     busy: int = 0
     denied: int = 0
@@ -107,6 +116,7 @@ class LoadStats:
             "acked_ops": ops,
             "requests_total": total,
             "heartbeats_sent": self.heartbeats_sent,
+            "subcasts_received": self.subcasts_received,
             "ramp_joined": self.ramp_joined,
             "busy_replies": self.busy,
             "denied": self.denied,
@@ -145,7 +155,10 @@ class _PoolProtocol(asyncio.DatagramProtocol):
             pool.latest_ref = (message.root_node_id,
                                message.root_version)
         if token is None:
-            pool.stats.uncorrelated += 1
+            if message.msg_type == MSG_SUBCAST:
+                pool.stats.subcasts_received += 1
+            else:
+                pool.stats.uncorrelated += 1
             return
         future = pool._pending.pop(token, None)
         if future is not None and not future.done():
@@ -193,13 +206,14 @@ class ClientPool:
     def addr_for(self, index: int) -> Tuple[str, int]:
         return self.addresses[index % len(self.addresses)]
 
-    async def rpc(self, index: int, msg_type: int,
-                  user_id: str) -> Optional[Message]:
+    async def rpc(self, index: int, msg_type: int, user_id: str,
+                  body: Optional[bytes] = None) -> Optional[Message]:
         """One correlated request with timeout + bounded retry."""
         profile = self.profile
         transport = self.transport_for(index)
         addr = self.addr_for(index)
-        body = user_id.encode("utf-8")
+        if body is None:
+            body = user_id.encode("utf-8")
         # One token for every attempt: a retried join whose *first*
         # request was merely slow still correlates with the late ack
         # (the duplicate request earns a denial nobody waits for).
@@ -274,6 +288,28 @@ class ClientPool:
             self.stats.acked[op].append(time.monotonic() - started)
             return True
 
+    async def subcast_op(self, index: int, sender: str,
+                         targets: Sequence[str],
+                         payload: bytes) -> bool:
+        """One covered-multicast request; the sealed reply is the ack."""
+        body = encode_subcast_request(sender, targets, payload)
+        started = time.monotonic()
+        while True:
+            reply = await self.rpc(index, MSG_SUBCAST_REQUEST, sender,
+                                   body=body)
+            if reply is None:
+                return False
+            if reply.msg_type == MSG_BUSY:
+                self.stats.busy += 1
+                await asyncio.sleep(
+                    self.profile.busy_backoff * (0.5 + random.random()))
+                continue
+            if reply.msg_type != MSG_SUBCAST:
+                self.stats.denied += 1
+                return False
+            self.stats.acked["subcast"].append(time.monotonic() - started)
+            return True
+
 
 async def run_load(addresses: Sequence[Tuple[str, int]],
                    profile: LoadProfile,
@@ -322,8 +358,19 @@ async def run_load(addresses: Sequence[Tuple[str, int]],
                 await asyncio.sleep(min(interval, remaining))
                 if time.monotonic() >= deadline:
                     return
-                if random.random() < profile.resync_fraction:
+                roll = random.random()
+                if roll < profile.resync_fraction:
                     await pool.acked_op(index, "resync", users[index])
+                elif roll < (profile.resync_fraction
+                             + profile.subcast_fraction):
+                    # A contiguous window of stable members: clustered
+                    # subsets are the paper-favorable covering case.
+                    stable = users[profile.churn_clients:]
+                    width = min(profile.subcast_targets, len(stable))
+                    start = random.randrange(len(stable) - width + 1)
+                    await pool.subcast_op(
+                        index, users[index], stable[start:start + width],
+                        bytes(profile.subcast_size))
                 else:
                     pool.heartbeat(index, users[index])
 
@@ -410,12 +457,16 @@ async def _amain(args) -> int:
     if args.quick:
         profile = LoadProfile(clients=500, sockets=8, duration=2.0,
                               churn_clients=25,
-                              heartbeat_interval=0.5)
+                              heartbeat_interval=0.5,
+                              subcast_fraction=args.subcast,
+                              subcast_targets=args.subcast_targets)
     else:
         profile = LoadProfile(clients=args.clients, sockets=args.sockets,
                               duration=args.duration,
                               churn_clients=args.churn,
-                              heartbeat_interval=args.heartbeat)
+                              heartbeat_interval=args.heartbeat,
+                              subcast_fraction=args.subcast,
+                              subcast_targets=args.subcast_targets)
     log = (lambda text: print(text, file=sys.stderr))
     service = None
     if args.udp:
@@ -481,6 +532,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="clients cycling leave/join")
     parser.add_argument("--heartbeat", type=float, default=5.0,
                         help="mean per-client heartbeat interval (s)")
+    parser.add_argument("--subcast", type=float, default=0.0,
+                        metavar="FRACTION",
+                        help="chance per heartbeat tick of issuing a "
+                             "covered-multicast request instead")
+    parser.add_argument("--subcast-targets", type=int, default=8,
+                        help="target subset size per subcast request")
     parser.add_argument("--quick", action="store_true",
                         help="small smoke profile (500 clients, 2s)")
     parser.add_argument("--trace", action="store_true",

@@ -1,0 +1,75 @@
+"""Request encoding for the subcast front-end path.
+
+A ``MSG_SUBCAST_REQUEST`` body names the requesting member, the target
+subset and the application payload.  The encoding is length-prefixed
+binary in the spirit of the rest of the wire module — compact enough
+that a few-hundred-member target list rides one UDP datagram, and the
+million-member experiments call the server entry points in-process
+where no datagram ceiling applies.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+SUBCAST_REQUEST_VERSION = 1
+
+_FIXED = struct.Struct(">BHI")  # version, sender length, target count
+
+
+class SubcastWireError(ValueError):
+    """Raised when decoding a malformed subcast request body."""
+
+
+def encode_subcast_request(sender: str, targets: Sequence[str],
+                           payload: bytes) -> bytes:
+    """Encode ``(sender, targets, payload)`` as a request body."""
+    sender_bytes = sender.encode("utf-8")
+    parts = [_FIXED.pack(SUBCAST_REQUEST_VERSION, len(sender_bytes),
+                         len(targets)),
+             sender_bytes]
+    for target in targets:
+        target_bytes = target.encode("utf-8")
+        parts.append(struct.pack(">H", len(target_bytes)))
+        parts.append(target_bytes)
+    parts.append(struct.pack(">I", len(payload)))
+    parts.append(payload)
+    return b"".join(parts)
+
+
+def parse_subcast_request(body: bytes) -> Tuple[str, List[str], bytes]:
+    """Parse a request body back into ``(sender, targets, payload)``."""
+    try:
+        version, sender_len, n_targets = _FIXED.unpack_from(body, 0)
+    except struct.error as exc:
+        raise SubcastWireError(f"truncated subcast request: {exc}") from None
+    if version != SUBCAST_REQUEST_VERSION:
+        raise SubcastWireError(f"unsupported subcast request "
+                               f"version {version}")
+    offset = _FIXED.size
+    sender = body[offset:offset + sender_len]
+    if len(sender) != sender_len:
+        raise SubcastWireError("truncated sender")
+    offset += sender_len
+    targets: List[str] = []
+    for _ in range(n_targets):
+        try:
+            (target_len,) = struct.unpack_from(">H", body, offset)
+        except struct.error as exc:
+            raise SubcastWireError(f"truncated target list: {exc}") from None
+        offset += 2
+        target = body[offset:offset + target_len]
+        if len(target) != target_len:
+            raise SubcastWireError("truncated target")
+        offset += target_len
+        targets.append(target.decode("utf-8"))
+    try:
+        (payload_len,) = struct.unpack_from(">I", body, offset)
+    except struct.error as exc:
+        raise SubcastWireError(f"truncated payload length: {exc}") from None
+    offset += 4
+    payload = body[offset:offset + payload_len]
+    if len(payload) != payload_len:
+        raise SubcastWireError("truncated payload")
+    return sender.decode("utf-8"), targets, payload

@@ -1,0 +1,137 @@
+"""Byte-determinism of the sealing layer.
+
+The subcast wire bytes are part of the reproducibility contract: same
+seed, same membership history, same targets, same payload => identical
+``MSG_SUBCAST`` bytes, on either tree backend, pinned by a golden
+digest.  And sealing draws from a dedicated DRBG personalization, so a
+run with interleaved subcasts keeps every *rekey* message byte-for-byte
+identical to its subcast-free control run.
+"""
+
+import hashlib
+import time as _time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.core.client import GroupClient
+from repro.core.messages import (MSG_SUBCAST, SUBCAST_MESSAGE_KEY, Message)
+from repro.core.server import GroupKeyServer, ServerConfig
+from repro.subcast import SubcastError, SubcastSealer
+
+
+@contextmanager
+def frozen_clock(value_ns=1_234_567_891_000):
+    real = _time.time_ns
+    _time.time_ns = lambda: value_ns
+    try:
+        yield
+    finally:
+        _time.time_ns = real
+
+
+MEMBERS = [f"u{index:03d}" for index in range(48)]
+TARGETS = MEMBERS[8:24] + MEMBERS[40:43]
+GOLDEN = "4e19a0bb0d5f12a4a9fe127cd72aef7a4cd80ead7de7103702512a0f62f4b6d2"
+
+
+def build_server(backend, seed=b"seal-golden"):
+    server = GroupKeyServer(ServerConfig(
+        degree=4, strategy="group", signing="none", seed=seed,
+        backend=backend))
+    server.bootstrap([(user, server.new_individual_key())
+                      for user in MEMBERS])
+    return server
+
+
+def test_flat_and_object_backends_seal_identical_bytes():
+    with frozen_clock():
+        blob_obj = build_server("object").subcast(TARGETS, b"golden").encoded
+    with frozen_clock():
+        blob_flat = build_server("flat").subcast(TARGETS, b"golden").encoded
+    assert blob_obj == blob_flat
+
+
+def test_golden_digest_pins_the_wire_bytes():
+    with frozen_clock():
+        blob = build_server("flat").subcast(TARGETS, b"golden").encoded
+    assert hashlib.sha256(blob).hexdigest() == GOLDEN
+
+
+def test_message_layout():
+    with frozen_clock():
+        out = build_server("flat").subcast(TARGETS, b"layout-check")
+    message = Message.decode(out.encoded)
+    assert message.msg_type == MSG_SUBCAST
+    # items[0] is the payload ciphertext under the fresh message key,
+    # referenced by the sentinel id and the subcast id.
+    payload_item = message.items[0]
+    assert payload_item.enc_node_id == SUBCAST_MESSAGE_KEY
+    assert payload_item.enc_version == message.seq & 0xFFFFFFFF
+    assert payload_item.plaintext_len == len(b"layout-check")
+    # Cover items reference real tree keys, in ascending node-id order.
+    cover_ids = [item.enc_node_id for item in message.items[1:]]
+    assert cover_ids == sorted(cover_ids)
+    assert all(node_id != SUBCAST_MESSAGE_KEY for node_id in cover_ids)
+    assert sorted(out.receivers) == sorted(set(TARGETS))
+
+
+def test_sealer_rejects_empty_inputs():
+    server = build_server("flat")
+    sealer = server.subcast_sealer
+    assert isinstance(sealer, SubcastSealer)
+    with pytest.raises(SubcastError):
+        sealer.seal([], b"x", receivers=["u001"], root_ref=(1, 0))
+    cover = [(1, 0, bytes(server.suite.key_size))]
+    with pytest.raises(SubcastError):
+        sealer.seal(cover, b"x", receivers=[], root_ref=(1, 0))
+
+
+def run_history(backend, with_subcasts):
+    server = build_server(backend, seed=b"seal-perturb")
+    rekey_blobs = []
+    with frozen_clock():
+        for index in range(5):
+            joiner = f"j{index}"
+            server.register_individual_key(joiner,
+                                           server.new_individual_key())
+            outcome = server.join(joiner)
+            rekey_blobs.extend(m.encoded for m in outcome.rekey_messages)
+            if with_subcasts:
+                server.subcast(MEMBERS[index:index + 4], b"interleaved")
+            outcome = server.leave(MEMBERS[index])
+            rekey_blobs.extend(m.encoded for m in outcome.rekey_messages)
+    return rekey_blobs
+
+
+def strip_seq(blobs):
+    """Rekey item bytes without the header (subcasts shift seq/ts)."""
+    stripped = []
+    for blob in blobs:
+        message = Message.decode(blob)
+        stripped.append(tuple(
+            (item.enc_node_id, item.enc_version, item.iv, item.ciphertext,
+             item.plaintext_len) for item in message.items))
+    return stripped
+
+
+@pytest.mark.parametrize("backend", ["object", "flat"])
+def test_subcasts_never_perturb_the_rekey_stream(backend):
+    control = run_history(backend, with_subcasts=False)
+    interleaved = run_history(backend, with_subcasts=True)
+    assert strip_seq(control) == strip_seq(interleaved)
+
+
+def test_open_subcast_round_trip_on_both_backends():
+    for backend in ("object", "flat"):
+        server = build_server(backend)
+        user = TARGETS[0]
+        leaf = server.tree.leaf_of(user)
+        client = GroupClient(user, server.suite)
+        client.set_individual_key(leaf.key)
+        client.set_leaf(leaf.node_id)
+        for node in leaf.path_to_root():
+            client.keys[node.node_id] = (node.version, node.key)
+        out = server.subcast(TARGETS, b"round-trip")
+        assert client.open_subcast(out.encoded) == b"round-trip"
+        assert client.stats.subcasts_opened == 1
