@@ -137,17 +137,17 @@ async def _overload_probe(n_requests: int = 96) -> dict:
         n_shards=3, seed=b"bench-overload",
         config=ServeConfig(max_inflight=8, tick_interval=0))
     profile = LoadProfile(clients=n_requests, sockets=4,
-                          request_timeout=30.0, request_retries=0)
+                          request_timeout=30.0, request_deadline=30.0,
+                          retry_budget=0)
     pool = ClientPool([service.udp_addresses[0]], profile, LoadStats())
     await pool.start()
     try:
-        async def one(index):
-            reply = await pool.rpc(index, MSG_JOIN_REQUEST,
-                                   f"burst-{index:05d}")
-            return (reply is not None
-                    and reply.msg_type == MSG_BUSY)
-        busy = sum(await asyncio.gather(*(
-            one(index) for index in range(n_requests))))
+        # With a zero retry budget the pool absorbs each MSG_BUSY into
+        # its stats rather than returning it.
+        await asyncio.gather(*(
+            pool.rpc(index, MSG_JOIN_REQUEST, f"burst-{index:05d}")
+            for index in range(n_requests)))
+        busy = pool.stats.busy
         document = await scrape(service.udp_addresses[0], timeout=10.0)
         sheds = _shed_total(document) if document else 0.0
         return {"busy": busy, "sheds": sheds}

@@ -33,7 +33,7 @@ from ..recovery import (BatchBackend, RecoveryManager, RecoveryPolicy,
 from ..transport.inmemory import InMemoryNetwork
 from .faults import PROFILES, ChaosError, ChaosTransport, FaultProfile
 
-STACKS = ("server", "batch", "cluster", "serve")
+STACKS = ("server", "batch", "cluster", "serve", "serve-crash")
 
 
 @dataclass
@@ -60,6 +60,17 @@ class ScenarioConfig:
     policy: Optional[RecoveryPolicy] = None
     max_recovery_rounds: int = 40
     seed: bytes = b"chaos-scenario"
+    #: serve-crash stack only: op index -> crash kind.  ``"kill"`` is a
+    #: clean SIGKILL-equivalent teardown after the op; ``"kill-torn"``
+    #: additionally tears the journal tail so the op's record is lost
+    #: (the client must retry it after the restart).  Empty picks one
+    #: default ``kill-torn`` two-thirds through the workload.
+    crash_plan: Mapping[int, str] = field(default_factory=dict)
+    #: serve-crash stack only: recovery substrate, ``"journal"``
+    #: (restart by strict journal replay) or ``"standby"`` (warm-standby
+    #: promotion; the in-memory journal is complete, so only ``"kill"``
+    #: crashes apply).
+    serve_recovery: str = "journal"
 
     def fault_profile(self) -> FaultProfile:
         """Resolve ``profile`` to a :class:`FaultProfile`."""
@@ -79,6 +90,16 @@ class ScenarioConfig:
             raise ChaosError("n_initial must be >= 2")
         if self.rounds < 1 or self.max_recovery_rounds < 1:
             raise ChaosError("rounds and max_recovery_rounds must be >= 1")
+        if self.serve_recovery not in ("journal", "standby"):
+            raise ChaosError(
+                f"unknown serve recovery {self.serve_recovery!r}")
+        for kind in self.crash_plan.values():
+            if kind not in ("kill", "kill-torn"):
+                raise ChaosError(f"unknown crash kind {kind!r}")
+            if kind == "kill-torn" and self.serve_recovery == "standby":
+                raise ChaosError(
+                    "kill-torn needs the on-disk journal (standby keeps "
+                    "its journal in memory; nothing tears)")
         self.fault_profile().validate()
 
 
@@ -363,6 +384,12 @@ def run_scenario(config: ScenarioConfig) -> ScenarioReport:
         from .serve_scenario import run_serve_scenario
         config.validate()
         return run_serve_scenario(config)
+    if config.stack == "serve-crash":
+        # Supervised crash injection: SIGKILL-equivalent core teardown
+        # mid-workload, torn journal tail, restart by replay.
+        from .serve_scenario import run_crash_scenario
+        config.validate()
+        return run_crash_scenario(config)
     _harness, report = _execute(config)
     return report
 
@@ -423,6 +450,10 @@ def quick_matrix() -> List[ScenarioConfig]:
                        n_shards=3, fail_shard_at={3: 1}, promote_at={6: 1}),
         ScenarioConfig(name="drop10-serve", stack="serve",
                        profile="drop10", n_initial=12, rounds=12),
+        ScenarioConfig(name="crash-serve", stack="serve-crash",
+                       profile="drop10", n_initial=10, rounds=12,
+                       crash_plan={14: "kill-torn"},
+                       seed=b"chaos-crash"),
     ]
 
 
@@ -439,4 +470,8 @@ def full_matrix() -> List[ScenarioConfig]:
                                              shed_threshold=3)),
         ScenarioConfig(name="heavy-server", stack="server",
                        profile="heavy", n_initial=12, rounds=12),
+        ScenarioConfig(name="crash-serve-standby", stack="serve-crash",
+                       profile="drop10", serve_recovery="standby",
+                       n_initial=10, rounds=12,
+                       crash_plan={14: "kill"}, seed=b"chaos-crash"),
     ]

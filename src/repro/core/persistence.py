@@ -180,7 +180,8 @@ def attach_journal(server: GroupKeyServer, path: str) -> TreeJournal:
 
 
 def restore_from_journal(path: str,
-                         seed: Optional[bytes] = None) -> GroupKeyServer:
+                         seed: Optional[bytes] = None,
+                         strict: bool = False) -> GroupKeyServer:
     """Rebuild a server byte-identically by replaying its journal.
 
     Restores the last checkpoint, then re-applies each op record as a
@@ -188,8 +189,15 @@ def restore_from_journal(path: str,
     strategy planning, no encryption — so a restart at n = 1M costs one
     snapshot load plus O(ops · log n) array edits instead of re-running
     the rekey pipeline over the whole history.
+
+    ``strict`` distinguishes damage classes: a torn tail (crash
+    mid-append) is always dropped and replay proceeds, but a
+    CRC-corrupt complete record raises
+    :class:`~repro.keygraph.journal.JournalError` instead of silently
+    truncating history — the supervisor refuses to restart from a
+    journal that failed its integrity check.
     """
-    blob, ops = TreeJournal(path).load()
+    blob, ops = TreeJournal(path).load(strict=strict)
     if blob is None:
         raise PersistenceError(f"{path}: no checkpoint record to restore")
     server = restore(blob, seed=seed)

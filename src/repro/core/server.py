@@ -201,10 +201,11 @@ class StagedRekeyOp:
             ack = server._control_message(
                 MSG_JOIN_ACK, self.user_id,
                 body=int(self._state["leaf_id"]).to_bytes(4, "big"),
-                root_ref=self._root_ref)
+                root_ref=self._root_ref, journal_seq=False)
         else:
             ack = server._control_message(MSG_LEAVE_ACK, self.user_id,
-                                          root_ref=self._root_ref)
+                                          root_ref=self._root_ref,
+                                          journal_seq=False)
         self.staged.release_turn()
         run = self.staged.finish()
         if server._journal is not None:
@@ -723,8 +724,8 @@ class GroupKeyServer:
 
     def _control_message(self, msg_type: int, user_id: str,
                          body: bytes = b"",
-                         root_ref: Optional[Tuple[int, int]] = None
-                         ) -> OutboundMessage:
+                         root_ref: Optional[Tuple[int, int]] = None,
+                         journal_seq: bool = True) -> OutboundMessage:
         if root_ref is None:
             try:
                 root_ref = self.group_key_ref()
@@ -740,7 +741,13 @@ class GroupKeyServer:
         # be sealing on worker threads; serialize with them.
         with self.pipeline.seal_lock:
             self._signer.seal([message])
-        self._journal_op("seq")
+        # ``journal_seq=False`` is for acks inside a staged commit: the
+        # op record written right after carries this same (final) seq,
+        # and a standalone marker *before* the op record would survive
+        # a torn-tail crash that loses the op — restarting with the
+        # op's seq draws but not its tree edit.
+        if journal_seq:
+            self._journal_op("seq")
         return OutboundMessage(Destination.to_user(user_id), message,
                                (user_id,), message.encode())
 

@@ -113,8 +113,20 @@ class TreeJournal:
 
     # -- reading -----------------------------------------------------------
 
-    def records(self) -> Iterator[dict]:
-        """Yield every intact record; stops cleanly at a torn tail."""
+    def records(self, strict: bool = False) -> Iterator[dict]:
+        """Yield every intact record; stops cleanly at a torn tail.
+
+        A *torn* tail — the file ends mid-record, the signature of a
+        crash between ``write`` and the final flush — is always
+        tolerated: everything before it replays.  A *corrupt* record —
+        all its bytes are present but the CRC disagrees, the signature
+        of bit rot or tampering rather than a crash — is silently
+        dropped (with everything after it) by default, or raises
+        :class:`JournalError` with ``strict=True``.  Supervised
+        restarts use strict mode: restarting a key server from a
+        journal that failed its integrity check would hand members
+        keys nobody can vouch for.
+        """
         with open(self.path, "rb") as fh:
             magic = fh.read(len(MAGIC))
             if magic != MAGIC:
@@ -126,19 +138,60 @@ class TreeJournal:
                     return  # clean EOF or torn header: stop
                 length, crc = _FRAME.unpack(header)
                 payload = fh.read(length)
-                if len(payload) < length or zlib.crc32(payload) != crc:
-                    return  # torn record: drop the tail
+                if len(payload) < length:
+                    return  # torn record (crash mid-append): drop
+                if zlib.crc32(payload) != crc:
+                    if strict:
+                        raise JournalError(
+                            f"{self.path}: CRC mismatch on a complete "
+                            f"record ({length} bytes): corrupt, not torn")
+                    return
                 try:
                     yield json.loads(payload.decode("utf-8"))
                 except ValueError as exc:  # pragma: no cover - crc guards
                     raise JournalError(
                         f"{self.path}: corrupt record: {exc}") from None
 
-    def load(self) -> Tuple[Optional[bytes], List[dict]]:
+    def intact_length(self) -> int:
+        """Byte offset just past the last intact record.
+
+        Walks the framing without decoding payloads; a torn or
+        CRC-failing tail is excluded.  Raises on a missing magic.
+        """
+        with open(self.path, "rb") as fh:
+            magic = fh.read(len(MAGIC))
+            if magic != MAGIC:
+                raise JournalError(f"{self.path}: not a key-graph journal")
+            offset = len(MAGIC)
+            while True:
+                header = fh.read(_FRAME.size)
+                if len(header) < _FRAME.size:
+                    return offset
+                length, crc = _FRAME.unpack(header)
+                payload = fh.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    return offset
+                offset += _FRAME.size + length
+
+    def repair(self) -> int:
+        """Truncate a torn/damaged tail so future appends stay readable.
+
+        An append after a torn tail would be unreachable — replay stops
+        at the damage — so a supervised restart repairs the file before
+        re-attaching it.  Returns the number of bytes removed.
+        """
+        intact = self.intact_length()
+        size = os.path.getsize(self.path)
+        if size > intact:
+            os.truncate(self.path, intact)
+        return size - intact
+
+    def load(self, strict: bool = False
+             ) -> Tuple[Optional[bytes], List[dict]]:
         """(last checkpoint blob, op records after it)."""
         blob: Optional[bytes] = None
         ops: List[dict] = []
-        for record in self.records():
+        for record in self.records(strict=strict):
             if record.get("op") == CHECKPOINT:
                 blob = bytes.fromhex(record["blob"])
                 ops = []

@@ -29,16 +29,35 @@ from .core import (AsyncServingCore, ClusterServingCore,
 from .endpoint import AsyncClusterService, AsyncKeyService
 from .fanout import SocketFanout
 from .health import InstrumentedExecutor, LoopHealthMonitor
+from .rpc import (IdempotencyCache, ResilientRpc, RetryPolicy, RpcError,
+                  RpcOutcome)
 from .wire import (CORR_TRAILER_SIZE, FramingError, attach_corr_trailer,
                    attach_trailers, frame, read_frame, split_corr_trailer,
                    split_trailers)
 
+#: Supervision names resolve lazily (PEP 562) so ``python -m
+#: repro.serve.supervise`` does not import the module twice.
+_SUPERVISE_NAMES = frozenset({
+    "SupervisedShard", "SupervisePolicy", "Supervisor",
+    "SupervisorError", "arm_standby",
+})
+
+
+def __getattr__(name):
+    if name in _SUPERVISE_NAMES:
+        from . import supervise
+        return getattr(supervise, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AsyncClusterService", "AsyncKeyService", "AsyncServingCore",
     "CORR_TRAILER_SIZE", "ClusterServingCore", "CoalescingServingCore",
-    "DEFAULT_WORKERS", "FramingError", "ImmediateServingCore",
-    "InstrumentedExecutor", "LoopHealthMonitor",
-    "ServeConfig", "ServeError", "SocketFanout", "attach_corr_trailer",
+    "DEFAULT_WORKERS", "FramingError", "IdempotencyCache",
+    "ImmediateServingCore", "InstrumentedExecutor", "LoopHealthMonitor",
+    "ResilientRpc", "RetryPolicy", "RpcError", "RpcOutcome",
+    "ServeConfig", "ServeError", "SocketFanout", "SupervisedShard",
+    "SupervisePolicy", "Supervisor", "SupervisorError",
+    "arm_standby", "attach_corr_trailer",
     "attach_trailers", "default_server_config", "frame", "from_spec_file",
     "read_frame", "split_corr_trailer", "split_trailers", "worker_count",
 ]

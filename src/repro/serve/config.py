@@ -78,6 +78,18 @@ class ServeConfig:
     #: Seconds between SLO evaluations (needs ``slos``).  0 disables
     #: the evaluator.
     slo_interval: float = 5.0
+    #: Server-side idempotency cache: total cached direct replies kept
+    #: for retried requests (see :mod:`repro.serve.rpc`).  0 disables
+    #: replay — a retried op then re-executes (and a duplicate join
+    #: earns a denial again).
+    idempotency_entries: int = 4096
+    #: Cached replies kept per client user id (oldest evicted first).
+    idempotency_per_client: int = 8
+    #: Seconds :meth:`AsyncServingCore.aclose` waits for admitted ops
+    #: to complete before tearing down the executor.  New arrivals are
+    #: shed with ``MSG_BUSY`` for the whole drain; stragglers past the
+    #: deadline are shed too.  0 tears down immediately.
+    drain_deadline: float = 2.0
 
     def validate(self) -> None:
         """Check field consistency; raises ServeError."""
@@ -99,6 +111,12 @@ class ServeConfig:
             raise ServeError("loop_probe_interval must be >= 0")
         if self.slo_interval < 0:
             raise ServeError("slo_interval must be >= 0")
+        if self.idempotency_entries < 0:
+            raise ServeError("idempotency_entries must be >= 0")
+        if self.idempotency_per_client < 1:
+            raise ServeError("idempotency_per_client must be >= 1")
+        if self.drain_deadline < 0:
+            raise ServeError("drain_deadline must be >= 0")
 
 
 def default_server_config(config: ServerConfig) -> ServerConfig:

@@ -75,6 +75,7 @@ from ..recovery.manager import RecoveryManager, RecoveryPolicy
 from .config import DEFAULT_WORKERS, ServeConfig, worker_count
 from .fanout import SocketFanout
 from .health import InstrumentedExecutor, LoopHealthMonitor, WAIT_BUCKETS_S
+from .rpc import IdempotencyCache
 from .wire import (attach_corr_trailer, attach_trailers, split_corr_trailer,
                    split_trailers)
 
@@ -149,6 +150,11 @@ class AsyncServingCore:
             "serve_subcast_seconds",
             "End-to-end subcast request time (cover + seal + fan-out).",
             bounds=LATENCY_BUCKETS_S).labels()
+        self._m_idempotent = registry.counter(
+            "serve_idempotent_total",
+            "Duplicate correlated requests absorbed by the reply cache: "
+            "replayed from cache or suppressed while the original is "
+            "in flight.", labels=("result",))
         # Heartbeats dominate a live group's request mix; bind their
         # series once instead of resolving labels per datagram.
         self._m_heartbeats = self._m_requests.labels(type="heartbeat")
@@ -165,6 +171,13 @@ class AsyncServingCore:
         # plan, whole-op fallback, recovery tick, batch flush.
         self._op_lock = threading.Lock()
         self._inflight = 0
+        self._closing = False
+        # The server half of the ResilientRpc contract: retried ops
+        # replay their original reply instead of double-executing.
+        # Mutated only on the event loop — no lock.
+        self._idem = (IdempotencyCache(config.idempotency_entries,
+                                       config.idempotency_per_client)
+                      if config.idempotency_entries > 0 else None)
         self._buckets: Dict[str, Tuple[float, float]] = {}
         self._admits_since_prune = 0
         self._tick_task: Optional[asyncio.Task] = None
@@ -203,8 +216,23 @@ class AsyncServingCore:
             self._slo_task = asyncio.get_running_loop().create_task(
                 self._slo_loop())
 
+    async def _drain(self) -> None:
+        """Wait (bounded) for admitted ops to finish before teardown.
+
+        ``_closing`` is already set, so every new arrival sheds with
+        ``MSG_BUSY`` — the in-flight count can only fall.  Stragglers
+        past the deadline are abandoned to the executor shutdown's
+        ``cancel_futures``, which sheds them through the ordinary
+        error path.
+        """
+        deadline = time.monotonic() + self.config.drain_deadline
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+
     async def aclose(self) -> None:
-        """Stop background work and the worker pool."""
+        """Drain in-flight ops (bounded), then stop the worker pool."""
+        self._closing = True
+        await self._drain()
         for attr in ("_tick_task", "_slo_task"):
             task = getattr(self, attr)
             if task is not None:
@@ -357,6 +385,72 @@ class AsyncServingCore:
         for user_id in full:
             del self._buckets[user_id]
 
+    # -- idempotent replay (the server half of ResilientRpc) ---------------
+
+    def _idem_handled(self, user_id: str, token: Optional[int],
+                      reply) -> bool:
+        """True when the request is a duplicate and is fully dealt with.
+
+        A completed original replays its cached reply (token re-echoed);
+        an in-flight original absorbs the duplicate silently — both
+        attempts carry the same token, so the original's reply resolves
+        the retrying client's future.
+        """
+        cache = self._idem
+        if cache is None or token is None:
+            return False
+        entry = cache.get(user_id, token)
+        if entry is None:
+            return False
+        if entry is IdempotencyCache.PENDING:
+            self._m_idempotent.inc(result="inflight")
+            return True
+        self._m_idempotent.inc(result="replay")
+        self.flight.record("idem.replay", user=user_id)
+        reply(attach_corr_trailer(entry, token))
+        return True
+
+    def _idem_begin(self, user_id: str, token: Optional[int]) -> None:
+        if self._idem is not None and token is not None:
+            self._idem.begin(user_id, token)
+
+    def _idem_commit(self, user_id: str, token: Optional[int],
+                     payload: bytes) -> None:
+        """Cache a direct reply (correlation trailer already stripped)."""
+        if self._idem is not None and token is not None:
+            self._idem.commit(user_id, token, payload)
+
+    def _idem_finish(self, user_id: str, token: Optional[int]) -> None:
+        """Drop a still-pending entry once the op can no longer reply."""
+        if self._idem is not None and token is not None:
+            self._idem.abort(user_id, token)
+
+    def _idem_tee(self, user_id: str, token: Optional[int], reply):
+        """Wrap a direct-reply callable so the first reply is cached.
+
+        Only the requester's direct replies flow through the wrapper —
+        fan-out traffic uses the callable registered with
+        :meth:`SocketFanout.attach` (the unwrapped one).  ``MSG_BUSY``
+        aborts instead of caching: busy describes the moment, not the
+        op, and a retry must be allowed to execute.
+        """
+        cache = self._idem
+        if cache is None or token is None:
+            return reply
+
+        def tee(payload: bytes) -> None:
+            body, _tok = split_corr_trailer(payload)
+            try:
+                msg_type = Message.decode(body).msg_type
+            except WireError:
+                msg_type = None
+            if msg_type == MSG_BUSY:
+                cache.abort(user_id, token)
+            else:
+                cache.commit(user_id, token, body)
+            reply(payload)
+        return tee
+
     def _shed(self, user_id: str, reply, token: Optional[int],
               reason: str, trace=None) -> None:
         self._m_shed.inc(reason=reason)
@@ -461,6 +555,14 @@ class AsyncServingCore:
             return
         tracer = self.instrumentation.tracer
         if msg_type == MSG_RESYNC_REQUEST:
+            # Duplicate check before admission: a retry already paid
+            # the token bucket once, and a replay is a cheap loop-side
+            # copy that must not be shed.
+            if self._idem_handled(user_id, token, reply):
+                return
+            if self._closing:
+                self._shed(user_id, reply, token, "closing", inbound)
+                return
             if not self._admit_rate(user_id):
                 self._m_rate_limited.inc(type="resync")
                 self._shed(user_id, reply, token, "rate-cap", inbound)
@@ -474,16 +576,27 @@ class AsyncServingCore:
             trace = span.context if span.trace_id else None
             self.flight.record("req", trace_id=span.trace_id,
                                op="resync", user=user_id)
+            self._idem_begin(user_id, token)
             out = await self._locked(self.recovery.serve_request, user_id)
             if out is not None:
-                reply(attach_trailers(out.encoded or out.message.encode(),
-                                      trace, token))
+                body = out.encoded or out.message.encode()
+                if trace is not None:
+                    body = attach_trailers(body, trace)
+                self._idem_commit(user_id, token, body)
+                reply(_corr(body, token))
+            else:
+                self._idem_finish(user_id, token)
             span.finish()
             self.flight.record("done", trace_id=span.trace_id,
                                op="resync", served=out is not None)
             return
         if msg_type in (MSG_JOIN_REQUEST, MSG_LEAVE_REQUEST):
             op = "join" if msg_type == MSG_JOIN_REQUEST else "leave"
+            if self._idem_handled(user_id, token, reply):
+                return
+            if self._closing:
+                self._shed(user_id, reply, token, "closing", inbound)
+                return
             if not self._admit_rate(user_id):
                 self._m_rate_limited.inc(type=op)
                 self._shed(user_id, reply, token, "rate-cap", inbound)
@@ -503,8 +616,19 @@ class AsyncServingCore:
                                op=op, user=user_id)
             self.flight.record("req", trace_id=span.trace_id,
                                op=op, user=user_id)
+            self._idem_begin(user_id, token)
+            # Direct replies (ack, denial, shed) flow through the tee
+            # so the first one lands in the reply cache; the fan-out
+            # path registered above keeps the raw callable.
+            teed = self._idem_tee(user_id, token, reply)
             try:
-                await self._rekey(op, user_id, payload, reply, token, span)
+                await self._rekey(op, user_id, payload, teed, token, span)
+            except asyncio.CancelledError:
+                # Executor teardown cancelled the op's future (the
+                # drain deadline passed); the task itself is alive, so
+                # shed instead of vanishing without a reply.
+                span.finish(error=True)
+                self._shed(user_id, teed, token, "closing", span.context)
             except Exception as exc:
                 self._m_errors.inc(op=op)
                 span.finish(error=True)
@@ -514,12 +638,15 @@ class AsyncServingCore:
                 self.flight.maybe_dump("error", self._dump_path("error"))
                 # An admitted op that died server-side must still fail
                 # fast for the client — a busy reply beats a timeout.
-                self._shed(user_id, reply, token, "error", span.context)
+                self._shed(user_id, teed, token, "error", span.context)
             else:
                 span.finish()
                 self.flight.record("done", trace_id=span.trace_id, op=op,
                                    us=span.duration_ns // 1000)
             finally:
+                # Ops that never replied directly (cluster routing
+                # errors) must not blackhole their token forever.
+                self._idem_finish(user_id, token)
                 self._inflight -= 1
                 self._m_inflight.set(self._inflight)
             return
@@ -544,6 +671,11 @@ class AsyncServingCore:
                 message.body)
         except SubcastWireError:
             self._m_requests.inc(type="malformed")
+            return
+        if self._idem_handled(sender, token, reply):
+            return
+        if self._closing:
+            self._shed(sender, reply, token, "closing", inbound)
             return
         if not self._admit_rate(sender):
             self._m_rate_limited.inc(type="subcast")
@@ -576,8 +708,12 @@ class AsyncServingCore:
                             f"subcast sender {sender!r} is not a member")
                     return backend.subcast(targets, app_payload)
 
+        self._idem_begin(sender, token)
         try:
             out = await self._in_executor(run)
+        except asyncio.CancelledError:
+            span.finish(error=True)
+            self._shed(sender, reply, token, "closing", span.context)
         except Exception as exc:
             self._m_errors.inc(op="subcast")
             span.finish(error=True)
@@ -590,12 +726,16 @@ class AsyncServingCore:
             if trace is not None:
                 payload_out = attach_trailers(payload_out, trace)
             self.fanout.send(out, payload=payload_out)
+            # A replayed subcast re-sends only the requester's direct
+            # copy — the original fan-out already reached the targets.
+            self._idem_commit(sender, token, payload_out)
             reply(_corr(payload_out, token))
             span.finish()
             self._m_subcast_seconds.observe(time.perf_counter() - started)
             self.flight.record("done", trace_id=span.trace_id,
                                op="subcast", us=span.duration_ns // 1000)
         finally:
+            self._idem_finish(sender, token)
             self._inflight -= 1
             self._m_inflight.set(self._inflight)
 
@@ -643,6 +783,11 @@ class ImmediateServingCore(AsyncServingCore):
             recovery_policy)
         server.pipeline.seal_order.wait_observer = \
             self._m_turnstile_wait.observe
+        #: Force the whole-op serialized path even without a journal.
+        #: The supervisor sets this for standby-recorded shards: the
+        #: WarmStandby's single recording sink must see one op's draws
+        #: at a time, which the overlapped staged path cannot promise.
+        self.serialize_ops = False
 
     def _recovery_backend(self):
         return ServerBackend(self.server)
@@ -683,10 +828,10 @@ class ImmediateServingCore(AsyncServingCore):
         server = self.server
         tracer = self.instrumentation.tracer
         trace = span.context if span.trace_id else None
-        if getattr(server, "_journal", None) is not None:
-            # A journaled server must append ops in plan order, which
-            # the overlapped path cannot guarantee — serialize the
-            # whole op on a worker.  Every op on this server takes
+        if getattr(server, "_journal", None) is not None or self.serialize_ops:
+            # A journaled (or standby-recorded) server must append ops
+            # in plan order, which the overlapped path cannot
+            # guarantee — serialize the whole op on a worker.  Every op on this server takes
             # this path, so each seal ticket is drawn and retired
             # under the op lock before the next op plans: the
             # turnstile never actually waits here.
@@ -804,6 +949,15 @@ class CoalescingServingCore(AsyncServingCore):
                 self._flush_loop())
 
     async def aclose(self):
+        # Final drain: ops already accepted into the batch get their
+        # flush under the drain deadline (new arrivals shed with
+        # MSG_BUSY via the closing gate), so an accepted op is never
+        # silently dropped by shutdown.
+        self._closing = True
+        deadline = time.monotonic() + self.config.drain_deadline
+        while self._waiters and time.monotonic() < deadline:
+            self._flush_event.set()
+            await asyncio.sleep(0.005)
         if self._flush_task is not None:
             self._flush_task.cancel()
             try:
@@ -811,9 +965,11 @@ class CoalescingServingCore(AsyncServingCore):
             except asyncio.CancelledError:
                 pass
             self._flush_task = None
-        for waiter in self._waiters:
-            if not waiter[-1].done():
-                waiter[-1].set_result(None)
+        # Stragglers past the deadline fail fast, not silently.
+        for w_op, w_user, w_reply, w_token, w_trace, future in self._waiters:
+            self._shed(w_user, w_reply, w_token, "closing", w_trace)
+            if not future.done():
+                future.set_result(None)
         self._waiters = []
         await super().aclose()
 

@@ -47,6 +47,13 @@ class LoopHealthMonitor:
             "serve_loop_lag_last_seconds",
             "Most recent event-loop lag sample.").labels()
         self._task: Optional[asyncio.Task] = None
+        #: Monotonic time of the latest completed probe (None until the
+        #: first).  A supervisor reads this as the loop's health beat:
+        #: a beat older than its probe deadline means the loop is
+        #: wedged or dead, even if nothing else looks wrong.
+        self.last_beat: Optional[float] = None
+        #: The latest lag sample, for callers without registry access.
+        self.last_lag: float = 0.0
 
     async def _probe_loop(self) -> None:
         interval = self.interval
@@ -56,10 +63,13 @@ class LoopHealthMonitor:
             lag = max(0.0, time.perf_counter() - before - interval)
             self._m_lag.observe(lag)
             self._m_lag_last.set(lag)
+            self.last_beat = time.monotonic()
+            self.last_lag = lag
 
     def start(self) -> None:
         """Start probing on the running loop (idempotent)."""
         if self._task is None:
+            self.last_beat = time.monotonic()
             self._task = asyncio.get_running_loop().create_task(
                 self._probe_loop())
 

@@ -44,6 +44,7 @@ from ..core.messages import (MSG_BUSY, MSG_HEARTBEAT, MSG_JOIN_ACK,
                              MSG_SUBCAST, MSG_SUBCAST_REQUEST,
                              Message, WireError)
 from ..subcast.wire import encode_subcast_request
+from .rpc import ResilientRpc, RetryPolicy
 from .wire import attach_corr_trailer, split_corr_trailer
 
 _BUFFER = 65535
@@ -63,9 +64,16 @@ class LoadProfile:
     subcast_targets: int = 8        # subset size per subcast request
     subcast_size: int = 64          # application payload bytes
     ramp_concurrency: int = 48      # concurrent joins during the ramp
+    #: Per-attempt timeout; retries back off exponentially from
+    #: ``backoff_base`` (capped, jittered) under an overall
+    #: ``request_deadline``, spending at most ``retry_budget`` retries
+    #: per logical request (see :class:`~repro.serve.rpc.RetryPolicy`).
+    #: ``MSG_BUSY`` replies re-enter the same backoff loop.
     request_timeout: float = 2.0
-    request_retries: int = 2
-    busy_backoff: float = 0.05
+    request_deadline: float = 8.0
+    retry_budget: int = 5
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
 
     def validate(self) -> None:
         if self.clients < 1:
@@ -76,6 +84,15 @@ class LoadProfile:
             raise ValueError("churn_clients cannot exceed clients")
         if self.subcast_fraction and self.subcast_targets < 1:
             raise ValueError("subcast_targets must be >= 1")
+
+    def retry_policy(self) -> RetryPolicy:
+        """The :class:`~repro.serve.rpc.RetryPolicy` this profile implies."""
+        return RetryPolicy(
+            timeout=self.request_timeout,
+            deadline=max(self.request_deadline, self.request_timeout),
+            budget=self.retry_budget,
+            backoff_base=self.backoff_base,
+            backoff_cap=max(self.backoff_cap, self.backoff_base))
 
 
 @dataclass
@@ -90,7 +107,10 @@ class LoadStats:
     ramp_joined: int = 0            # distinct clients acked during ramp
     busy: int = 0
     denied: int = 0
-    timeouts: int = 0
+    timeouts: int = 0               # individual attempts that timed out
+    retries: int = 0                # extra attempts beyond the first
+    budget_exhausted: int = 0       # requests whose retry budget or
+                                    # deadline ran dry without a reply
     uncorrelated: int = 0           # multicast rekeys / recovery pushes
     ramp_seconds: float = 0.0
     steady_seconds: float = 0.0
@@ -121,6 +141,8 @@ class LoadStats:
             "busy_replies": self.busy,
             "denied": self.denied,
             "timeouts": self.timeouts,
+            "retries": self.retries,
+            "budget_exhausted": self.budget_exhausted,
             "uncorrelated_received": self.uncorrelated,
             "ramp_seconds": self.ramp_seconds,
             "steady_seconds": self.steady_seconds,
@@ -179,6 +201,7 @@ class ClientPool:
         self._transports: List[asyncio.DatagramTransport] = []
         self._pending: Dict[int, asyncio.Future] = {}
         self._next_token = 1
+        self._rpc = ResilientRpc(profile.retry_policy())
         #: The most recent group-key ref seen in any rekey multicast,
         #: resync reply or ack — what a live member would believe.
         self.latest_ref: Tuple[int, int] = (0, 0)
@@ -208,35 +231,48 @@ class ClientPool:
 
     async def rpc(self, index: int, msg_type: int, user_id: str,
                   body: Optional[bytes] = None) -> Optional[Message]:
-        """One correlated request with timeout + bounded retry."""
-        profile = self.profile
+        """One correlated request through the resilient retry loop.
+
+        Timeouts and ``MSG_BUSY`` replies retry with capped
+        exponential backoff under the profile's deadline and budget
+        (the server's idempotency cache makes the retries safe); a
+        request whose budget or deadline runs dry counts into
+        ``stats.budget_exhausted`` and returns None.
+        """
         transport = self.transport_for(index)
         addr = self.addr_for(index)
         if body is None:
             body = user_id.encode("utf-8")
-        # One token for every attempt: a retried join whose *first*
-        # request was merely slow still correlates with the late ack
-        # (the duplicate request earns a denial nobody waits for).
+        # One token for every attempt: a retried op whose *first*
+        # request was merely slow still correlates with the late ack,
+        # and the server's idempotency cache recognizes the duplicate
+        # by this token instead of re-executing it.
         token = self._next_token
         self._next_token += 1
         request = attach_corr_trailer(
             Message(msg_type=msg_type, body=body).encode(), token)
-        try:
-            for _attempt in range(profile.request_retries + 1):
-                future = asyncio.get_running_loop().create_future()
-                self._pending[token] = future
-                # Transport sends never raise on a full buffer — the
-                # transport queues and flushes when the socket drains.
-                transport.sendto(request, addr)
-                try:
-                    return await asyncio.wait_for(
-                        future, profile.request_timeout)
-                except asyncio.TimeoutError:
-                    continue
-        finally:
-            self._pending.pop(token, None)
-        self.stats.timeouts += 1
-        return None
+
+        async def attempt(timeout: float) -> Optional[Message]:
+            future = asyncio.get_running_loop().create_future()
+            self._pending[token] = future
+            # Transport sends never raise on a full buffer — the
+            # transport queues and flushes when the socket drains.
+            transport.sendto(request, addr)
+            try:
+                return await asyncio.wait_for(future, timeout)
+            except asyncio.TimeoutError:
+                return None
+            finally:
+                self._pending.pop(token, None)
+
+        outcome = await self._rpc.call(
+            attempt, retryable=lambda m: m.msg_type == MSG_BUSY)
+        self.stats.timeouts += outcome.timeouts
+        self.stats.busy += outcome.retried_replies
+        self.stats.retries += max(0, outcome.attempts - 1)
+        if not outcome.ok:
+            self.stats.budget_exhausted += 1
+        return outcome.reply
 
     def heartbeat(self, index: int, user_id: str) -> None:
         node_id, version = self.latest_ref
@@ -255,38 +291,30 @@ class ClientPool:
         msg_type = {"join": MSG_JOIN_REQUEST, "leave": MSG_LEAVE_REQUEST,
                     "resync": MSG_RESYNC_REQUEST}[op]
         started = time.monotonic()
-        while True:
-            reply = await self.rpc(index, msg_type, user_id)
-            if reply is None:
-                return False
-            if reply.msg_type == MSG_BUSY:
-                self.stats.busy += 1
-                await asyncio.sleep(
-                    self.profile.busy_backoff * (0.5 + random.random()))
-                continue
-            if reply.msg_type == MSG_JOIN_DENIED:
-                # Likely a duplicate of a join that already landed (the
-                # first ack was lost to a multicast storm): a resync
-                # reply proves membership, which is what joining means.
-                confirm = await self.rpc(index, MSG_RESYNC_REQUEST,
-                                         user_id)
-                if (confirm is not None
-                        and confirm.msg_type == MSG_RESYNC_REPLY):
-                    self.latest_ref = (confirm.root_node_id,
-                                       confirm.root_version)
-                    self.stats.acked[op].append(
-                        time.monotonic() - started)
-                    return True
-                self.stats.denied += 1
-                return False
-            if reply.msg_type == MSG_LEAVE_DENIED:
-                self.stats.denied += 1
-                return False
-            if reply.msg_type == MSG_JOIN_ACK:
-                self.latest_ref = (reply.root_node_id,
-                                   reply.root_version)
-            self.stats.acked[op].append(time.monotonic() - started)
-            return True
+        reply = await self.rpc(index, msg_type, user_id)
+        if reply is None:
+            return False
+        if reply.msg_type == MSG_JOIN_DENIED:
+            # A duplicate of a join that already landed but whose ack
+            # was lost *and* aged out of the server's idempotency
+            # cache: a resync reply proves membership, which is what
+            # joining means.
+            confirm = await self.rpc(index, MSG_RESYNC_REQUEST, user_id)
+            if (confirm is not None
+                    and confirm.msg_type == MSG_RESYNC_REPLY):
+                self.latest_ref = (confirm.root_node_id,
+                                   confirm.root_version)
+                self.stats.acked[op].append(time.monotonic() - started)
+                return True
+            self.stats.denied += 1
+            return False
+        if reply.msg_type == MSG_LEAVE_DENIED:
+            self.stats.denied += 1
+            return False
+        if reply.msg_type == MSG_JOIN_ACK:
+            self.latest_ref = (reply.root_node_id, reply.root_version)
+        self.stats.acked[op].append(time.monotonic() - started)
+        return True
 
     async def subcast_op(self, index: int, sender: str,
                          targets: Sequence[str],
@@ -294,21 +322,15 @@ class ClientPool:
         """One covered-multicast request; the sealed reply is the ack."""
         body = encode_subcast_request(sender, targets, payload)
         started = time.monotonic()
-        while True:
-            reply = await self.rpc(index, MSG_SUBCAST_REQUEST, sender,
-                                   body=body)
-            if reply is None:
-                return False
-            if reply.msg_type == MSG_BUSY:
-                self.stats.busy += 1
-                await asyncio.sleep(
-                    self.profile.busy_backoff * (0.5 + random.random()))
-                continue
-            if reply.msg_type != MSG_SUBCAST:
-                self.stats.denied += 1
-                return False
-            self.stats.acked["subcast"].append(time.monotonic() - started)
-            return True
+        reply = await self.rpc(index, MSG_SUBCAST_REQUEST, sender,
+                               body=body)
+        if reply is None:
+            return False
+        if reply.msg_type != MSG_SUBCAST:
+            self.stats.denied += 1
+            return False
+        self.stats.acked["subcast"].append(time.monotonic() - started)
+        return True
 
 
 async def run_load(addresses: Sequence[Tuple[str, int]],
@@ -397,8 +419,8 @@ async def run_load(addresses: Sequence[Tuple[str, int]],
 async def scrape(address: Tuple[str, int],
                  timeout: float = 5.0) -> Optional[dict]:
     """One async stats scrape (correlated, single attempt)."""
-    profile = LoadProfile(clients=1, sockets=1,
-                          request_timeout=timeout, request_retries=0)
+    profile = LoadProfile(clients=1, sockets=1, request_timeout=timeout,
+                          request_deadline=timeout, retry_budget=0)
     pool = ClientPool([address], profile, LoadStats())
     await pool.start()
     try:

@@ -1,0 +1,251 @@
+"""The resilient RPC contract: client retry discipline, server replay.
+
+Retries are only safe when both sides agree on what a retry *means*.
+This module carries both halves of that agreement:
+
+* **Client side** — :class:`RetryPolicy` + :class:`ResilientRpc`, a
+  small state machine that replaces ad-hoc "resend after a flat
+  timeout" loops: each logical request gets a per-attempt timeout, an
+  overall deadline, a bounded retry budget, and capped exponential
+  backoff with jitter between attempts (so a restarting shard is met
+  with a decaying trickle, not a synchronized storm).  A reply the
+  caller classifies as retryable (``MSG_BUSY``) re-enters the same
+  backoff loop instead of growing a second retry mechanism.
+* **Server side** — :class:`IdempotencyCache`, a bounded per-client
+  map from correlation token to the sealed direct reply of the first
+  execution.  A retried join/leave/resync/subcast whose original
+  attempt already executed replays the original reply byte-for-byte
+  instead of double-executing (a duplicate join used to earn "a denial
+  nobody waits for"); a retry that races the original in flight is
+  simply dropped — the original's reply resolves the client's future,
+  because every attempt of one logical request carries the same token.
+
+The cache stores replies *without* their correlation trailer; the
+serving core re-attaches the (identical) token on replay.  ``MSG_BUSY``
+is never cached: busy is a statement about the moment, not the op.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class RpcError(ValueError):
+    """Raised on invalid retry-policy configuration."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of one logical request's retry behavior.
+
+    ``timeout`` bounds each attempt; ``deadline`` bounds the whole
+    request including backoff sleeps; ``budget`` bounds the number of
+    *retries* (a budget of 0 means exactly one attempt).  Backoff for
+    retry *n* (0-based) is ``min(cap, base * multiplier**n)``, scaled
+    by a jitter factor uniform in ``[1 - jitter, 1 + jitter)``.
+    """
+
+    timeout: float = 2.0
+    deadline: float = 8.0
+    budget: int = 5
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def validate(self) -> None:
+        if self.timeout <= 0:
+            raise RpcError("timeout must be > 0")
+        if self.deadline <= 0:
+            raise RpcError("deadline must be > 0")
+        if self.budget < 0:
+            raise RpcError("budget must be >= 0")
+        if self.backoff_base < 0:
+            raise RpcError("backoff_base must be >= 0")
+        if self.backoff_cap < self.backoff_base:
+            raise RpcError("backoff_cap must be >= backoff_base")
+        if self.multiplier < 1.0:
+            raise RpcError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise RpcError("jitter must be in [0, 1]")
+
+    def backoff(self, retry: int, rng: Callable[[], float]) -> float:
+        """The sleep before 0-based retry number ``retry``."""
+        base = min(self.backoff_cap,
+                   self.backoff_base * self.multiplier ** retry)
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * rng())
+
+
+@dataclass
+class RpcOutcome:
+    """What one :meth:`ResilientRpc.call` observed.
+
+    ``status`` is ``"ok"`` (a terminal reply arrived), ``"budget"``
+    (the retry budget ran dry) or ``"deadline"`` (the overall deadline
+    passed first).  ``reply`` is None unless ``status == "ok"``.
+    """
+
+    reply: Any = None
+    status: str = "ok"
+    attempts: int = 0
+    timeouts: int = 0
+    retried_replies: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class ResilientRpc:
+    """Deadline + capped-backoff + budget retry loop, dependency-injected.
+
+    ``attempt`` (passed per call) performs one send-and-wait bounded by
+    the timeout it is given and returns the reply, or None on timeout.
+    ``sleep``/``clock``/``rng`` default to the real event loop and are
+    injectable so tests can drive the state machine deterministically
+    without wall-clock waits.
+    """
+
+    def __init__(self, policy: Optional[RetryPolicy] = None, *,
+                 rng: Optional[Callable[[], float]] = None,
+                 sleep=asyncio.sleep, clock=time.monotonic):
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.policy.validate()
+        self._rng = rng if rng is not None else random.random
+        self._sleep = sleep
+        self._clock = clock
+
+    async def call(self, attempt, *,
+                   retryable: Optional[Callable[[Any], bool]] = None
+                   ) -> RpcOutcome:
+        """Run one logical request to a terminal outcome.
+
+        ``retryable(reply)`` marks replies that should re-enter the
+        backoff loop (busy shedding) rather than terminate the call;
+        by default only timeouts retry.
+        """
+        policy = self.policy
+        started = self._clock()
+        deadline = started + policy.deadline
+        outcome = RpcOutcome()
+        retries_left = policy.budget
+        while True:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                outcome.status = "deadline"
+                break
+            outcome.attempts += 1
+            reply = await attempt(min(policy.timeout, remaining))
+            if reply is None:
+                outcome.timeouts += 1
+            elif retryable is None or not retryable(reply):
+                outcome.reply = reply
+                outcome.status = "ok"
+                break
+            else:
+                outcome.retried_replies += 1
+            if retries_left <= 0:
+                outcome.status = "budget"
+                break
+            retries_left -= 1
+            delay = policy.backoff(
+                policy.budget - retries_left - 1, self._rng)
+            delay = min(delay, max(0.0, deadline - self._clock()))
+            if delay > 0:
+                await self._sleep(delay)
+        outcome.elapsed = self._clock() - started
+        return outcome
+
+
+#: Marker for an op that was admitted but has not replied yet.  A
+#: duplicate arriving while the original is PENDING is dropped: both
+#: attempts carry the same token, so the original's reply resolves the
+#: retrying client's future.
+PENDING = object()
+
+
+class IdempotencyCache:
+    """Bounded per-client map: (user, corr token) -> first direct reply.
+
+    Loop-thread-only by design (every serving-core mutation of it
+    happens on the event loop), so it needs no lock.  Two bounds keep
+    it honest under adversarial load: at most ``per_client`` live
+    entries per user (oldest evicted first), and at most
+    ``max_entries`` overall (globally oldest evicted first).  Eviction
+    prefers completed entries but will drop a pending one rather than
+    grow — a dropped pending entry only costs the duplicate a
+    re-execution, never correctness.
+    """
+
+    PENDING = PENDING
+
+    def __init__(self, max_entries: int = 4096, per_client: int = 8):
+        if max_entries < 1:
+            raise RpcError("max_entries must be >= 1")
+        if per_client < 1:
+            raise RpcError("per_client must be >= 1")
+        self.max_entries = max_entries
+        self.per_client = per_client
+        self._entries: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
+        self._client_tokens: Dict[str, "OrderedDict[int, None]"] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, user_id: str, token: int):
+        """None = unknown; :data:`PENDING` = in flight; bytes = reply."""
+        return self._entries.get((user_id, token))
+
+    def _drop(self, user_id: str, token: int) -> None:
+        self._entries.pop((user_id, token), None)
+        tokens = self._client_tokens.get(user_id)
+        if tokens is not None:
+            tokens.pop(token, None)
+            if not tokens:
+                del self._client_tokens[user_id]
+
+    def _evict_for(self, user_id: str) -> None:
+        tokens = self._client_tokens.get(user_id)
+        if tokens is not None and len(tokens) >= self.per_client:
+            # Prefer the oldest completed entry; fall back to the
+            # oldest outright so the bound always holds.
+            victim = next(
+                (tok for tok in tokens
+                 if self._entries.get((user_id, tok)) is not PENDING),
+                next(iter(tokens)))
+            self._drop(user_id, victim)
+        while len(self._entries) >= self.max_entries:
+            old_user, old_token = next(iter(self._entries))
+            self._drop(old_user, old_token)
+
+    def begin(self, user_id: str, token: int) -> None:
+        """Mark the op in flight (call after admission, before work)."""
+        key = (user_id, token)
+        if key in self._entries:
+            return
+        self._evict_for(user_id)
+        self._entries[key] = PENDING
+        self._client_tokens.setdefault(user_id, OrderedDict())[token] = None
+
+    def commit(self, user_id: str, token: int, reply: bytes) -> None:
+        """Record the op's first direct reply (later commits are no-ops).
+
+        Commits only land on a tracked entry: if the pending entry was
+        evicted (or never begun), the reply is simply not cached.
+        """
+        key = (user_id, token)
+        if self._entries.get(key) is PENDING:
+            self._entries[key] = reply
+
+    def abort(self, user_id: str, token: int) -> None:
+        """Forget a pending op that produced no cacheable reply."""
+        if self._entries.get((user_id, token)) is PENDING:
+            self._drop(user_id, token)
